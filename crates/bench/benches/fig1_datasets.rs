@@ -1,0 +1,31 @@
+//! Figure 1 harness benchmark: dataset generation and ground-truth
+//! histogram construction for each of the four evaluation workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_datasets::{DatasetKind, DatasetSpec};
+use std::time::Duration;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for kind in DatasetKind::all() {
+        group.bench_function(format!("generate_{}", kind.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let ds = DatasetSpec {
+                    kind,
+                    n: 20_000,
+                    seed: 1,
+                }
+                .generate();
+                ds.histogram(kind.paper_buckets()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

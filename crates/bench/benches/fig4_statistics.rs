@@ -1,0 +1,31 @@
+//! Figure 4 harness benchmark: mean/variance/quantile trials, including
+//! the SR and PM scalar protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_bench::{bench_dataset, bench_truth, BENCH_D, BENCH_N};
+use ldp_datasets::DatasetKind;
+use ldp_experiments::{evaluate_trial, Method};
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    let ds = bench_dataset(DatasetKind::Retirement, BENCH_N);
+    let truth = bench_truth(&ds, BENCH_D);
+    for method in [Method::Sr, Method::Pm, Method::SwEms] {
+        group.bench_function(method.name(), |b| {
+            let mut seed = 200u64;
+            b.iter(|| {
+                seed += 1;
+                evaluate_trial(method, &ds.values, &truth, BENCH_D, 1.0, seed, 20).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [targets] [options]
+//!
+//! targets:  table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 all
+//!           ablation-em-threshold ablation-reconstruction ablation-smoothing ablations
+//!           (default: all)
+//! options:
+//!   --scale X       fraction of the paper's population sizes (default 0.05)
+//!   --repeats N     trials per point (default 5; paper used 100)
+//!   --eps a,b,c     epsilon axis (default 0.5,1.0,1.5,2.0,2.5)
+//!   --seed S        master seed (default 0xC0FFEE)
+//!   --threads N     worker threads (default: all cores)
+//!   --datasets a,b  subset of beta,taxi,income,retirement (default all)
+//!   --out DIR       directory for CSV output (default results/)
+//!   --full          paper-scale run: --scale 1.0 --repeats 100
+//!   --smoke         tiny CI run
+//! ```
+
+use ldp_datasets::DatasetKind;
+use ldp_experiments::figures;
+use ldp_experiments::{ExperimentConfig, Figure};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    targets: Vec<String>,
+    config: ExperimentConfig,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ExperimentConfig::default();
+    let mut targets = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "table2" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "all"
+            | "ablation-em-threshold" | "ablation-reconstruction" | "ablation-smoothing"
+            | "ablations" => {
+                targets.push(arg.to_string());
+            }
+            "--scale" => config.scale = parse_f64(&take_value(&mut i)?)?,
+            "--repeats" => config.repeats = parse_usize(&take_value(&mut i)?)?,
+            "--seed" => config.seed = parse_u64(&take_value(&mut i)?)?,
+            "--threads" => config.threads = parse_usize(&take_value(&mut i)?)?.max(1),
+            "--eps" => {
+                config.epsilons = take_value(&mut i)?
+                    .split(',')
+                    .map(parse_f64)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--datasets" => {
+                config.datasets = take_value(&mut i)?
+                    .split(',')
+                    .map(parse_dataset)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out_dir = PathBuf::from(take_value(&mut i)?),
+            "--full" => {
+                config.scale = 1.0;
+                config.repeats = 100;
+            }
+            "--smoke" => {
+                let smoke = ExperimentConfig::smoke();
+                config.epsilons = smoke.epsilons;
+                config.repeats = smoke.repeats;
+                config.scale = smoke.scale;
+                config.datasets = smoke.datasets;
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = ["table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    if targets.iter().any(|t| t == "ablations") {
+        targets.retain(|t| t != "ablations");
+        for t in [
+            "ablation-em-threshold",
+            "ablation-reconstruction",
+            "ablation-smoothing",
+        ] {
+            targets.push(t.to_string());
+        }
+    }
+    Ok(Args {
+        targets,
+        config,
+        out_dir,
+    })
+}
+
+const HELP: &str = "repro — regenerate the SIGMOD 2020 SW-LDP evaluation
+usage: repro [table2|fig1..fig7|all]... [--scale X] [--repeats N] [--eps a,b,c] \
+[--seed S] [--threads N] [--datasets beta,taxi,income,retirement] [--out DIR] [--full] [--smoke]";
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("not a number: {s}"))
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("not an integer: {s}"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("not an integer: {s}"))
+    } else {
+        t.parse().map_err(|_| format!("not an integer: {s}"))
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "beta" => Ok(DatasetKind::Beta),
+        "taxi" => Ok(DatasetKind::Taxi),
+        "income" => Ok(DatasetKind::Income),
+        "retirement" => Ok(DatasetKind::Retirement),
+        other => Err(format!(
+            "unknown dataset {other} (expected beta, taxi, income, retirement)"
+        )),
+    }
+}
+
+fn emit(figure: &Figure, out_dir: &Path) {
+    println!("{}", figure.render_text());
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(format!("{}.csv", figure.id));
+    match std::fs::write(&path, figure.render_csv()) {
+        Ok(()) => println!("  [csv written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# sw-ldp reproduction run: scale={} repeats={} eps={:?} datasets={:?} threads={}",
+        args.config.scale,
+        args.config.repeats,
+        args.config.epsilons,
+        args.config
+            .datasets
+            .iter()
+            .map(DatasetKind::name)
+            .collect::<Vec<_>>(),
+        args.config.threads,
+    );
+    for target in &args.targets {
+        let start = Instant::now();
+        let result = match target.as_str() {
+            "table2" => {
+                println!("{}", figures::table2());
+                continue;
+            }
+            "fig1" => figures::fig1(&args.config),
+            "fig2" => figures::fig2(&args.config),
+            "fig3" => figures::fig3(&args.config),
+            "fig4" => figures::fig4(&args.config),
+            "fig5" => figures::fig5(&args.config),
+            "fig6" => figures::fig6(&args.config),
+            "fig7" => figures::fig7(&args.config),
+            "ablation-em-threshold" => {
+                ldp_experiments::ablations::ablation_em_threshold(&args.config)
+            }
+            "ablation-reconstruction" => {
+                ldp_experiments::ablations::ablation_reconstruction(&args.config)
+            }
+            "ablation-smoothing" => {
+                ldp_experiments::ablations::ablation_smoothing(&args.config)
+            }
+            other => {
+                eprintln!("error: unknown target {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(figure) => {
+                emit(&figure, &args.out_dir);
+                println!(
+                    "  [{} finished in {:.1}s]\n",
+                    target,
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("error while running {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

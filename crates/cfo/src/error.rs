@@ -1,0 +1,84 @@
+//! Error type for frequency-oracle construction and use.
+
+use std::fmt;
+
+/// Errors produced by CFO protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfoError {
+    /// The privacy parameter ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// The categorical domain must have at least two values.
+    DomainTooSmall(usize),
+    /// A user value fell outside the declared domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: usize,
+        /// The domain size it must be below.
+        domain: usize,
+    },
+    /// A parameter other than ε or the domain was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfoError::InvalidEpsilon(eps) => {
+                write!(f, "epsilon must be positive and finite, got {eps}")
+            }
+            CfoError::DomainTooSmall(d) => {
+                write!(f, "domain must have at least 2 values, got {d}")
+            }
+            CfoError::ValueOutOfDomain { value, domain } => {
+                write!(f, "value {value} outside domain of size {domain}")
+            }
+            CfoError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CfoError {}
+
+/// Validates ε, shared by all oracle constructors.
+pub(crate) fn check_epsilon(eps: f64) -> Result<(), CfoError> {
+    if !(eps > 0.0) || !eps.is_finite() {
+        return Err(CfoError::InvalidEpsilon(eps));
+    }
+    Ok(())
+}
+
+/// Validates the domain size, shared by all oracle constructors.
+pub(crate) fn check_domain(d: usize) -> Result<(), CfoError> {
+    if d < 2 {
+        return Err(CfoError::DomainTooSmall(d));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators_accept_and_reject() {
+        assert!(check_epsilon(1.0).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+        assert!(check_domain(2).is_ok());
+        assert!(check_domain(1).is_err());
+        assert!(check_domain(0).is_err());
+    }
+
+    #[test]
+    fn display_mentions_the_problem() {
+        assert!(CfoError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(CfoError::DomainTooSmall(1).to_string().contains('1'));
+        let e = CfoError::ValueOutOfDomain {
+            value: 9,
+            domain: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,194 @@
+//! Optimized Unary Encoding (OUE, Wang et al., USENIX Security 2017).
+//!
+//! Included as an extension beyond the paper's direct comparisons: OUE
+//! matches OLH's variance `4eᵉ/((eᵉ-1)²n)` while avoiding the O(n·d)
+//! aggregation cost, at the price of d bits of communication per user. The
+//! report is a bit vector where the true position keeps its 1 with
+//! probability ½ and every other position flips on with probability
+//! `1/(eᵉ+1)`.
+
+use crate::error::{check_domain, check_epsilon, CfoError};
+use crate::oracle::{check_value, FrequencyOracle};
+use rand::Rng;
+
+/// One OUE report: a packed bit vector over the domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OueReport {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl OueReport {
+    /// Whether bit `i` is set.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set(&mut self, i: usize) {
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+}
+
+/// The OUE frequency oracle.
+#[derive(Debug, Clone)]
+pub struct Oue {
+    d: usize,
+    eps: f64,
+    /// P(report 1 | true position) = 1/2.
+    p: f64,
+    /// P(report 1 | other position) = 1/(e^eps + 1).
+    q: f64,
+}
+
+impl Oue {
+    /// Creates an OUE oracle over domain size `d`.
+    pub fn new(d: usize, eps: f64) -> Result<Self, CfoError> {
+        check_domain(d)?;
+        check_epsilon(eps)?;
+        Ok(Oue {
+            d,
+            eps,
+            p: 0.5,
+            q: 1.0 / (eps.exp() + 1.0),
+        })
+    }
+
+    /// The closed-form per-estimate variance for `n` users.
+    #[must_use]
+    pub fn theoretical_variance(eps: f64, n: usize) -> f64 {
+        let e = eps.exp();
+        4.0 * e / ((e - 1.0) * (e - 1.0) * n as f64)
+    }
+}
+
+impl FrequencyOracle for Oue {
+    type Report = OueReport;
+
+    fn domain_size(&self) -> usize {
+        self.d
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> Result<OueReport, CfoError> {
+        check_value(value, self.d)?;
+        let mut report = OueReport {
+            bits: vec![0u64; self.d.div_ceil(64)],
+            len: self.d,
+        };
+        for i in 0..self.d {
+            let keep_prob = if i == value { self.p } else { self.q };
+            if rng.gen::<f64>() < keep_prob {
+                report.set(i);
+            }
+        }
+        Ok(report)
+    }
+
+    fn aggregate(&self, reports: &[OueReport]) -> Vec<f64> {
+        let n = reports.len();
+        if n == 0 {
+            return vec![0.0; self.d];
+        }
+        let mut counts = vec![0u64; self.d];
+        for r in reports {
+            for (w, &word) in r.bits.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    let idx = w * 64 + tz;
+                    if idx < self.d {
+                        counts[idx] += 1;
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+        let nf = n as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 / nf - self.q) / (self.p - self.q))
+            .collect()
+    }
+
+    fn estimate_variance(&self, n: usize) -> f64 {
+        Self::theoretical_variance(self.eps, n.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_numeric::SplitMix64;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Oue::new(1, 1.0).is_err());
+        assert!(Oue::new(4, f64::NAN).is_err());
+        assert!(Oue::new(4, 1.0).is_ok());
+    }
+
+    #[test]
+    fn report_bit_packing_roundtrips() {
+        let o = Oue::new(130, 20.0).unwrap();
+        let mut rng = SplitMix64::new(31);
+        // At eps=20 q ~ 0, p = 1/2: only the true bit can realistically be
+        // set across the word boundary at index 129.
+        let mut saw_set = false;
+        for _ in 0..64 {
+            let r = o.randomize(129, &mut rng).unwrap();
+            for i in 0..129 {
+                assert!(!r.get(i), "spurious bit {i}");
+            }
+            saw_set |= r.get(129);
+        }
+        assert!(saw_set);
+    }
+
+    #[test]
+    fn aggregate_is_unbiased() {
+        let d = 50;
+        let o = Oue::new(d, 1.0).unwrap();
+        let mut rng = SplitMix64::new(32);
+        let n = 60_000;
+        let values: Vec<usize> = (0..n).map(|i| if i % 10 < 7 { 5 } else { 20 }).collect();
+        let est = o.run(&values, &mut rng).unwrap();
+        assert!((est[5] - 0.7).abs() < 0.03, "est[5]={}", est[5]);
+        assert!((est[20] - 0.3).abs() < 0.03, "est[20]={}", est[20]);
+    }
+
+    #[test]
+    fn empirical_variance_matches_theory() {
+        let d = 16;
+        let eps = 1.0;
+        let n = 2_000;
+        let trials = 200;
+        let o = Oue::new(d, eps).unwrap();
+        let values = vec![1usize; n];
+        let mut errs = Vec::with_capacity(trials);
+        for t in 0..trials {
+            let mut rng = SplitMix64::new(4000 + t as u64);
+            let est = o.run(&values, &mut rng).unwrap();
+            errs.push(est[0]);
+        }
+        let emp_var = ldp_numeric::stats::variance(&errs);
+        let theory = Oue::theoretical_variance(eps, n);
+        let ratio = emp_var / theory;
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "empirical {emp_var} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn out_of_domain_rejected_and_empty_aggregate() {
+        let o = Oue::new(8, 1.0).unwrap();
+        let mut rng = SplitMix64::new(3);
+        assert!(o.randomize(8, &mut rng).is_err());
+        assert_eq!(o.aggregate(&[]), vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Consistency post-processing of noisy frequency estimates.
+//!
+//! LDP estimates are unbiased but noisy: many entries come back negative and
+//! they rarely sum exactly to 1. The paper (§4.1, citing Wang et al. '19)
+//! uses **Norm-Sub**: clamp negatives to zero and subtract a uniform amount
+//! from the remaining positive entries so the total matches, repeating until
+//! stable. The result is a valid probability distribution and is the
+//! projection used both after binning and inside HH-ADMM (`ΠN+`).
+
+/// Norm-Sub: projects `estimates` onto the simplex
+/// `{x : x ≥ 0, Σx = target}` using the iterative clamp-and-shift scheme.
+///
+/// Returns the projected vector. If every entry is non-positive, mass is
+/// assigned uniformly (the only sensible simplex point in that degenerate
+/// case).
+#[must_use]
+pub fn norm_sub(estimates: &[f64], target: f64) -> Vec<f64> {
+    let n = estimates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    debug_assert!(target >= 0.0);
+    let mut x: Vec<f64> = estimates.to_vec();
+    // At each round: entries currently clamped at zero stay zero; the
+    // positive ones are shifted by a common delta so the total hits target.
+    // Each round strictly grows the clamped set, so at most n rounds.
+    for _ in 0..=n {
+        let mut positive = 0usize;
+        let mut pos_sum = 0.0;
+        for &v in &x {
+            if v > 0.0 {
+                positive += 1;
+                pos_sum += v;
+            }
+        }
+        if positive == 0 {
+            return vec![target / n as f64; n];
+        }
+        let delta = (pos_sum - target) / positive as f64;
+        let mut any_new_negative = false;
+        for v in &mut x {
+            if *v > 0.0 {
+                *v -= delta;
+                if *v < 0.0 {
+                    any_new_negative = true;
+                }
+            } else {
+                *v = 0.0;
+            }
+        }
+        if !any_new_negative {
+            for v in &mut x {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            return x;
+        }
+        for v in &mut x {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+    x
+}
+
+/// Clamp-to-zero followed by rescaling so the total is `target`
+/// ("Norm-Mul" in Wang et al. '19). A cheaper but biased alternative to
+/// [`norm_sub`], exposed for the ablation benches.
+#[must_use]
+pub fn norm_mul(estimates: &[f64], target: f64) -> Vec<f64> {
+    let n = estimates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut x: Vec<f64> = estimates.iter().map(|&v| v.max(0.0)).collect();
+    let total: f64 = x.iter().sum();
+    if total <= 0.0 {
+        return vec![target / n as f64; n];
+    }
+    for v in &mut x {
+        *v *= target / total;
+    }
+    x
+}
+
+/// Simple clamp of negatives without renormalization; useful when the
+/// caller renormalizes later.
+#[must_use]
+pub fn clamp_nonnegative(estimates: &[f64]) -> Vec<f64> {
+    estimates.iter().map(|&v| v.max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_simplex(x: &[f64], target: f64) {
+        assert!(x.iter().all(|&v| v >= 0.0), "negative entry in {x:?}");
+        let sum: f64 = x.iter().sum();
+        assert!((sum - target).abs() < 1e-9, "sum {sum} != {target}");
+    }
+
+    #[test]
+    fn norm_sub_already_valid_is_untouched() {
+        let x = [0.2, 0.3, 0.5];
+        let y = norm_sub(&x, 1.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_sub_fixes_negatives_and_sum() {
+        let x = [0.5, -0.2, 0.4, 0.6, -0.1];
+        let y = norm_sub(&x, 1.0);
+        assert_simplex(&y, 1.0);
+        // Negative entries end at zero.
+        assert_eq!(y[1], 0.0);
+        assert_eq!(y[4], 0.0);
+        // Order of the positive entries is preserved.
+        assert!(y[3] > y[0] && y[0] > y[2] - 0.2);
+    }
+
+    #[test]
+    fn norm_sub_cascading_clamps() {
+        // The first subtraction pushes 0.05 negative; needs a second round.
+        let x = [0.05, 0.9, 0.9];
+        let y = norm_sub(&x, 1.0);
+        assert_simplex(&y, 1.0);
+        assert_eq!(y[0], 0.0);
+        assert!((y[1] - 0.5).abs() < 1e-9);
+        assert!((y[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_sub_all_negative_gives_uniform() {
+        let y = norm_sub(&[-0.5, -0.1, -0.2, -0.2], 1.0);
+        assert_simplex(&y, 1.0);
+        for &v in &y {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_sub_respects_custom_target() {
+        let y = norm_sub(&[3.0, -1.0, 2.0], 4.0);
+        assert_simplex(&y, 4.0);
+    }
+
+    #[test]
+    fn norm_sub_empty_input() {
+        assert!(norm_sub(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn norm_sub_is_idempotent() {
+        let x = [0.4, -0.3, 0.8, 0.2, -0.05];
+        let once = norm_sub(&x, 1.0);
+        let twice = norm_sub(&once, 1.0);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_mul_scales_positives() {
+        let y = norm_mul(&[0.3, -0.5, 0.1], 1.0);
+        assert_simplex(&y, 1.0);
+        assert_eq!(y[1], 0.0);
+        assert!((y[0] - 0.75).abs() < 1e-12);
+        assert!((y[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_mul_all_negative_gives_uniform() {
+        let y = norm_mul(&[-1.0, -2.0], 1.0);
+        assert_simplex(&y, 1.0);
+    }
+
+    #[test]
+    fn clamp_keeps_positives() {
+        assert_eq!(clamp_nonnegative(&[1.0, -2.0, 0.5]), vec![1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn norm_sub_matches_euclidean_projection_property() {
+        // Norm-sub on a vector summing to the target with some negatives is
+        // exactly the Euclidean projection onto the simplex; check the KKT
+        // characterization: positive entries share a common shift.
+        let x = [0.7, -0.3, 0.45, 0.15];
+        let y = norm_sub(&x, 1.0);
+        let mut shifts: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .filter(|&(_, &yi)| yi > 0.0)
+            .map(|(xi, yi)| xi - yi)
+            .collect();
+        shifts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(shifts.len(), 1, "positive entries must share one shift");
+    }
+}

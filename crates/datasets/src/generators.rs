@@ -1,0 +1,201 @@
+//! Synthetic generators for the four evaluation workloads (paper §6.1).
+//!
+//! `Beta(5, 2)` is exactly the paper's synthetic dataset. The three
+//! real-world datasets (NYC taxi pickup times, ACS income, SF retirement)
+//! are not redistributable, so each is substituted by a calibrated mixture
+//! that reproduces the *shape properties* the paper's evaluation depends on
+//! — smooth diurnal structure for taxi, round-number spikiness for income,
+//! and a zero spike plus a skewed body for retirement. See DESIGN.md for
+//! the substitution rationale.
+
+use ldp_numeric::dist::{Beta, Component, Exponential, LogNormal, Mixture, Normal, Sampler};
+use rand::Rng;
+
+/// Samples the paper's synthetic Beta(5, 2) workload on `[0, 1]`.
+pub fn beta_5_2<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let beta = Beta::new(5.0, 2.0).expect("fixed valid parameters");
+    (0..n).map(|_| beta.sample(rng)).collect()
+}
+
+/// Samples a taxi-pickup-time-like workload on `[0, 1]` (fraction of the
+/// day): an overnight trough around 05:00, a morning ridge, sustained
+/// midday activity and a broad evening peak — a smooth multi-modal density
+/// like Figure 1(b).
+pub fn taxi_like<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let mixture = Mixture::new(vec![
+        // Post-midnight activity tailing off (00:00–02:30).
+        (0.06, Component::Normal(Normal::new(0.04, 0.035).expect("valid"))),
+        // Morning commute ridge around 08:30.
+        (0.22, Component::Normal(Normal::new(0.35, 0.055).expect("valid"))),
+        // Midday plateau.
+        (0.27, Component::Normal(Normal::new(0.55, 0.09).expect("valid"))),
+        // Broad evening peak around 19:00.
+        (0.37, Component::Normal(Normal::new(0.79, 0.065).expect("valid"))),
+        // Thin uniform background (pickups never stop entirely).
+        (0.08, Component::Uniform(0.0, 1.0)),
+    ])
+    .expect("fixed valid mixture");
+    (0..n)
+        .map(|_| mixture.sample(rng).clamp(0.0, 1.0 - f64::EPSILON))
+        .collect()
+}
+
+/// Maximum income retained by the paper's preprocessing: values below
+/// 2¹⁹ = 524288 dollars are kept and mapped into `[0, 1]`.
+pub const INCOME_CAP: f64 = 524_288.0;
+
+/// Samples an ACS-income-like workload on `[0, 1]`: a lognormal dollar body
+/// (median ≈ $45k) with most values *rounded to $1000/$5000/$10000*,
+/// reproducing the spiky histogram of Figure 1(c) (the paper: "people are
+/// more likely to report $3000 instead of … $3050 or $2980").
+pub fn income_like<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let body = LogNormal::new(10.7, 0.85).expect("fixed valid parameters");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let raw = body.sample(rng);
+        if raw >= INCOME_CAP {
+            continue; // paper drops values >= 2^19
+        }
+        let u: f64 = rng.gen();
+        let dollars = if u < 0.45 {
+            (raw / 1000.0).round() * 1000.0
+        } else if u < 0.70 {
+            (raw / 5000.0).round() * 5000.0
+        } else if u < 0.85 {
+            (raw / 10_000.0).round() * 10_000.0
+        } else {
+            raw // a minority reports precise values
+        };
+        out.push((dollars / INCOME_CAP).clamp(0.0, 1.0 - f64::EPSILON));
+    }
+    out
+}
+
+/// Maximum retirement contribution retained by the paper's preprocessing:
+/// non-negative values below $60,000 mapped into `[0, 1]`.
+pub const RETIREMENT_CAP: f64 = 60_000.0;
+
+/// Samples an SF-retirement-like workload on `[0, 1]`: a mass of zero
+/// contributions, an exponential low-value body, and a wide mid-range bump
+/// of established employees — the right-skewed shape of Figure 1(d).
+pub fn retirement_like<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let mixture = Mixture::new(vec![
+        // Employees with no retirement compensation this period.
+        (0.10, Component::Point(0.0)),
+        // Low contributions decaying quickly.
+        (
+            0.45,
+            Component::Exponential(Exponential::new(1.0 / 9_000.0).expect("valid")),
+        ),
+        // Mid-career bump around $22k.
+        (
+            0.35,
+            Component::Normal(Normal::new(22_000.0, 8_000.0).expect("valid")),
+        ),
+        // Senior plans trailing towards the cap.
+        (
+            0.10,
+            Component::Normal(Normal::new(42_000.0, 9_000.0).expect("valid")),
+        ),
+    ])
+    .expect("fixed valid mixture");
+    (0..n)
+        .map(|_| {
+            let dollars = mixture.sample(rng).clamp(0.0, RETIREMENT_CAP - 1.0);
+            dollars / RETIREMENT_CAP
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_numeric::{stats, Histogram, SplitMix64};
+
+    fn tv_against_smooth(values: &[f64], d: usize) -> f64 {
+        // Total variation of the bucketized histogram: a proxy for
+        // spikiness.
+        let h = Histogram::from_samples(values, d).unwrap();
+        h.probs().windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+    }
+
+    #[test]
+    fn all_generators_stay_in_unit_interval() {
+        let mut rng = SplitMix64::new(181);
+        for values in [
+            beta_5_2(20_000, &mut rng),
+            taxi_like(20_000, &mut rng),
+            income_like(20_000, &mut rng),
+            retirement_like(20_000, &mut rng),
+        ] {
+            assert_eq!(values.len(), 20_000);
+            assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn beta_matches_theoretical_moments() {
+        let mut rng = SplitMix64::new(182);
+        let values = beta_5_2(200_000, &mut rng);
+        assert!((stats::mean(&values) - 5.0 / 7.0).abs() < 0.005);
+        assert!((stats::variance(&values) - 10.0 / 392.0).abs() < 0.002);
+    }
+
+    #[test]
+    fn taxi_is_multimodal_with_overnight_trough() {
+        let mut rng = SplitMix64::new(183);
+        let values = taxi_like(300_000, &mut rng);
+        let h = Histogram::from_samples(&values, 96).unwrap(); // 15-min bins
+        // The 04:00-06:00 trough (buckets 16..24) is far below the evening
+        // peak (buckets 72..84).
+        let trough: f64 = h.probs()[16..24].iter().sum::<f64>() / 8.0;
+        let peak: f64 = h.probs()[72..84].iter().sum::<f64>() / 12.0;
+        assert!(peak > 3.0 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn income_is_spiky_taxi_is_smooth() {
+        let mut rng = SplitMix64::new(184);
+        let income = income_like(300_000, &mut rng);
+        let taxi = taxi_like(300_000, &mut rng);
+        let income_tv = tv_against_smooth(&income, 1024);
+        let taxi_tv = tv_against_smooth(&taxi, 1024);
+        assert!(
+            income_tv > 3.0 * taxi_tv,
+            "income TV {income_tv} vs taxi TV {taxi_tv}"
+        );
+    }
+
+    #[test]
+    fn income_has_round_number_spikes() {
+        let mut rng = SplitMix64::new(185);
+        let values = income_like(200_000, &mut rng);
+        // Count mass exactly on $10k multiples.
+        let on_10k = values
+            .iter()
+            .filter(|&&v| {
+                let dollars = v * INCOME_CAP;
+                (dollars / 10_000.0 - (dollars / 10_000.0).round()).abs() < 1e-9
+            })
+            .count() as f64
+            / values.len() as f64;
+        assert!(on_10k > 0.1, "mass on $10k multiples: {on_10k}");
+    }
+
+    #[test]
+    fn retirement_has_zero_spike_and_right_skew() {
+        let mut rng = SplitMix64::new(186);
+        let values = retirement_like(300_000, &mut rng);
+        let zeros = values.iter().filter(|&&v| v == 0.0).count() as f64 / values.len() as f64;
+        assert!((0.05..0.2).contains(&zeros), "zero mass {zeros}");
+        // Mean well below midpoint: right-skewed.
+        assert!(stats::mean(&values) < 0.45);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let mut a = SplitMix64::new(187);
+        let mut b = SplitMix64::new(187);
+        assert_eq!(income_like(1000, &mut a), income_like(1000, &mut b));
+    }
+}

@@ -1,0 +1,181 @@
+//! Loading and saving user-value files.
+//!
+//! The paper evaluates on real datasets (NYC taxi, ACS income, SF
+//! retirement) that cannot be redistributed; this module lets a user who
+//! *does* have them plug the raw values straight into the harness. The
+//! format is deliberately trivial — one decimal value per line, `#`
+//! comments allowed — so any `awk`/pandas pipeline can produce it.
+
+use ldp_numeric::NumericError;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes values (one per line) to `path`, with a provenance header.
+pub fn save_values(path: &Path, values: &[f64]) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "# sw-ldp user values; one value in [0, 1] per line")?;
+    writeln!(out, "# count = {}", values.len())?;
+    for v in values {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()
+}
+
+/// Reads a value file written by [`save_values`] (or any one-value-per-line
+/// text file). Values are validated to be finite; values outside `[0, 1]`
+/// are *rejected* rather than clamped — scaling raw data into the unit
+/// interval is a deliberate preprocessing decision the caller must make
+/// (see the paper's §6.1 extraction rules).
+pub fn load_values(path: &Path) -> Result<Vec<f64>, LoadError> {
+    let file = File::open(path).map_err(LoadError::Io)?;
+    let reader = BufReader::new(file);
+    let mut values = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(LoadError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|_| LoadError::Parse {
+            line: lineno + 1,
+            content: trimmed.to_string(),
+        })?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(LoadError::OutOfRange {
+                line: lineno + 1,
+                value: v,
+            });
+        }
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(values)
+}
+
+/// Errors from [`load_values`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not parse as a decimal number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A value fell outside `[0, 1]`.
+    OutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The file contained no values.
+    Empty,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?} as a number")
+            }
+            LoadError::OutOfRange { line, value } => write!(
+                f,
+                "line {line}: value {value} outside [0, 1] — rescale your data first"
+            ),
+            LoadError::Empty => write!(f, "file contains no values"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadError> for NumericError {
+    fn from(e: LoadError) -> Self {
+        NumericError::InvalidParameter(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sw_ldp_io_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let path = temp_path("roundtrip");
+        let values = vec![0.0, 0.25, 0.123456789, 1.0];
+        save_values(&path, &values).unwrap();
+        let loaded = load_values(&path).unwrap();
+        assert_eq!(loaded, values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let path = temp_path("comments");
+        std::fs::write(&path, "# header\n\n0.5\n  # indented comment\n0.75\n").unwrap();
+        let loaded = load_values(&path).unwrap();
+        assert_eq!(loaded, vec![0.5, 0.75]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "0.5\nnot-a-number\n").unwrap();
+        match load_values(&path) {
+            Err(LoadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected_not_clamped() {
+        let path = temp_path("range");
+        std::fs::write(&path, "0.5\n1.5\n").unwrap();
+        match load_values(&path) {
+            Err(LoadError::OutOfRange { line, value }) => {
+                assert_eq!(line, 2);
+                assert!((value - 1.5).abs() < 1e-12);
+            }
+            other => panic!("expected range error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_are_rejected() {
+        let path = temp_path("empty");
+        std::fs::write(&path, "# only comments\n").unwrap();
+        assert!(matches!(load_values(&path), Err(LoadError::Empty)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("definitely_missing");
+        assert!(matches!(load_values(&path), Err(LoadError::Io(_))));
+    }
+}

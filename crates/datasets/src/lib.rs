@@ -1,0 +1,20 @@
+//! Evaluation workloads for the sw-ldp experiments (paper §6.1, Figure 1).
+//!
+//! One exact synthetic dataset (Beta(5, 2)) and three calibrated synthetic
+//! substitutes for the paper's non-redistributable real-world datasets
+//! (NYC taxi pickup times, ACS income, SF retirement) — see
+//! [`generators`] for the substitution details and DESIGN.md for the
+//! rationale.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, which is exactly what the validators need to reject.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod io;
+pub mod spec;
+
+pub use io::{load_values, save_values, LoadError};
+pub use spec::{Dataset, DatasetKind, DatasetSpec};

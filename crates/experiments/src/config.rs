@@ -1,0 +1,101 @@
+//! Experiment configuration and scaling knobs.
+
+use ldp_datasets::DatasetKind;
+
+/// Configuration shared by all figure runners.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The privacy budgets swept on the x-axis (paper: 0.5 … 2.5).
+    pub epsilons: Vec<f64>,
+    /// Trials per (method, dataset, ε) point (paper: 100).
+    pub repeats: usize,
+    /// Fraction of each dataset's paper-scale population to simulate.
+    pub scale: f64,
+    /// Master seed; every trial derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads for the trial loop.
+    pub threads: usize,
+    /// Random range queries per trial for the range-query MAE.
+    pub range_queries: usize,
+    /// Which datasets to evaluate (paper: all four).
+    pub datasets: Vec<DatasetKind>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            epsilons: vec![0.5, 1.0, 1.5, 2.0, 2.5],
+            repeats: 5,
+            scale: 0.05,
+            seed: 0xC0FFEE,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            range_queries: 100,
+            datasets: DatasetKind::all().to_vec(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's full-scale setup (100 repeats, full populations). Takes
+    /// hours of CPU; use for final reproduction runs only.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            repeats: 100,
+            scale: 1.0,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// A configuration small enough for CI smoke runs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            epsilons: vec![1.0],
+            repeats: 1,
+            scale: 0.01,
+            seed: 7,
+            threads: 2,
+            range_queries: 50,
+            datasets: vec![DatasetKind::Beta],
+        }
+    }
+
+    /// Caps `threads` at 1 for fully deterministic sequential execution
+    /// (results are seed-deterministic either way; sequencing only affects
+    /// scheduling).
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.threads = 1;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_axes() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.epsilons, vec![0.5, 1.0, 1.5, 2.0, 2.5]);
+        assert!(c.repeats >= 1);
+        assert!(c.threads >= 1);
+    }
+
+    #[test]
+    fn paper_scale_is_full() {
+        let c = ExperimentConfig::paper_scale();
+        assert_eq!(c.repeats, 100);
+        assert!((c.scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_is_tiny_and_sequential_caps_threads() {
+        let c = ExperimentConfig::smoke().sequential();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.repeats, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the experiment harness.
+
+use std::fmt;
+
+/// Errors produced while running experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentError(pub String);
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ldp_sw::SwError> for ExperimentError {
+    fn from(e: ldp_sw::SwError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+impl From<ldp_cfo::CfoError> for ExperimentError {
+    fn from(e: ldp_cfo::CfoError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+impl From<ldp_hierarchy::HierarchyError> for ExperimentError {
+    fn from(e: ldp_hierarchy::HierarchyError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+impl From<ldp_mean::MeanError> for ExperimentError {
+    fn from(e: ldp_mean::MeanError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+impl From<ldp_metrics::MetricError> for ExperimentError {
+    fn from(e: ldp_metrics::MetricError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+impl From<ldp_numeric::NumericError> for ExperimentError {
+    fn from(e: ldp_numeric::NumericError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: ExperimentError = ldp_sw::SwError::InvalidEpsilon(-1.0).into();
+        assert!(e.to_string().contains("epsilon"));
+        let e: ExperimentError = ldp_cfo::CfoError::DomainTooSmall(1).into();
+        assert!(e.to_string().contains("domain"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the SIGMOD
+//! 2020 evaluation (paper §6).
+//!
+//! - [`methods`] — a uniform adapter over all eight estimation methods;
+//! - [`runner`] — the multi-threaded (method × ε × trial) grid executor
+//!   with all seven utility metrics evaluated per trial;
+//! - [`figures`] — one function per paper figure (`fig1` … `fig7`) plus
+//!   `table2`;
+//! - [`config`] — scaling knobs (population scale, repeats, threads) with
+//!   paper-scale and smoke presets;
+//! - [`report`] — text/CSV rendering of figures.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, which is exactly what the validators need to reject.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod config;
+pub mod error;
+pub mod figures;
+pub mod methods;
+pub mod report;
+pub mod runner;
+
+pub use config::ExperimentConfig;
+pub use error::ExperimentError;
+pub use methods::{run_method, Estimate, Method};
+pub use report::{Chart, Figure, Series};
+pub use runner::{evaluate_trial, parallel_jobs, run_grid, GridResults, TrialMetrics};

@@ -1,0 +1,263 @@
+//! A uniform adapter over every estimation method the paper evaluates
+//! (Table 2).
+
+use crate::error::ExperimentError;
+use ldp_cfo::BinningEstimator;
+use ldp_hierarchy::{hh_admm_histogram, AdmmConfig, HaarHrr, HierarchicalHistogram};
+use ldp_mean::{MeanMechanism, MeanVariance};
+use ldp_numeric::{Histogram, SplitMix64};
+use ldp_sw::{Reconstruction, SwPipeline};
+
+/// The paper's branching factor for hierarchy methods (§6.1: "similar to
+/// \[18\], we use a branching factor of 4").
+pub const HIERARCHY_BRANCHING: usize = 4;
+
+/// Every estimation method in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Square Wave reporting + EMS reconstruction (the paper's method).
+    SwEms,
+    /// Square Wave reporting + plain EM.
+    SwEm,
+    /// Hierarchical histogram + ADMM post-processing (the paper's second
+    /// contribution).
+    HhAdmm,
+    /// CFO with binning into `bins` chunks + Norm-Sub.
+    CfoBinning {
+        /// Number of bins (the paper uses 16, 32, 64).
+        bins: usize,
+    },
+    /// Hierarchical histogram with constrained inference (range query
+    /// only — estimates may be negative).
+    Hh,
+    /// Haar transform with Hadamard randomized response (range query only).
+    HaarHrr,
+    /// Stochastic rounding (mean/variance only).
+    Sr,
+    /// Piecewise mechanism (mean/variance only).
+    Pm,
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Method::SwEms => "SW-EMS".into(),
+            Method::SwEm => "SW-EM".into(),
+            Method::HhAdmm => "HH-ADMM".into(),
+            Method::CfoBinning { bins } => format!("CFO-binning-{bins}"),
+            Method::Hh => "HH".into(),
+            Method::HaarHrr => "HaarHRR".into(),
+            Method::Sr => "SR".into(),
+            Method::Pm => "PM".into(),
+        }
+    }
+
+    /// The methods evaluated on full-distribution metrics
+    /// (Figure 2, Figure 4 rows 1–3 minus SR/PM).
+    #[must_use]
+    pub fn distribution_methods() -> Vec<Method> {
+        vec![
+            Method::SwEms,
+            Method::SwEm,
+            Method::HhAdmm,
+            Method::CfoBinning { bins: 16 },
+            Method::CfoBinning { bins: 32 },
+            Method::CfoBinning { bins: 64 },
+        ]
+    }
+
+    /// The methods evaluated on range queries (Figure 3).
+    #[must_use]
+    pub fn range_query_methods() -> Vec<Method> {
+        let mut m = Self::distribution_methods();
+        m.push(Method::Hh);
+        m.push(Method::HaarHrr);
+        m
+    }
+
+    /// The methods evaluated on mean/variance (Figure 4 rows 1–2).
+    #[must_use]
+    pub fn moment_methods() -> Vec<Method> {
+        let mut m = Self::distribution_methods();
+        m.push(Method::Sr);
+        m.push(Method::Pm);
+        m
+    }
+
+    /// Whether this method produces a full (valid) distribution.
+    #[must_use]
+    pub fn yields_distribution(&self) -> bool {
+        matches!(
+            self,
+            Method::SwEms | Method::SwEm | Method::HhAdmm | Method::CfoBinning { .. }
+        )
+    }
+}
+
+/// What a method outputs for one trial.
+#[derive(Debug, Clone)]
+pub enum Estimate {
+    /// A valid probability distribution at the evaluation granularity.
+    Distribution(Histogram),
+    /// Leaf-level frequency estimates that may contain negative values
+    /// (HH, HaarHRR) — range queries only.
+    SignedLeaves(Vec<f64>),
+    /// Scalar mean and variance estimates (SR, PM).
+    Scalar {
+        /// Estimated mean in `[0, 1]`.
+        mean: f64,
+        /// Estimated variance.
+        variance: f64,
+    },
+}
+
+/// Runs one method on one dataset at granularity `d` and budget `eps`.
+///
+/// `values` are the users' private values in `[0, 1]`; `seed` makes the
+/// trial reproducible.
+pub fn run_method(
+    method: Method,
+    values: &[f64],
+    d: usize,
+    eps: f64,
+    seed: u64,
+) -> Result<Estimate, ExperimentError> {
+    let mut rng = SplitMix64::new(seed);
+    match method {
+        Method::SwEms => {
+            let pipeline = SwPipeline::new(eps, d)?;
+            let h = pipeline.estimate(values, &Reconstruction::Ems, &mut rng)?;
+            Ok(Estimate::Distribution(h))
+        }
+        Method::SwEm => {
+            let pipeline = SwPipeline::new(eps, d)?;
+            let h = pipeline.estimate(values, &Reconstruction::Em, &mut rng)?;
+            Ok(Estimate::Distribution(h))
+        }
+        Method::HhAdmm => {
+            let hh = HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?;
+            let buckets: Vec<usize> = values
+                .iter()
+                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
+                .collect();
+            let raw = hh.collect(&buckets, &mut rng)?;
+            let h = hh_admm_histogram(hh.shape(), &raw, AdmmConfig::default())?;
+            Ok(Estimate::Distribution(h))
+        }
+        Method::CfoBinning { bins } => {
+            let est = BinningEstimator::new(bins, d, eps)?;
+            let h = est.estimate(values, &mut rng)?;
+            Ok(Estimate::Distribution(h))
+        }
+        Method::Hh => {
+            let hh = HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?;
+            let buckets: Vec<usize> = values
+                .iter()
+                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
+                .collect();
+            let leaves = hh.estimate_leaves(&buckets, &mut rng)?;
+            Ok(Estimate::SignedLeaves(leaves))
+        }
+        Method::HaarHrr => {
+            let est = HaarHrr::new(d, eps)?;
+            let buckets: Vec<usize> = values
+                .iter()
+                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
+                .collect();
+            let leaves = est.estimate_leaves(&buckets, &mut rng)?;
+            Ok(Estimate::SignedLeaves(leaves))
+        }
+        Method::Sr | Method::Pm => {
+            let mech = if method == Method::Sr {
+                MeanMechanism::Sr
+            } else {
+                MeanMechanism::Pm
+            };
+            let proto = MeanVariance::new(mech, eps)?;
+            // Mean uses the full population (the paper's first-row setup);
+            // variance re-runs the two-phase protocol on a fresh stream.
+            let mean = proto.estimate_mean(values, &mut rng)?;
+            let mv = proto.estimate(values, &mut rng)?;
+            Ok(Estimate::Scalar {
+                mean,
+                variance: mv.variance,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<f64> {
+        (0..6_000).map(|i| ((i * 37) % 1000) as f64 / 1000.0).collect()
+    }
+
+    #[test]
+    fn method_lists_match_table_2() {
+        assert_eq!(Method::distribution_methods().len(), 6);
+        assert_eq!(Method::range_query_methods().len(), 8);
+        assert_eq!(Method::moment_methods().len(), 8);
+        assert!(Method::SwEms.yields_distribution());
+        assert!(!Method::Hh.yields_distribution());
+        assert_eq!(Method::CfoBinning { bins: 32 }.name(), "CFO-binning-32");
+    }
+
+    #[test]
+    fn every_distribution_method_returns_valid_histogram() {
+        let vals = values();
+        for method in Method::distribution_methods() {
+            let est = run_method(method, &vals, 64, 1.0, 11).unwrap();
+            match est {
+                Estimate::Distribution(h) => {
+                    assert_eq!(h.len(), 64, "{}", method.name());
+                    assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                }
+                _ => panic!("{} should yield a distribution", method.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn signed_methods_return_leaves() {
+        let vals = values();
+        for method in [Method::Hh, Method::HaarHrr] {
+            let est = run_method(method, &vals, 64, 1.0, 12).unwrap();
+            match est {
+                Estimate::SignedLeaves(l) => assert_eq!(l.len(), 64),
+                _ => panic!("{} should yield signed leaves", method.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_methods_return_plausible_moments() {
+        let vals = values();
+        for method in [Method::Sr, Method::Pm] {
+            let est = run_method(method, &vals, 64, 2.0, 13).unwrap();
+            match est {
+                Estimate::Scalar { mean, variance } => {
+                    assert!((mean - 0.5).abs() < 0.15, "{}: mean {mean}", method.name());
+                    assert!(variance >= 0.0);
+                }
+                _ => panic!("{} should yield scalars", method.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn trials_are_reproducible_by_seed() {
+        let vals = values();
+        let a = run_method(Method::SwEms, &vals, 32, 1.0, 99).unwrap();
+        let b = run_method(Method::SwEms, &vals, 32, 1.0, 99).unwrap();
+        match (a, b) {
+            (Estimate::Distribution(x), Estimate::Distribution(y)) => {
+                assert_eq!(x.probs(), y.probs());
+            }
+            _ => panic!("expected distributions"),
+        }
+    }
+}

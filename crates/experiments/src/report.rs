@@ -1,0 +1,237 @@
+//! Output formatting: text tables and CSV for every chart the harness
+//! produces.
+
+use std::fmt::Write as _;
+
+/// One line on a chart: y(x) with a standard deviation per point.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (method name, bin count, wave shape, …).
+    pub label: String,
+    /// X coordinates (ε, b, bucket counts, …).
+    pub x: Vec<f64>,
+    /// Mean metric value per x.
+    pub y: Vec<f64>,
+    /// Standard deviation across trials per x.
+    pub std: Vec<f64>,
+}
+
+/// One panel of a paper figure.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Panel title, e.g. "Fig 2(a) Beta(5,2) — Wasserstein".
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// All series on the panel.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Renders an aligned text table: one row per x, one column per series.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", truncate(&s.label, 18));
+        }
+        let _ = writeln!(out);
+        let n = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.x.get(i))
+                .copied()
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{x:>12.4}");
+            for s in &self.series {
+                match s.y.get(i) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>18.6}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV: `series,x,y,std` rows with a header.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("series,x,y,std\n");
+        for s in &self.series {
+            for i in 0..s.x.len() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{}",
+                    escape_csv(&s.label),
+                    s.x[i],
+                    s.y[i],
+                    s.std.get(i).copied().unwrap_or(0.0)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A full figure: a set of panels plus free-text notes.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id, e.g. "fig2".
+    pub id: String,
+    /// Figure caption.
+    pub caption: String,
+    /// All panels.
+    pub charts: Vec<Chart>,
+    /// Notes (paper-vs-measured commentary, parameters used).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Renders the whole figure as readable text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.caption);
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        let _ = writeln!(out);
+        for chart in &self.charts {
+            out.push_str(&chart.render_text());
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders all panels as one CSV document with `panel` as an extra
+    /// column.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("panel,series,x,y,std\n");
+        for chart in &self.charts {
+            for s in &chart.series {
+                for i in 0..s.x.len() {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{}",
+                        escape_csv(&chart.title),
+                        escape_csv(&s.label),
+                        s.x[i],
+                        s.y[i],
+                        s.std.get(i).copied().unwrap_or(0.0)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "test".into(),
+            x_label: "eps".into(),
+            y_label: "W1".into(),
+            series: vec![
+                Series {
+                    label: "SW-EMS".into(),
+                    x: vec![0.5, 1.0],
+                    y: vec![0.01, 0.005],
+                    std: vec![0.001, 0.0005],
+                },
+                Series {
+                    label: "a,weird\"label".into(),
+                    x: vec![0.5, 1.0],
+                    y: vec![0.02, 0.01],
+                    std: vec![0.002, 0.001],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_table_contains_all_series_and_points() {
+        let t = chart().render_text();
+        assert!(t.contains("SW-EMS"));
+        assert!(t.contains("0.5"));
+        assert!(t.contains("0.010000"));
+    }
+
+    #[test]
+    fn csv_escapes_special_characters() {
+        let c = chart().render_csv();
+        assert!(c.starts_with("series,x,y,std\n"));
+        assert!(c.contains("\"a,weird\"\"label\""));
+    }
+
+    #[test]
+    fn figure_renders_notes_and_panels() {
+        let f = Figure {
+            id: "fig9".into(),
+            caption: "demo".into(),
+            charts: vec![chart()],
+            notes: vec!["scaled run".into()],
+        };
+        let t = f.render_text();
+        assert!(t.contains("fig9"));
+        assert!(t.contains("note: scaled run"));
+        let c = f.render_csv();
+        assert!(c.starts_with("panel,series,x,y,std\n"));
+    }
+
+    #[test]
+    fn mismatched_series_lengths_render_dashes() {
+        let c = Chart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    label: "long".into(),
+                    x: vec![1.0, 2.0],
+                    y: vec![0.1, 0.2],
+                    std: vec![0.0, 0.0],
+                },
+                Series {
+                    label: "short".into(),
+                    x: vec![1.0],
+                    y: vec![0.3],
+                    std: vec![0.0],
+                },
+            ],
+        };
+        let t = c.render_text();
+        assert!(t.contains('-'));
+    }
+}

@@ -1,0 +1,325 @@
+//! The multi-threaded trial loop shared by every figure.
+
+use crate::config::ExperimentConfig;
+use crate::error::ExperimentError;
+use crate::methods::{run_method, Estimate, Method};
+use ldp_metrics as metrics;
+use ldp_numeric::rng::mix64;
+use ldp_numeric::{Histogram, SplitMix64};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// All metrics computed for one trial (fields are `None` when the method
+/// does not support the metric — Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct TrialMetrics {
+    /// Wasserstein distance to the true distribution.
+    pub w1: Option<f64>,
+    /// Kolmogorov–Smirnov distance.
+    pub ks: Option<f64>,
+    /// Range-query MAE at α = 0.1.
+    pub rq_01: Option<f64>,
+    /// Range-query MAE at α = 0.4.
+    pub rq_04: Option<f64>,
+    /// Absolute mean error.
+    pub mean_err: Option<f64>,
+    /// Absolute variance error.
+    pub var_err: Option<f64>,
+    /// Mean absolute quantile error over the paper's levels.
+    pub quantile_err: Option<f64>,
+}
+
+/// Runs one method once and evaluates every applicable metric.
+pub fn evaluate_trial(
+    method: Method,
+    values: &[f64],
+    truth: &Histogram,
+    d: usize,
+    eps: f64,
+    seed: u64,
+    range_queries: usize,
+) -> Result<TrialMetrics, ExperimentError> {
+    let estimate = run_method(method, values, d, eps, seed)?;
+    // Separate, method-independent stream for the random range queries so
+    // every method answers the same queries in a given trial.
+    let mut rq_rng = SplitMix64::new(mix64(seed ^ 0x5EED_CAFE));
+    let mut out = TrialMetrics::default();
+    match &estimate {
+        Estimate::Distribution(h) => {
+            out.w1 = Some(metrics::wasserstein(truth, h)?);
+            out.ks = Some(metrics::ks_distance(truth, h)?);
+            out.rq_01 = Some(metrics::range_query_mae(
+                truth,
+                h,
+                0.1,
+                range_queries,
+                &mut rq_rng,
+            )?);
+            out.rq_04 = Some(metrics::range_query_mae(
+                truth,
+                h,
+                0.4,
+                range_queries,
+                &mut rq_rng,
+            )?);
+            out.mean_err = Some(metrics::mean_error(truth, h)?);
+            out.var_err = Some(metrics::variance_error(truth, h)?);
+            out.quantile_err = Some(metrics::quantile_mae(
+                truth,
+                h,
+                &metrics::paper_levels(),
+            )?);
+        }
+        Estimate::SignedLeaves(leaves) => {
+            out.rq_01 = Some(metrics::range_query_mae_signed(
+                truth,
+                leaves,
+                0.1,
+                range_queries,
+                &mut rq_rng,
+            )?);
+            out.rq_04 = Some(metrics::range_query_mae_signed(
+                truth,
+                leaves,
+                0.4,
+                range_queries,
+                &mut rq_rng,
+            )?);
+        }
+        Estimate::Scalar { mean, variance } => {
+            out.mean_err = Some(metrics::mean_error_scalar(truth, *mean));
+            out.var_err = Some(metrics::variance_error_scalar(truth, *variance));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `jobs` independent closures over a pool of `threads` workers,
+/// preserving job order in the output. The first error aborts the batch.
+pub fn parallel_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Result<Vec<T>, ExperimentError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ExperimentError> + Sync,
+{
+    let threads = threads.max(1).min(jobs.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<T, ExperimentError>>>> =
+        Mutex::new((0..jobs).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs {
+                    break;
+                }
+                let r = f(idx);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .map_err(|_| ExperimentError("worker thread panicked".into()))?;
+    let collected = results.into_inner();
+    let mut out = Vec::with_capacity(jobs);
+    for r in collected {
+        match r {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => return Err(ExperimentError("job skipped by the pool".into())),
+        }
+    }
+    Ok(out)
+}
+
+/// The results of a full (method × ε) grid: `metrics[m][e]` holds the
+/// per-trial metrics for method `m` at `epsilons[e]`.
+#[derive(Debug, Clone)]
+pub struct GridResults {
+    /// The methods, in input order.
+    pub methods: Vec<Method>,
+    /// The ε axis, in input order.
+    pub epsilons: Vec<f64>,
+    /// `metrics[m][e][t]` = metrics of trial `t`.
+    pub metrics: Vec<Vec<Vec<TrialMetrics>>>,
+}
+
+impl GridResults {
+    /// Builds a per-method series of (mean, std) for a selected metric,
+    /// skipping methods where the metric is absent.
+    #[must_use]
+    pub fn series(
+        &self,
+        select: impl Fn(&TrialMetrics) -> Option<f64>,
+    ) -> Vec<crate::report::Series> {
+        let mut out = Vec::new();
+        for (mi, method) in self.methods.iter().enumerate() {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut stds = Vec::new();
+            for (ei, &eps) in self.epsilons.iter().enumerate() {
+                let vals: Vec<f64> = self.metrics[mi][ei].iter().filter_map(&select).collect();
+                if vals.is_empty() {
+                    continue;
+                }
+                xs.push(eps);
+                ys.push(ldp_numeric::stats::mean(&vals));
+                stds.push(ldp_numeric::stats::std_dev(&vals));
+            }
+            if !xs.is_empty() {
+                out.push(crate::report::Series {
+                    label: method.name(),
+                    x: xs,
+                    y: ys,
+                    std: stds,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Runs every (method, ε, trial) combination over the thread pool.
+pub fn run_grid(
+    methods: &[Method],
+    values: &[f64],
+    truth: &Histogram,
+    d: usize,
+    config: &ExperimentConfig,
+) -> Result<GridResults, ExperimentError> {
+    let n_eps = config.epsilons.len();
+    let jobs = methods.len() * n_eps * config.repeats;
+    let flat = parallel_jobs(jobs, config.threads, |idx| {
+        let trial = idx % config.repeats;
+        let rest = idx / config.repeats;
+        let ei = rest % n_eps;
+        let mi = rest / n_eps;
+        let seed = mix64(config.seed ^ mix64(idx as u64 + 1));
+        evaluate_trial(
+            methods[mi],
+            values,
+            truth,
+            d,
+            config.epsilons[ei],
+            seed,
+            config.range_queries,
+        )
+        .map(|m| (mi, ei, trial, m))
+    })?;
+    let mut metrics =
+        vec![vec![Vec::with_capacity(config.repeats); n_eps]; methods.len()];
+    for (mi, ei, _trial, m) in flat {
+        metrics[mi][ei].push(m);
+    }
+    Ok(GridResults {
+        methods: methods.to_vec(),
+        epsilons: config.epsilons.clone(),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> (Vec<f64>, Histogram) {
+        let values: Vec<f64> = (0..4_000)
+            .map(|i| ((i * 13) % 1000) as f64 / 1000.0)
+            .collect();
+        let truth = Histogram::from_samples(&values, 64).unwrap();
+        (values, truth)
+    }
+
+    #[test]
+    fn parallel_jobs_preserves_order() {
+        let out = parallel_jobs(100, 8, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_jobs_propagates_errors() {
+        let r = parallel_jobs(10, 4, |i| {
+            if i == 7 {
+                Err(ExperimentError("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_jobs_zero_jobs() {
+        let out: Vec<usize> = parallel_jobs(0, 4, Ok).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trial_metrics_match_method_capabilities() {
+        let (values, truth) = workload();
+        let full = evaluate_trial(Method::SwEms, &values, &truth, 64, 1.0, 5, 50).unwrap();
+        assert!(full.w1.is_some() && full.quantile_err.is_some());
+        let signed = evaluate_trial(Method::Hh, &values, &truth, 64, 1.0, 5, 50).unwrap();
+        assert!(signed.w1.is_none());
+        assert!(signed.rq_01.is_some());
+        let scalar = evaluate_trial(Method::Sr, &values, &truth, 64, 1.0, 5, 50).unwrap();
+        assert!(scalar.mean_err.is_some());
+        assert!(scalar.rq_01.is_none());
+    }
+
+    #[test]
+    fn grid_runs_and_series_extraction_works() {
+        let (values, truth) = workload();
+        let config = ExperimentConfig {
+            epsilons: vec![0.5, 2.0],
+            repeats: 2,
+            scale: 1.0,
+            seed: 17,
+            threads: 4,
+            range_queries: 20,
+            ..ExperimentConfig::default()
+        };
+        let grid = run_grid(
+            &[Method::SwEms, Method::Sr],
+            &values,
+            &truth,
+            64,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(grid.metrics.len(), 2);
+        assert_eq!(grid.metrics[0].len(), 2);
+        assert_eq!(grid.metrics[0][0].len(), 2);
+        // W1 series exists only for SW-EMS.
+        let w1 = grid.series(|m| m.w1);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].label, "SW-EMS");
+        assert_eq!(w1[0].x.len(), 2);
+        // Mean error exists for both.
+        let me = grid.series(|m| m.mean_err);
+        assert_eq!(me.len(), 2);
+    }
+
+    #[test]
+    fn higher_epsilon_gives_lower_w1_for_sw_ems() {
+        let (values, truth) = workload();
+        let config = ExperimentConfig {
+            epsilons: vec![0.25, 4.0],
+            repeats: 3,
+            scale: 1.0,
+            seed: 23,
+            threads: 4,
+            range_queries: 20,
+            ..ExperimentConfig::default()
+        };
+        let grid = run_grid(&[Method::SwEms], &values, &truth, 64, &config).unwrap();
+        let w1 = grid.series(|m| m.w1);
+        let s = &w1[0];
+        assert!(
+            s.y[1] < s.y[0],
+            "W1 should shrink with epsilon: {:?}",
+            s.y
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for hierarchy-based estimators.
+
+use ldp_cfo::CfoError;
+use std::fmt;
+
+/// Errors produced by hierarchy-based methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierarchyError {
+    /// The domain size is not a power of the branching factor.
+    DomainNotPowerOfBranching {
+        /// Requested domain size.
+        domain: usize,
+        /// Requested branching factor.
+        branching: usize,
+    },
+    /// A parameter was invalid (ε, branching factor, iteration counts, …).
+    InvalidParameter(String),
+    /// An underlying frequency-oracle call failed.
+    Oracle(CfoError),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::DomainNotPowerOfBranching { domain, branching } => write!(
+                f,
+                "domain size {domain} is not a positive power of branching factor {branching}"
+            ),
+            HierarchyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            HierarchyError::Oracle(e) => write!(f, "frequency oracle error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HierarchyError::Oracle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfoError> for HierarchyError {
+    fn from(e: CfoError) -> Self {
+        HierarchyError::Oracle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = HierarchyError::DomainNotPowerOfBranching {
+            domain: 100,
+            branching: 4,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: HierarchyError = CfoError::DomainTooSmall(1).into();
+        assert!(e.source().is_some());
+    }
+}

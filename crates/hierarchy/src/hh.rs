@@ -1,0 +1,223 @@
+//! Hierarchical Histogram (HH) under LDP (paper §4.2).
+//!
+//! The user population is divided uniformly among the tree levels
+//! 1..=h ("dividing the population", which the paper argues beats dividing
+//! the privacy budget in the local setting). A user assigned to level `ℓ`
+//! reports the level-`ℓ` ancestor of its value through the lower-variance
+//! CFO for that level's domain. The aggregator estimates every level's
+//! histogram and applies constrained inference to make the tree consistent;
+//! range queries are then answered from the leaf level.
+
+use crate::consistency::{constrained_inference, RootPolicy};
+use crate::error::HierarchyError;
+use crate::tree::{TreeShape, TreeValues};
+use ldp_cfo::{AdaptiveOracle, FrequencyOracle};
+use rand::Rng;
+
+/// Noisy per-level estimates collected from the population, before
+/// consistency.
+#[derive(Debug, Clone)]
+pub struct HhRaw {
+    /// Tree with level 0 = root (always exactly 1: the total is public).
+    pub tree: TreeValues,
+    /// Per-level estimate variances (root gets a tiny positive placeholder).
+    pub level_variances: Vec<f64>,
+    shape: TreeShape,
+}
+
+impl HhRaw {
+    /// Assembles a raw estimate from parts (level 0 of `tree` must hold the
+    /// public total; one variance per level).
+    pub fn new(
+        shape: TreeShape,
+        tree: TreeValues,
+        level_variances: Vec<f64>,
+    ) -> Result<Self, HierarchyError> {
+        if tree.levels.len() != shape.height() + 1
+            || level_variances.len() != shape.height() + 1
+        {
+            return Err(HierarchyError::InvalidParameter(format!(
+                "tree/variance levels must both be {}",
+                shape.height() + 1
+            )));
+        }
+        Ok(HhRaw {
+            tree,
+            level_variances,
+            shape,
+        })
+    }
+
+    /// The tree geometry.
+    #[must_use]
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+}
+
+/// The Hierarchical Histogram collector.
+#[derive(Debug, Clone)]
+pub struct HierarchicalHistogram {
+    shape: TreeShape,
+    eps: f64,
+}
+
+impl HierarchicalHistogram {
+    /// Creates an HH over a domain of `d` buckets with branching factor
+    /// `branching` (the paper uses 4) and privacy budget `eps`.
+    pub fn new(branching: usize, d: usize, eps: f64) -> Result<Self, HierarchyError> {
+        let shape = TreeShape::new(branching, d)?;
+        if !(eps > 0.0) || !eps.is_finite() {
+            return Err(HierarchyError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {eps}"
+            )));
+        }
+        Ok(HierarchicalHistogram { shape, eps })
+    }
+
+    /// The tree geometry.
+    #[must_use]
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Client + server side: randomizes every user's bucket index and
+    /// aggregates per-level frequency estimates.
+    ///
+    /// Each user is assigned a uniformly random level; this sampling is part
+    /// of the mechanism (it introduces the sampling error the paper
+    /// discusses) and is driven by `rng` like the randomizers themselves.
+    pub fn collect<R: Rng + ?Sized>(
+        &self,
+        values: &[usize],
+        rng: &mut R,
+    ) -> Result<HhRaw, HierarchyError> {
+        if values.is_empty() {
+            return Err(HierarchyError::InvalidParameter(
+                "need at least one user report".into(),
+            ));
+        }
+        let h = self.shape.height();
+        let d = self.shape.leaves();
+        for &v in values {
+            if v >= d {
+                return Err(HierarchyError::InvalidParameter(format!(
+                    "value {v} outside domain of {d} buckets"
+                )));
+            }
+        }
+        // Partition users over levels 1..=h uniformly at random.
+        let mut per_level: Vec<Vec<usize>> = vec![Vec::new(); h + 1];
+        for &v in values {
+            let level = rng.gen_range(1..=h);
+            per_level[level].push(self.shape.ancestor_at_level(v, level));
+        }
+
+        let mut tree = TreeValues::zeros(&self.shape);
+        tree.levels[0][0] = 1.0; // the total is public under LDP
+        let mut level_variances = vec![1e-12; h + 1];
+        for level in 1..=h {
+            let domain = self.shape.level_size(level);
+            let oracle = AdaptiveOracle::new(domain, self.eps)?;
+            let group = &per_level[level];
+            let est = if group.is_empty() {
+                vec![1.0 / domain as f64; domain]
+            } else {
+                oracle.run(group, rng)?
+            };
+            tree.levels[level] = est;
+            level_variances[level] = oracle.estimate_variance(group.len().max(1));
+        }
+        Ok(HhRaw {
+            tree,
+            level_variances,
+            shape: self.shape,
+        })
+    }
+
+    /// Applies constrained inference (root fixed to 1) to raw estimates,
+    /// yielding the consistent tree used for range queries.
+    pub fn make_consistent(&self, raw: &HhRaw) -> Result<TreeValues, HierarchyError> {
+        constrained_inference(
+            &self.shape,
+            &raw.tree,
+            &raw.level_variances,
+            RootPolicy::Fixed(1.0),
+        )
+    }
+
+    /// Full pipeline: collect then enforce consistency, returning leaf-level
+    /// frequency estimates (possibly negative — HH is evaluated on range
+    /// queries only, see paper Table 2).
+    pub fn estimate_leaves<R: Rng + ?Sized>(
+        &self,
+        values: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, HierarchyError> {
+        let raw = self.collect(values, rng)?;
+        let consistent = self.make_consistent(&raw)?;
+        Ok(consistent.leaves().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_numeric::SplitMix64;
+
+    #[test]
+    fn construction_validates() {
+        assert!(HierarchicalHistogram::new(4, 256, 1.0).is_ok());
+        assert!(HierarchicalHistogram::new(4, 100, 1.0).is_err());
+        assert!(HierarchicalHistogram::new(4, 256, 0.0).is_err());
+    }
+
+    #[test]
+    fn collect_rejects_bad_input() {
+        let hh = HierarchicalHistogram::new(2, 8, 1.0).unwrap();
+        let mut rng = SplitMix64::new(71);
+        assert!(hh.collect(&[], &mut rng).is_err());
+        assert!(hh.collect(&[8], &mut rng).is_err());
+    }
+
+    #[test]
+    fn consistent_tree_sums_to_one() {
+        let hh = HierarchicalHistogram::new(4, 64, 1.0).unwrap();
+        let mut rng = SplitMix64::new(72);
+        let values: Vec<usize> = (0..30_000).map(|i| i % 64).collect();
+        let raw = hh.collect(&values, &mut rng).unwrap();
+        let consistent = hh.make_consistent(&raw).unwrap();
+        assert!(consistent.consistency_gap(hh.shape()) < 1e-9);
+        let leaf_sum: f64 = consistent.leaves().iter().sum();
+        assert!((leaf_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_epsilon_recovers_distribution() {
+        let hh = HierarchicalHistogram::new(4, 16, 8.0).unwrap();
+        let mut rng = SplitMix64::new(73);
+        // 50% bucket 2, 50% bucket 11.
+        let values: Vec<usize> = (0..60_000).map(|i| if i % 2 == 0 { 2 } else { 11 }).collect();
+        let leaves = hh.estimate_leaves(&values, &mut rng).unwrap();
+        assert!((leaves[2] - 0.5).abs() < 0.05, "leaf2={}", leaves[2]);
+        assert!((leaves[11] - 0.5).abs() < 0.05, "leaf11={}", leaves[11]);
+        for (i, &l) in leaves.iter().enumerate() {
+            if i != 2 && i != 11 {
+                assert!(l.abs() < 0.05, "leaf{i}={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_variances_are_recorded_per_level() {
+        let hh = HierarchicalHistogram::new(4, 256, 1.0).unwrap();
+        let mut rng = SplitMix64::new(74);
+        let values: Vec<usize> = (0..10_000).map(|i| i % 256).collect();
+        let raw = hh.collect(&values, &mut rng).unwrap();
+        assert_eq!(raw.level_variances.len(), 5);
+        // Every estimated level has a real positive variance.
+        for level in 1..=4 {
+            assert!(raw.level_variances[level] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for mean/variance estimation mechanisms.
+
+use std::fmt;
+
+/// Errors produced by the mean-estimation mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeanError {
+    /// The privacy parameter ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// A private value fell outside the mechanism's input domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: f64,
+        /// Human-readable domain description.
+        domain: &'static str,
+    },
+    /// Some other parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MeanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeanError::InvalidEpsilon(eps) => {
+                write!(f, "epsilon must be positive and finite, got {eps}")
+            }
+            MeanError::ValueOutOfDomain { value, domain } => {
+                write!(f, "value {value} outside input domain {domain}")
+            }
+            MeanError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeanError {}
+
+pub(crate) fn check_epsilon(eps: f64) -> Result<(), MeanError> {
+    if !(eps > 0.0) || !eps.is_finite() {
+        return Err(MeanError::InvalidEpsilon(eps));
+    }
+    Ok(())
+}
+
+pub(crate) fn check_signed(v: f64) -> Result<(), MeanError> {
+    if !v.is_finite() || !(-1.0..=1.0).contains(&v) {
+        return Err(MeanError::ValueOutOfDomain {
+            value: v,
+            domain: "[-1, 1]",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(check_epsilon(1.0).is_ok());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_signed(0.5).is_ok());
+        assert!(check_signed(-1.0).is_ok());
+        assert!(check_signed(1.1).is_err());
+        assert!(check_signed(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let e = MeanError::ValueOutOfDomain {
+            value: 2.0,
+            domain: "[-1, 1]",
+        };
+        assert!(e.to_string().contains("[-1, 1]"));
+    }
+}

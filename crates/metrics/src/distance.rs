@@ -1,0 +1,137 @@
+//! Distribution-distance metrics (paper §3.1): the 1-D Wasserstein distance
+//! and the Kolmogorov–Smirnov distance.
+//!
+//! Both metrics compare cumulative distribution functions, which is what
+//! makes them sensitive to the *ordered* structure of the domain — the
+//! paper's motivating example is that moving mass one bucket away should
+//! cost less than moving it across the domain, which pointwise L1/L2/KL
+//! distances cannot express.
+
+use crate::error::MetricError;
+use ldp_numeric::Histogram;
+
+/// One-dimensional Wasserstein (earth-mover) distance between two
+/// histograms over `[0, 1]`:
+/// `W₁ = ∫₀¹ |P(x, v) − P(x̂, v)| dv`, evaluated exactly as the bucket-width
+/// weighted L1 distance between the discrete CDFs.
+pub fn wasserstein(truth: &Histogram, estimate: &Histogram) -> Result<f64, MetricError> {
+    check_same(truth, estimate)?;
+    let d = truth.len() as f64;
+    let sum: f64 = truth
+        .cdf()
+        .iter()
+        .zip(estimate.cdf().iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    Ok(sum / d)
+}
+
+/// Kolmogorov–Smirnov distance: the maximum absolute CDF difference.
+pub fn ks_distance(truth: &Histogram, estimate: &Histogram) -> Result<f64, MetricError> {
+    check_same(truth, estimate)?;
+    Ok(truth
+        .cdf()
+        .iter()
+        .zip(estimate.cdf().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+fn check_same(truth: &Histogram, estimate: &Histogram) -> Result<(), MetricError> {
+    if truth.len() != estimate.len() {
+        return Err(MetricError::GranularityMismatch {
+            truth: truth.len(),
+            estimate: estimate.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(probs: &[f64]) -> Histogram {
+        Histogram::from_probs(probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = h(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(wasserstein(&a, &a).unwrap(), 0.0);
+        assert_eq!(ks_distance(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_respects_ordering_unlike_l1() {
+        // The paper's own example: x = [0.7, .1, .1, .1]; moving the spike
+        // one bucket is closer than moving it three buckets, though the L1
+        // distances are identical.
+        let x = h(&[0.7, 0.1, 0.1, 0.1]);
+        let near = h(&[0.1, 0.7, 0.1, 0.1]);
+        let far = h(&[0.1, 0.1, 0.1, 0.7]);
+        let w_near = wasserstein(&x, &near).unwrap();
+        let w_far = wasserstein(&x, &far).unwrap();
+        assert!(w_near < w_far, "{w_near} vs {w_far}");
+        // Exact values: shifting 0.6 mass by k buckets costs 0.6·k/4.
+        assert!((w_near - 0.6 / 4.0).abs() < 1e-12);
+        assert!((w_far - 1.8 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_max_cdf_gap() {
+        let a = h(&[1.0, 0.0, 0.0, 0.0]);
+        let b = h(&[0.0, 0.0, 0.0, 1.0]);
+        // CDFs: [1,1,1,1] vs [0,0,0,1]: max gap 1.
+        assert!((ks_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = h(&[0.5, 0.0, 0.0, 0.5]);
+        assert!((ks_distance(&a, &c).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_point_mass_shift_is_distance_between_points() {
+        // Mass at bucket 0 vs bucket 3 of 4: centers 1/8 and 7/8, shift 3/4.
+        let a = h(&[1.0, 0.0, 0.0, 0.0]);
+        let b = h(&[0.0, 0.0, 0.0, 1.0]);
+        assert!((wasserstein(&a, &b).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = h(&[0.4, 0.3, 0.2, 0.1]);
+        let b = h(&[0.1, 0.2, 0.3, 0.4]);
+        assert!(
+            (wasserstein(&a, &b).unwrap() - wasserstein(&b, &a).unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (ks_distance(&a, &b).unwrap() - ks_distance(&b, &a).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn ks_bounds_wasserstein() {
+        // W1 ≤ KS on [0,1] since the CDF gap integrates over length ≤ 1.
+        let a = h(&[0.25, 0.25, 0.25, 0.25]);
+        let b = h(&[0.7, 0.1, 0.1, 0.1]);
+        assert!(wasserstein(&a, &b).unwrap() <= ks_distance(&a, &b).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn granularity_mismatch_is_rejected() {
+        let a = h(&[0.5, 0.5]);
+        let b = h(&[0.25, 0.25, 0.25, 0.25]);
+        assert!(wasserstein(&a, &b).is_err());
+        assert!(ks_distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = h(&[0.6, 0.2, 0.1, 0.1]);
+        let b = h(&[0.2, 0.4, 0.2, 0.2]);
+        let c = h(&[0.1, 0.1, 0.2, 0.6]);
+        let ab = wasserstein(&a, &b).unwrap();
+        let bc = wasserstein(&b, &c).unwrap();
+        let ac = wasserstein(&a, &c).unwrap();
+        assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for utility metrics.
+
+use std::fmt;
+
+/// Errors produced when evaluating metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// The two distributions have different granularities.
+    GranularityMismatch {
+        /// Bucket count of the reference distribution.
+        truth: usize,
+        /// Bucket count of the estimate.
+        estimate: usize,
+    },
+    /// A metric parameter was invalid (range size, quantile levels, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::GranularityMismatch { truth, estimate } => write!(
+                f,
+                "granularity mismatch: truth has {truth} buckets, estimate {estimate}"
+            ),
+            MetricError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MetricError::GranularityMismatch {
+            truth: 256,
+            estimate: 1024,
+        };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("1024"));
+    }
+}

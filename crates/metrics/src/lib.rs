@@ -1,0 +1,27 @@
+//! Utility metrics for reconstructed numerical distributions (paper §3).
+//!
+//! - [`distance`] — Wasserstein (earth-mover) and Kolmogorov–Smirnov
+//!   distances between CDFs;
+//! - [`range_query`] — MAE of random range queries `R(x, i, α)`, supporting
+//!   the signed leaf vectors produced by HH/HaarHRR;
+//! - [`moments`] — `|μ − μ̂|` and `|σ² − σ̂²|`;
+//! - [`quantile`] — mean absolute quantile-position error over
+//!   `B = {10%, …, 90%}`.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, which is exactly what the validators need to reject.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod error;
+pub mod moments;
+pub mod quantile;
+pub mod range_query;
+
+pub use distance::{ks_distance, wasserstein};
+pub use error::MetricError;
+pub use moments::{mean_error, mean_error_scalar, variance_error, variance_error_scalar};
+pub use quantile::{paper_levels, quantile_mae};
+pub use range_query::{range_query_mae, range_query_mae_signed, signed_cdf_at};

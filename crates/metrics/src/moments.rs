@@ -1,0 +1,86 @@
+//! Mean and variance accuracy (paper §3.2): `|μ − μ̂|` and `|σ² − σ̂²|`.
+
+use crate::error::MetricError;
+use ldp_numeric::Histogram;
+
+/// Absolute error between the true histogram's mean and an estimated mean
+/// value (for mechanisms like SR/PM that output a scalar directly).
+#[must_use]
+pub fn mean_error_scalar(truth: &Histogram, estimated_mean: f64) -> f64 {
+    (truth.mean() - estimated_mean).abs()
+}
+
+/// Absolute mean error between two histograms.
+pub fn mean_error(truth: &Histogram, estimate: &Histogram) -> Result<f64, MetricError> {
+    check_same(truth, estimate)?;
+    Ok((truth.mean() - estimate.mean()).abs())
+}
+
+/// Absolute error between the true histogram's variance and an estimated
+/// variance value.
+#[must_use]
+pub fn variance_error_scalar(truth: &Histogram, estimated_variance: f64) -> f64 {
+    (truth.variance() - estimated_variance).abs()
+}
+
+/// Absolute variance error between two histograms.
+pub fn variance_error(truth: &Histogram, estimate: &Histogram) -> Result<f64, MetricError> {
+    check_same(truth, estimate)?;
+    Ok((truth.variance() - estimate.variance()).abs())
+}
+
+fn check_same(truth: &Histogram, estimate: &Histogram) -> Result<(), MetricError> {
+    if truth.len() != estimate.len() {
+        return Err(MetricError::GranularityMismatch {
+            truth: truth.len(),
+            estimate: estimate.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(probs: &[f64]) -> Histogram {
+        Histogram::from_probs(probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zero_error_for_identical() {
+        let a = h(&[0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(mean_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(variance_error(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn scalar_variants_match_histogram_variants() {
+        let a = h(&[0.7, 0.1, 0.1, 0.1]);
+        let b = h(&[0.1, 0.1, 0.1, 0.7]);
+        assert!(
+            (mean_error(&a, &b).unwrap() - mean_error_scalar(&a, b.mean())).abs() < 1e-12
+        );
+        assert!(
+            (variance_error(&a, &b).unwrap() - variance_error_scalar(&a, b.variance()))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn known_mean_shift() {
+        // Point masses at bucket centers 1/8 vs 5/8: mean error 0.5.
+        let a = h(&[1.0, 0.0, 0.0, 0.0]);
+        let b = h(&[0.0, 0.0, 1.0, 0.0]);
+        assert!((mean_error(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        let a = h(&[0.5, 0.5]);
+        let b = h(&[0.25, 0.25, 0.25, 0.25]);
+        assert!(mean_error(&a, &b).is_err());
+        assert!(variance_error(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Quantile accuracy (paper §3.2): the mean absolute difference between
+//! true and estimated quantile *positions*, averaged over the levels
+//! `B = {10%, …, 90%}`.
+
+use crate::error::MetricError;
+use ldp_numeric::Histogram;
+
+/// The paper's quantile levels: 10% through 90% in steps of 10%.
+#[must_use]
+pub fn paper_levels() -> Vec<f64> {
+    (1..=9).map(|k| k as f64 / 10.0).collect()
+}
+
+/// Mean absolute quantile error over the given levels.
+pub fn quantile_mae(
+    truth: &Histogram,
+    estimate: &Histogram,
+    levels: &[f64],
+) -> Result<f64, MetricError> {
+    if truth.len() != estimate.len() {
+        return Err(MetricError::GranularityMismatch {
+            truth: truth.len(),
+            estimate: estimate.len(),
+        });
+    }
+    if levels.is_empty() {
+        return Err(MetricError::InvalidParameter(
+            "need at least one quantile level".into(),
+        ));
+    }
+    if levels.iter().any(|&b| !(0.0..=1.0).contains(&b)) {
+        return Err(MetricError::InvalidParameter(
+            "quantile levels must lie in [0, 1]".into(),
+        ));
+    }
+    let total: f64 = levels
+        .iter()
+        .map(|&b| (truth.quantile(b) - estimate.quantile(b)).abs())
+        .sum();
+    Ok(total / levels.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(probs: &[f64]) -> Histogram {
+        Histogram::from_probs(probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn paper_levels_are_deciles() {
+        let l = paper_levels();
+        assert_eq!(l.len(), 9);
+        assert!((l[0] - 0.1).abs() < 1e-12);
+        assert!((l[8] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_error() {
+        let a = h(&[0.1, 0.4, 0.3, 0.2]);
+        assert_eq!(quantile_mae(&a, &a, &paper_levels()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shifted_uniform_has_known_quantile_shift() {
+        // Uniform on the first half vs uniform on the second half: every
+        // quantile shifts by exactly 0.5.
+        let a = h(&[0.5, 0.5, 0.0, 0.0]);
+        let b = h(&[0.0, 0.0, 0.5, 0.5]);
+        let e = quantile_mae(&a, &b, &paper_levels()).unwrap();
+        assert!((e - 0.5).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn validation() {
+        let a = h(&[0.5, 0.5]);
+        let b = h(&[0.25; 4]);
+        assert!(quantile_mae(&a, &b, &paper_levels()).is_err());
+        assert!(quantile_mae(&a, &a, &[]).is_err());
+        assert!(quantile_mae(&a, &a, &[1.5]).is_err());
+    }
+
+    #[test]
+    fn spiky_estimates_have_large_quantile_error() {
+        // True distribution uniform; estimate concentrated at one point:
+        // quantiles collapse to that point.
+        let truth = h(&[0.25; 4]);
+        let spike = h(&[0.0, 1.0, 0.0, 0.0]);
+        let e = quantile_mae(&truth, &spike, &paper_levels()).unwrap();
+        assert!(e > 0.1, "e={e}");
+    }
+}

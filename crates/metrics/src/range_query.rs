@@ -1,0 +1,147 @@
+//! Range-query accuracy (paper §3.2): `R(x, i, α) = P(x, i+α) − P(x, i)`
+//! with `i` sampled uniformly from `[0, 1−α]`, reported as mean absolute
+//! error over many random queries.
+//!
+//! HH and HaarHRR produce leaf estimates with negative entries, so the
+//! estimate side is expressed as a *signed* leaf vector; valid histograms
+//! pass their probabilities directly.
+
+use crate::error::MetricError;
+use ldp_numeric::Histogram;
+use rand::Rng;
+
+/// Interpolated CDF of a signed leaf vector at `t ∈ [0, 1]`
+/// (uniform-within-bucket, like [`Histogram::cdf_at`] but tolerant of
+/// negative entries).
+#[must_use]
+pub fn signed_cdf_at(leaves: &[f64], t: f64) -> f64 {
+    if leaves.is_empty() || t <= 0.0 {
+        return 0.0;
+    }
+    if t >= 1.0 {
+        return leaves.iter().sum();
+    }
+    let d = leaves.len() as f64;
+    let pos = t * d;
+    let i = (pos as usize).min(leaves.len() - 1);
+    let frac = pos - i as f64;
+    let below: f64 = leaves[..i].iter().sum();
+    below + leaves[i] * frac
+}
+
+/// Mean absolute error of random range queries of width `alpha`, comparing
+/// a true histogram against a signed estimate vector of the same
+/// granularity.
+pub fn range_query_mae_signed<R: Rng + ?Sized>(
+    truth: &Histogram,
+    estimate: &[f64],
+    alpha: f64,
+    queries: usize,
+    rng: &mut R,
+) -> Result<f64, MetricError> {
+    if truth.len() != estimate.len() {
+        return Err(MetricError::GranularityMismatch {
+            truth: truth.len(),
+            estimate: estimate.len(),
+        });
+    }
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(MetricError::InvalidParameter(format!(
+            "range width alpha must be in (0, 1), got {alpha}"
+        )));
+    }
+    if queries == 0 {
+        return Err(MetricError::InvalidParameter(
+            "need at least one query".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for _ in 0..queries {
+        let i = rng.gen::<f64>() * (1.0 - alpha);
+        let t = truth.cdf_at(i + alpha) - truth.cdf_at(i);
+        let e = signed_cdf_at(estimate, i + alpha) - signed_cdf_at(estimate, i);
+        total += (t - e).abs();
+    }
+    Ok(total / queries as f64)
+}
+
+/// Mean absolute error of random range queries between two histograms.
+pub fn range_query_mae<R: Rng + ?Sized>(
+    truth: &Histogram,
+    estimate: &Histogram,
+    alpha: f64,
+    queries: usize,
+    rng: &mut R,
+) -> Result<f64, MetricError> {
+    range_query_mae_signed(truth, estimate.probs(), alpha, queries, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_numeric::SplitMix64;
+
+    fn h(probs: &[f64]) -> Histogram {
+        Histogram::from_probs(probs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_error() {
+        let a = h(&[0.1, 0.4, 0.3, 0.2]);
+        let mut rng = SplitMix64::new(171);
+        let e = range_query_mae(&a, &a, 0.1, 200, &mut rng).unwrap();
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_scales_with_distribution_gap() {
+        let truth = h(&[1.0, 0.0, 0.0, 0.0]);
+        let close = h(&[0.9, 0.1, 0.0, 0.0]);
+        let far = h(&[0.0, 0.0, 0.0, 1.0]);
+        let mut rng = SplitMix64::new(172);
+        let e_close = range_query_mae(&truth, &close, 0.4, 500, &mut rng).unwrap();
+        let e_far = range_query_mae(&truth, &far, 0.4, 500, &mut rng).unwrap();
+        assert!(e_close < e_far, "{e_close} vs {e_far}");
+    }
+
+    #[test]
+    fn signed_estimates_are_supported() {
+        let truth = h(&[0.5, 0.5]);
+        let signed = [0.6, -0.1]; // noisy leaf estimates
+        let mut rng = SplitMix64::new(173);
+        let e = range_query_mae_signed(&truth, &signed, 0.25, 300, &mut rng).unwrap();
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn signed_cdf_at_matches_histogram_cdf_for_valid_input() {
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let hist = h(&probs);
+        for &t in &[0.0, 0.13, 0.5, 0.77, 1.0] {
+            assert!((signed_cdf_at(&probs, t) - hist.cdf_at(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let a = h(&[0.5, 0.5]);
+        let b = h(&[0.25, 0.25, 0.25, 0.25]);
+        let mut rng = SplitMix64::new(174);
+        assert!(range_query_mae(&a, &b, 0.1, 10, &mut rng).is_err());
+        assert!(range_query_mae(&a, &a, 0.0, 10, &mut rng).is_err());
+        assert!(range_query_mae(&a, &a, 1.0, 10, &mut rng).is_err());
+        assert!(range_query_mae(&a, &a, 0.1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn wide_ranges_average_out_local_errors() {
+        // A zig-zag estimate has large narrow-range errors but small
+        // wide-range errors.
+        let truth = h(&[0.25; 8]);
+        let zigzag = h(&[0.45, 0.05, 0.45, 0.05, 0.45, 0.05, 0.45, 0.05]);
+        let mut rng = SplitMix64::new(175);
+        let narrow = range_query_mae(&truth, &zigzag, 0.1, 2000, &mut rng).unwrap();
+        let wide = range_query_mae(&truth, &zigzag, 0.4, 2000, &mut rng).unwrap();
+        assert!(wide < narrow, "wide {wide} vs narrow {narrow}");
+    }
+}

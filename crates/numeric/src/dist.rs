@@ -1,0 +1,441 @@
+//! Samplers for the statistical distributions used by the evaluation
+//! datasets.
+//!
+//! The offline `rand` crate only ships uniform sampling; the distribution
+//! zoo (normal, gamma, beta, lognormal, …) is implemented here with
+//! classical algorithms: Marsaglia polar for the normal, Marsaglia–Tsang for
+//! the gamma, and the gamma-ratio construction for the beta.
+
+use crate::error::NumericError;
+use rand::Rng;
+
+/// A continuous distribution that can be sampled.
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The standard normal distribution N(0, 1), sampled with the Marsaglia
+/// polar method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Sampler for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// A normal distribution N(mean, std²).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates N(mean, std²). Fails if `std` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, NumericError> {
+        if !mean.is_finite() || !std.is_finite() || std < 0.0 {
+            return Err(NumericError::InvalidParameter(format!(
+                "Normal(mean={mean}, std={std}) requires finite mean and std >= 0"
+            )));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The mean parameter.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation parameter.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * StandardNormal.sample(rng)
+    }
+}
+
+/// A gamma distribution with shape `alpha` and scale `theta`, sampled with
+/// the Marsaglia–Tsang (2000) squeeze method.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    alpha: f64,
+    theta: f64,
+}
+
+impl Gamma {
+    /// Creates Gamma(alpha, theta). Both parameters must be positive.
+    pub fn new(alpha: f64, theta: f64) -> Result<Self, NumericError> {
+        if !(alpha > 0.0) || !(theta > 0.0) || !alpha.is_finite() || !theta.is_finite() {
+            return Err(NumericError::InvalidParameter(format!(
+                "Gamma(alpha={alpha}, theta={theta}) requires positive finite parameters"
+            )));
+        }
+        Ok(Gamma { alpha, theta })
+    }
+
+    fn sample_shape_ge_one<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+        debug_assert!(alpha >= 1.0);
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = StandardNormal.sample(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u: f64 = rng.gen();
+            // Squeeze step first, full log check as fallback.
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Sampler for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.alpha >= 1.0 {
+            self.theta * Self::sample_shape_ge_one(self.alpha, rng)
+        } else {
+            // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+            let g = Self::sample_shape_ge_one(self.alpha + 1.0, rng);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            self.theta * g * u.powf(1.0 / self.alpha)
+        }
+    }
+}
+
+/// A beta distribution Beta(a, b) on `[0, 1]`, sampled as X/(X+Y) with
+/// independent gammas.
+#[derive(Debug, Clone, Copy)]
+pub struct Beta {
+    ga: Gamma,
+    gb: Gamma,
+}
+
+impl Beta {
+    /// Creates Beta(a, b). Both shape parameters must be positive.
+    pub fn new(a: f64, b: f64) -> Result<Self, NumericError> {
+        Ok(Beta {
+            ga: Gamma::new(a, 1.0)?,
+            gb: Gamma::new(b, 1.0)?,
+        })
+    }
+}
+
+impl Sampler for Beta {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = self.ga.sample(rng);
+        let y = self.gb.sample(rng);
+        if x + y == 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+/// A lognormal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates LogNormal(mu, sigma). `sigma` must be non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NumericError> {
+        Ok(LogNormal {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// An exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates Exp(lambda). The rate must be positive.
+    pub fn new(lambda: f64) -> Result<Self, NumericError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(NumericError::InvalidParameter(format!(
+                "Exponential(lambda={lambda}) requires a positive finite rate"
+            )));
+        }
+        Ok(Exponential { lambda })
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+/// One weighted component of a [`Mixture`].
+#[derive(Debug, Clone)]
+pub enum Component {
+    /// Normal component.
+    Normal(Normal),
+    /// Lognormal component.
+    LogNormal(LogNormal),
+    /// Exponential component.
+    Exponential(Exponential),
+    /// Beta component.
+    Beta(Beta),
+    /// A deterministic point mass (used for the spiky income dataset).
+    Point(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform(f64, f64),
+}
+
+impl Sampler for Component {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Component::Normal(d) => d.sample(rng),
+            Component::LogNormal(d) => d.sample(rng),
+            Component::Exponential(d) => d.sample(rng),
+            Component::Beta(d) => d.sample(rng),
+            Component::Point(v) => *v,
+            Component::Uniform(lo, hi) => lo + (hi - lo) * rng.gen::<f64>(),
+        }
+    }
+}
+
+/// A finite mixture over [`Component`]s with arbitrary non-negative weights.
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    components: Vec<Component>,
+    /// Cumulative normalized weights for inverse-CDF component selection.
+    cumulative: Vec<f64>,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, component)` pairs. Weights must be
+    /// non-negative with a positive sum.
+    pub fn new(parts: Vec<(f64, Component)>) -> Result<Self, NumericError> {
+        if parts.is_empty() {
+            return Err(NumericError::InvalidParameter(
+                "mixture needs at least one component".into(),
+            ));
+        }
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        if !(total > 0.0) || parts.iter().any(|(w, _)| *w < 0.0 || !w.is_finite()) {
+            return Err(NumericError::InvalidParameter(
+                "mixture weights must be non-negative with positive sum".into(),
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(parts.len());
+        let mut acc = 0.0;
+        let mut components = Vec::with_capacity(parts.len());
+        for (w, c) in parts {
+            acc += w / total;
+            cumulative.push(acc);
+            components.push(c);
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Mixture {
+            components,
+            cumulative,
+        })
+    }
+}
+
+impl Sampler for Mixture {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        self.components[idx.min(self.components.len() - 1)].sample(rng)
+    }
+}
+
+/// Clamps every sample of an inner distribution into `[lo, hi]`.
+///
+/// Used to map real-world-style values (income dollars, seconds in a day)
+/// into the `[0, 1]` domain the mechanisms work over, mirroring the paper's
+/// preprocessing ("we extract the values smaller than … and map them into
+/// [0, 1]").
+#[derive(Debug, Clone)]
+pub struct Clamped<S> {
+    inner: S,
+    lo: f64,
+    hi: f64,
+}
+
+impl<S: Sampler> Clamped<S> {
+    /// Wraps `inner`, clamping into `[lo, hi]`. Requires `lo < hi`.
+    pub fn new(inner: S, lo: f64, hi: f64) -> Result<Self, NumericError> {
+        if !(lo < hi) {
+            return Err(NumericError::InvalidParameter(format!(
+                "Clamped requires lo < hi, got [{lo}, {hi}]"
+            )));
+        }
+        Ok(Clamped { inner, lo, hi })
+    }
+}
+
+impl<S: Sampler> Sampler for Clamped<S> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::stats;
+
+    fn draw<S: Sampler>(s: &S, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        s.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let xs = draw(&StandardNormal, 200_000, 1);
+        let m = stats::mean(&xs);
+        let v = stats::variance(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        // Gamma(5, 2): mean 10, variance 20.
+        let g = Gamma::new(5.0, 2.0).unwrap();
+        let xs = draw(&g, 200_000, 2);
+        assert!((stats::mean(&xs) - 10.0).abs() < 0.1);
+        assert!((stats::variance(&xs) - 20.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        // Gamma(0.5, 1): mean 0.5, variance 0.5.
+        let g = Gamma::new(0.5, 1.0).unwrap();
+        let xs = draw(&g, 200_000, 3);
+        assert!((stats::mean(&xs) - 0.5).abs() < 0.02);
+        assert!((stats::variance(&xs) - 0.5).abs() < 0.05);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn gamma_rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn beta_5_2_moments_match_theory() {
+        // Beta(5, 2): mean 5/7, variance 5*2/(49*8) = 10/392.
+        let b = Beta::new(5.0, 2.0).unwrap();
+        let xs = draw(&b, 200_000, 4);
+        let expected_mean = 5.0 / 7.0;
+        let expected_var = 10.0 / 392.0;
+        assert!((stats::mean(&xs) - expected_mean).abs() < 0.005);
+        assert!((stats::variance(&xs) - expected_var).abs() < 0.002);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut xs = draw(&d, 100_001, 5);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1f64.exp()).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let d = Exponential::new(4.0).unwrap();
+        let xs = draw(&d, 200_000, 6);
+        assert!((stats::mean(&xs) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let m = Mixture::new(vec![
+            (3.0, Component::Point(0.0)),
+            (1.0, Component::Point(1.0)),
+        ])
+        .unwrap();
+        let xs = draw(&m, 100_000, 7);
+        let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64;
+        let frac = ones / xs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn mixture_rejects_empty_and_negative_weights() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(-1.0, Component::Point(0.0))]).is_err());
+        assert!(Mixture::new(vec![(0.0, Component::Point(0.0))]).is_err());
+    }
+
+    #[test]
+    fn clamped_stays_in_range() {
+        let d = Clamped::new(Normal::new(0.5, 10.0).unwrap(), 0.0, 1.0).unwrap();
+        let xs = draw(&d, 10_000, 8);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // With std 10 almost everything clamps to an endpoint.
+        assert!(xs.iter().filter(|&&x| x == 0.0 || x == 1.0).count() > 9_000);
+    }
+
+    #[test]
+    fn clamped_rejects_inverted_range() {
+        assert!(Clamped::new(StandardNormal, 1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by the numeric substrate.
+
+use std::fmt;
+
+/// Errors produced by numeric routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A parameter was outside its mathematical domain (e.g. a negative
+    /// shape parameter, an empty histogram, a NaN input).
+    InvalidParameter(String),
+    /// Two linear-algebra operands had incompatible shapes.
+    DimensionMismatch {
+        /// Shape the operation expected.
+        expected: String,
+        /// Shape it received.
+        actual: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            NumericError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = NumericError::InvalidParameter("alpha must be positive".into());
+        assert!(e.to_string().contains("alpha must be positive"));
+        let e = NumericError::DimensionMismatch {
+            expected: "3x4".into(),
+            actual: "4x3".into(),
+        };
+        assert!(e.to_string().contains("3x4"));
+        assert!(e.to_string().contains("4x3"));
+    }
+}

@@ -1,0 +1,376 @@
+//! [`Histogram`]: the common currency of the workspace.
+//!
+//! A `Histogram` is a normalized probability distribution over `d`
+//! equal-width buckets of the unit interval `[0, 1]` — exactly the object
+//! the paper's aggregator reconstructs and all utility metrics consume.
+//! Values inside a bucket are treated as uniformly distributed when
+//! evaluating the CDF, moments, quantiles and range masses (the paper's
+//! "assuming uniform distribution within each bin").
+
+use crate::error::NumericError;
+
+/// A normalized distribution over `d` equal-width buckets of `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    probs: Vec<f64>,
+}
+
+impl Histogram {
+    /// The uniform distribution over `d` buckets.
+    pub fn uniform(d: usize) -> Result<Self, NumericError> {
+        if d == 0 {
+            return Err(NumericError::InvalidParameter(
+                "histogram needs at least one bucket".into(),
+            ));
+        }
+        Ok(Histogram {
+            probs: vec![1.0 / d as f64; d],
+        })
+    }
+
+    /// Builds a histogram from non-negative masses, normalizing them to sum
+    /// to 1. Fails on negative/non-finite masses or a zero total.
+    pub fn from_probs(mut probs: Vec<f64>) -> Result<Self, NumericError> {
+        if probs.is_empty() {
+            return Err(NumericError::InvalidParameter(
+                "histogram needs at least one bucket".into(),
+            ));
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(NumericError::InvalidParameter(
+                "histogram masses must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return Err(NumericError::InvalidParameter(
+                "histogram masses must have a positive sum".into(),
+            ));
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        Ok(Histogram { probs })
+    }
+
+    /// Builds a histogram from event counts.
+    pub fn from_counts(counts: &[u64]) -> Result<Self, NumericError> {
+        Self::from_probs(counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Buckets samples from `[0, 1]` into `d` equal-width buckets.
+    /// Out-of-range samples are clamped to the boundary buckets, mirroring
+    /// the paper's dataset preprocessing.
+    pub fn from_samples(samples: &[f64], d: usize) -> Result<Self, NumericError> {
+        if d == 0 {
+            return Err(NumericError::InvalidParameter(
+                "histogram needs at least one bucket".into(),
+            ));
+        }
+        if samples.is_empty() {
+            return Err(NumericError::InvalidParameter(
+                "cannot build a histogram from zero samples".into(),
+            ));
+        }
+        let mut counts = vec![0u64; d];
+        for &s in samples {
+            counts[bucket_of(s, d)] += 1;
+        }
+        Self::from_counts(&counts)
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always false: construction guarantees at least one bucket.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The normalized bucket masses.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The center value of bucket `i` in `[0, 1]`.
+    #[must_use]
+    pub fn bucket_center(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) / self.len() as f64
+    }
+
+    /// Cumulative masses: `cdf()[i] = P(X <= right edge of bucket i)`.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.probs
+            .iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect()
+    }
+
+    /// CDF evaluated at an arbitrary point of `[0, 1]`, interpolating
+    /// uniformly within the containing bucket.
+    #[must_use]
+    pub fn cdf_at(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if t >= 1.0 {
+            return 1.0;
+        }
+        let d = self.len() as f64;
+        let pos = t * d;
+        let i = (pos as usize).min(self.len() - 1);
+        let frac = pos - i as f64;
+        let below: f64 = self.probs[..i].iter().sum();
+        below + self.probs[i] * frac
+    }
+
+    /// Probability mass of the value range `[lo, hi] ⊆ [0, 1]`.
+    #[must_use]
+    pub fn range_mass(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        self.cdf_at(hi) - self.cdf_at(lo)
+    }
+
+    /// Mean of the distribution (bucket centers as representative values).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p * self.bucket_center(i))
+            .sum()
+    }
+
+    /// Variance of the distribution (bucket centers as representative
+    /// values).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let c = self.bucket_center(i);
+                p * (c - m) * (c - m)
+            })
+            .sum()
+    }
+
+    /// The β-quantile: the point `t ∈ [0, 1]` where the interpolated CDF
+    /// first reaches `beta` (paper §3.2). `beta` outside `(0, 1)` clamps to
+    /// the domain boundary.
+    #[must_use]
+    pub fn quantile(&self, beta: f64) -> f64 {
+        if beta <= 0.0 {
+            return 0.0;
+        }
+        if beta >= 1.0 {
+            return 1.0;
+        }
+        let d = self.len() as f64;
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if acc + p >= beta {
+                let frac = if p > 0.0 { (beta - acc) / p } else { 0.0 };
+                return (i as f64 + frac) / d;
+            }
+            acc += p;
+        }
+        1.0
+    }
+
+    /// Expands each bucket into `factor` equal sub-buckets with uniform
+    /// within-bucket density — how CFO-with-binning estimates at a coarse
+    /// granularity are compared against fine-granularity ground truth.
+    pub fn expand_uniform(&self, factor: usize) -> Result<Histogram, NumericError> {
+        if factor == 0 {
+            return Err(NumericError::InvalidParameter(
+                "expansion factor must be positive".into(),
+            ));
+        }
+        let mut probs = Vec::with_capacity(self.len() * factor);
+        for &p in &self.probs {
+            for _ in 0..factor {
+                probs.push(p / factor as f64);
+            }
+        }
+        Ok(Histogram { probs })
+    }
+
+    /// Merges adjacent buckets, reducing granularity by `factor`
+    /// (which must divide the current bucket count).
+    pub fn coarsen(&self, factor: usize) -> Result<Histogram, NumericError> {
+        if factor == 0 || !self.len().is_multiple_of(factor) {
+            return Err(NumericError::InvalidParameter(format!(
+                "coarsen factor {factor} must divide the bucket count {}",
+                self.len()
+            )));
+        }
+        let probs = self
+            .probs
+            .chunks_exact(factor)
+            .map(|c| c.iter().sum())
+            .collect();
+        Ok(Histogram { probs })
+    }
+}
+
+/// Index of the bucket containing sample `s` among `d` equal-width buckets
+/// of `[0, 1]`, clamping out-of-range values.
+#[must_use]
+pub fn bucket_of(s: f64, d: usize) -> usize {
+    debug_assert!(d > 0);
+    if !s.is_finite() || s <= 0.0 {
+        return 0;
+    }
+    ((s * d as f64) as usize).min(d - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(Histogram::uniform(0).is_err());
+        assert!(Histogram::from_probs(vec![]).is_err());
+        assert!(Histogram::from_probs(vec![1.0, -0.5]).is_err());
+        assert!(Histogram::from_probs(vec![0.0, 0.0]).is_err());
+        assert!(Histogram::from_probs(vec![f64::NAN]).is_err());
+        assert!(Histogram::from_samples(&[], 4).is_err());
+        assert!(Histogram::from_samples(&[0.5], 0).is_err());
+    }
+
+    #[test]
+    fn from_probs_normalizes() {
+        let h = Histogram::from_probs(vec![2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(h.probs(), &[0.25, 0.25, 0.5]);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_of_clamps_and_assigns() {
+        assert_eq!(bucket_of(-0.1, 4), 0);
+        assert_eq!(bucket_of(0.0, 4), 0);
+        assert_eq!(bucket_of(0.24, 4), 0);
+        assert_eq!(bucket_of(0.25, 4), 1);
+        assert_eq!(bucket_of(0.999, 4), 3);
+        assert_eq!(bucket_of(1.0, 4), 3);
+        assert_eq!(bucket_of(7.0, 4), 3);
+        assert_eq!(bucket_of(f64::NAN, 4), 0);
+    }
+
+    #[test]
+    fn from_samples_counts_correctly() {
+        let h = Histogram::from_samples(&[0.1, 0.1, 0.6, 0.9], 2).unwrap();
+        assert_eq!(h.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let h = Histogram::from_probs(vec![0.1, 0.4, 0.3, 0.2]).unwrap();
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_interpolates_within_buckets() {
+        let h = Histogram::from_probs(vec![0.5, 0.5]).unwrap();
+        assert_eq!(h.cdf_at(0.0), 0.0);
+        assert!((h.cdf_at(0.25) - 0.25).abs() < 1e-12);
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((h.cdf_at(0.75) - 0.75).abs() < 1e-12);
+        assert_eq!(h.cdf_at(1.0), 1.0);
+        assert_eq!(h.cdf_at(-1.0), 0.0);
+        assert_eq!(h.cdf_at(2.0), 1.0);
+    }
+
+    #[test]
+    fn range_mass_matches_cdf_difference() {
+        let h = Histogram::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!((h.range_mass(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((h.range_mass(0.25, 0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(h.range_mass(0.6, 0.4), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_of_point_mass() {
+        let h = Histogram::from_probs(vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        assert!((h.mean() - 0.625).abs() < 1e-12);
+        assert!(h.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let h = Histogram::uniform(256).unwrap();
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        // Uniform on [0,1] has variance 1/12; bucketized version is close.
+        assert!((h.variance() - 1.0 / 12.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let h = Histogram::from_probs(vec![0.25, 0.25, 0.25, 0.25]).unwrap();
+        for &beta in &[0.1, 0.25, 0.5, 0.733, 0.9] {
+            let q = h.quantile(beta);
+            assert!((h.cdf_at(q) - beta).abs() < 1e-9, "beta={beta}");
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 1.0);
+        assert_eq!(h.quantile(-0.5), 0.0);
+        assert_eq!(h.quantile(1.5), 1.0);
+    }
+
+    #[test]
+    fn quantile_skips_zero_mass_buckets() {
+        let h = Histogram::from_probs(vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        let q = h.quantile(0.5);
+        // Mass resumes in the final bucket; the 50% point is at its left edge
+        // or the boundary of the first.
+        assert!((0.25..=0.75).contains(&q), "q={q}");
+        assert!((h.cdf_at(h.quantile(0.7)) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_then_coarsen_roundtrips() {
+        let h = Histogram::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let e = h.expand_uniform(4).unwrap();
+        assert_eq!(e.len(), 16);
+        assert!((e.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let back = e.coarsen(4).unwrap();
+        for (a, b) in back.probs().iter().zip(h.probs()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expand_preserves_cdf_at_old_boundaries() {
+        let h = Histogram::from_probs(vec![0.3, 0.7]).unwrap();
+        let e = h.expand_uniform(8).unwrap();
+        for &t in &[0.0, 0.5, 1.0, 0.25, 0.75] {
+            assert!((h.cdf_at(t) - e.cdf_at(t)).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn coarsen_rejects_non_divisors() {
+        let h = Histogram::uniform(10).unwrap();
+        assert!(h.coarsen(3).is_err());
+        assert!(h.coarsen(0).is_err());
+    }
+}

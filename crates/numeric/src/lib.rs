@@ -1,0 +1,38 @@
+//! Numerical substrate for the `sw-ldp` workspace.
+//!
+//! The reference implementation of the paper leaned on NumPy; this crate
+//! provides the pieces of that toolkit the rest of the workspace needs,
+//! implemented from scratch on top of `rand`:
+//!
+//! - [`rng`]: a deterministic, splittable [`rng::SplitMix64`] generator so
+//!   every experiment trial is reproducible from a seed.
+//! - [`dist`]: samplers for the statistical distributions used by the
+//!   evaluation datasets (normal, gamma, beta, lognormal, exponential,
+//!   mixtures).
+//! - [`matrix`]: a dense row-major [`matrix::Matrix`] with the handful of
+//!   BLAS-1/2 kernels the EM/EMS and ADMM solvers need.
+//! - [`histogram`]: [`histogram::Histogram`], the common currency of the
+//!   workspace — a normalized distribution over `d` equal-width buckets of
+//!   `[0, 1]` with CDF, moment, quantile and range-mass queries.
+//! - [`quad`]: exact integration of the piecewise-linear/quadratic overlap
+//!   functions that arise when building Square Wave transition matrices.
+//! - [`stats`]: streaming and batch summary statistics.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, which is exactly what the validators need to reject.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod error;
+pub mod histogram;
+pub mod matrix;
+pub mod quad;
+pub mod rng;
+pub mod stats;
+
+pub use error::NumericError;
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use rng::SplitMix64;

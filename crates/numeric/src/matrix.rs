@@ -1,0 +1,546 @@
+//! A dense row-major matrix with the linear-algebra kernels the EM/EMS and
+//! ADMM solvers need.
+//!
+//! Deliberately minimal: the workspace's matrices are transition matrices
+//! (a few thousand rows/columns at most), so a contiguous `Vec<f64>` with
+//! cache-friendly row-major matvec kernels is both the simplest and the
+//! fastest option — no sparse formats, no external BLAS.
+
+use crate::error::NumericError;
+use std::fmt;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumericError> {
+        if data.len() != rows * cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{} elements ({rows}x{cols})", rows * cols),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable entry access.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable entry access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `y = A·x`, writing into a caller-provided buffer to avoid per-call
+    /// allocation in the EM inner loop.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumericError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("x of length {}, y of length {}", self.cols, self.rows),
+                actual: format!("x of length {}, y of length {}", x.len(), y.len()),
+            });
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi = acc;
+        }
+        Ok(())
+    }
+
+    /// `y = A·x` returning a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// `y = Aᵀ·x`, writing into a caller-provided buffer.
+    pub fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumericError> {
+        if x.len() != self.rows || y.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("x of length {}, y of length {}", self.rows, self.cols),
+                actual: format!("x of length {}, y of length {}", x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (yj, a) in y.iter_mut().zip(row.iter()) {
+                *yj += a * xi;
+            }
+        }
+        Ok(())
+    }
+
+    /// `y = Aᵀ·x` returning a fresh vector.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut y = vec![0.0; self.cols];
+        self.matvec_transpose_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Sums of each column. For a transition matrix these should all be 1.
+    #[must_use]
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (s, a) in sums.iter_mut().zip(row.iter()) {
+                *s += a;
+            }
+        }
+        sums
+    }
+
+    /// Rescales each column so it sums to 1 (columns summing to 0 are left
+    /// untouched). Used to make numerically-integrated transition matrices
+    /// exactly column-stochastic.
+    pub fn normalize_columns(&mut self) {
+        let sums = self.column_sums();
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &s) in row.iter_mut().zip(&sums) {
+                if s > 0.0 {
+                    *v /= s;
+                }
+            }
+        }
+    }
+
+    /// True if all entries are finite and non-negative.
+    #[must_use]
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|&v| v.is_finite() && v >= 0.0)
+    }
+
+    /// The Gram matrix `AᵀA` (always square `cols × cols`).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // symmetric triangular indexing
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for row in 0..self.rows {
+            let r = &self.data[row * n..(row + 1) * n];
+            for i in 0..n {
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g.data[i * n + j] += ri * r[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                g.data[i * n + j] = g.data[j * n + i];
+            }
+        }
+        g
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂² + λ‖x‖₂²` through
+    /// the ridge-regularized normal equations `(AᵀA + λI)x = Aᵀb`.
+    ///
+    /// With `λ > 0` this succeeds even when `A` itself is singular — which
+    /// genuinely happens for square-wave transition matrices (a boxcar
+    /// kernel has sinc-zeros in its spectrum).
+    pub fn ridge_solve(&self, b: &[f64], lambda: f64) -> Result<Vec<f64>, NumericError> {
+        if b.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {}", self.rows),
+                actual: format!("rhs of length {}", b.len()),
+            });
+        }
+        if !(lambda >= 0.0) || !lambda.is_finite() {
+            return Err(NumericError::InvalidParameter(format!(
+                "ridge parameter must be finite and non-negative, got {lambda}"
+            )));
+        }
+        let mut gram = self.gram();
+        for i in 0..gram.cols {
+            let idx = i * gram.cols + i;
+            gram.data[idx] += lambda;
+        }
+        let atb = self.matvec_transpose(b)?;
+        gram.solve(&atb)
+    }
+
+    /// Solves the square system `A·x = b` by Gaussian elimination with
+    /// partial pivoting. Fails on non-square `A`, mismatched `b`, or a
+    /// numerically singular matrix.
+    ///
+    /// Used by the unbiased-inversion reconstruction baseline; transition
+    /// matrices are a few hundred columns, where O(d³) elimination is
+    /// cheap and more robust than iterative solvers on their moderately
+    /// conditioned columns.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let n = self.rows;
+        if self.rows != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                actual: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                actual: format!("rhs of length {}", b.len()),
+            });
+        }
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for row in col + 1..n {
+                let mag = a[row * n + col].abs();
+                if mag > best {
+                    best = mag;
+                    pivot = row;
+                }
+            }
+            if best < 1e-12 {
+                return Err(NumericError::InvalidParameter(format!(
+                    "matrix is numerically singular at column {col}"
+                )));
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[row * n + col] = 0.0;
+                for k in col + 1..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for k in col + 1..n {
+                acc -= a[col * n + k] * x[k];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for i in 0..show {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:9.4}", self.get(i, j))?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { " ..." } else { "" })?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Elementwise vector helpers used by the ADMM and EM solvers.
+pub mod vecops {
+    /// `out = a + b` elementwise.
+    pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    }
+
+    /// `out = a - b` elementwise.
+    pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x - y).collect()
+    }
+
+    /// `out = s * a` elementwise.
+    pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+        a.iter().map(|x| x * s).collect()
+    }
+
+    /// L1 norm.
+    #[must_use]
+    pub fn norm_l1(a: &[f64]) -> f64 {
+        a.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 norm.
+    #[must_use]
+    pub fn norm_l2(a: &[f64]) -> f64 {
+        a.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Sum of entries.
+    #[must_use]
+    pub fn sum(a: &[f64]) -> f64 {
+        a.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vecops;
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matvec_known_answer() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = a.matvec(&[1.0, 0.5, -1.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_known_answer() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = a.matvec_transpose(&[2.0, -1.0]).unwrap();
+        assert_eq!(y, vec![2.0 - 4.0, 4.0 - 5.0, 6.0 - 6.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+        assert!(a.matvec_transpose(&[1.0, 2.0, 3.0]).is_err());
+        let mut y = vec![0.0; 5];
+        assert!(a.matvec_into(&[1.0, 2.0, 3.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn column_normalization_makes_stochastic() {
+        let mut a = Matrix::from_fn(3, 2, |i, j| (i + j + 1) as f64);
+        a.normalize_columns();
+        for s in a.column_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(a.is_nonnegative());
+    }
+
+    #[test]
+    fn normalize_skips_zero_columns() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(1, 0, 2.0);
+        a.normalize_columns();
+        assert_eq!(a.get(0, 1), 0.0);
+        assert!((a.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_consistency_roundtrip() {
+        // <A x, y> == <x, A^T y> for random-ish data.
+        let a = Matrix::from_fn(4, 3, |i, j| ((i * 7 + j * 13) % 5) as f64 - 2.0);
+        let x = [0.3, -1.0, 2.0];
+        let y = [1.0, 0.5, -0.25, 2.0];
+        let ax = a.matvec(&x).unwrap();
+        let aty = a.matvec_transpose(&y).unwrap();
+        let lhs: f64 = ax.iter().zip(y.iter()).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(aty.iter()).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1, 3].
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = a.solve(&[7.0, -2.0]).unwrap();
+        assert!((x[0] + 2.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_roundtrips_with_matvec() {
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let truth: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.matvec(&truth).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gram_matches_direct_computation() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 0.5, -1.0, 2.0, 0.0]).unwrap();
+        let g = a.gram();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 2);
+        // AᵀA = [[1+0.25+4, 2-0.5+0], [2-0.5+0, 4+1+0]].
+        assert!((g.get(0, 0) - 5.25).abs() < 1e-12);
+        assert!((g.get(0, 1) - 1.5).abs() < 1e-12);
+        assert!((g.get(1, 0) - 1.5).abs() < 1e-12);
+        assert!((g.get(1, 1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_solve_recovers_well_posed_systems() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = a.ridge_solve(&[5.0, 10.0], 0.0).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_solve_handles_singular_matrices() {
+        // Rank-1 matrix: plain solve fails, ridge succeeds and returns the
+        // minimum-norm-ish solution.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        let x = a.ridge_solve(&[1.0, 2.0], 1e-8).unwrap();
+        // A·x ≈ b.
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-4);
+        assert!((ax[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ridge_solve_validates() {
+        let a = Matrix::zeros(2, 2);
+        assert!(a.ridge_solve(&[1.0], 0.1).is_err());
+        assert!(a.ridge_solve(&[1.0, 1.0], f64::NAN).is_err());
+        assert!(a.ridge_solve(&[1.0, 1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_bad_inputs() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(rect.solve(&[1.0, 2.0]).is_err());
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap(); // singular
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        let ok = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!(ok.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn vecops_basics() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.5, 0.5, 0.5];
+        assert_eq!(vecops::add(&a, &b), vec![1.5, -1.5, 3.5]);
+        assert_eq!(vecops::sub(&a, &b), vec![0.5, -2.5, 2.5]);
+        assert_eq!(vecops::scale(&a, 2.0), vec![2.0, -4.0, 6.0]);
+        assert!((vecops::norm_l1(&a) - 6.0).abs() < 1e-12);
+        assert!((vecops::norm_l2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((vecops::dot(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((vecops::sum(&a) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Exact integration helpers for building Square Wave transition matrices.
+//!
+//! The entry `M[j][i]` of a transition matrix needs the average, over a true
+//! value `v` uniform in an input bucket, of the probability mass a wave
+//! centred at `v` puts on an output bucket. For the square wave the
+//! integrand is the length of the overlap between the interval
+//! `[v - b, v + b]` and the output bucket — a piecewise *linear* function of
+//! `v` — and for trapezoid/triangle waves it is piecewise *quadratic*. Both
+//! integrate exactly with the trapezoid/Simpson rules as long as we split at
+//! the breakpoints, which is what this module does.
+
+/// Length of the overlap between `[lo1, hi1]` and `[lo2, hi2]`.
+#[inline]
+#[must_use]
+pub fn interval_overlap(lo1: f64, hi1: f64, lo2: f64, hi2: f64) -> f64 {
+    (hi1.min(hi2) - lo1.max(lo2)).max(0.0)
+}
+
+/// Computes `∫_{vlo}^{vhi} |[v-b, v+b] ∩ [l, h]| dv` exactly.
+///
+/// The integrand is piecewise linear in `v` with breakpoints at
+/// `l-b, h-b, l+b, h+b`; the trapezoid rule on each linear piece is exact.
+#[must_use]
+pub fn integral_of_interval_overlap(vlo: f64, vhi: f64, b: f64, l: f64, h: f64) -> f64 {
+    debug_assert!(b >= 0.0);
+    if vhi <= vlo || h <= l {
+        return 0.0;
+    }
+    let f = |v: f64| interval_overlap(v - b, v + b, l, h);
+    let mut pts = vec![vlo, vhi, l - b, h - b, l + b, h + b];
+    pts.retain(|&p| p >= vlo && p <= vhi);
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    pts.dedup();
+    let mut total = 0.0;
+    for w in pts.windows(2) {
+        let (a, c) = (w[0], w[1]);
+        total += 0.5 * (f(a) + f(c)) * (c - a);
+    }
+    total
+}
+
+/// Integrates `f` over `[lo, hi]` by composite 2-point Gauss–Legendre
+/// quadrature on each sub-interval delimited by `breakpoints`, with
+/// `refine` panels per piece.
+///
+/// Exact for functions that are piecewise *cubic* between the supplied
+/// breakpoints. Gauss nodes are strictly interior, so functions with jump
+/// discontinuities at the breakpoints (e.g. the square wave density) are
+/// integrated exactly too — endpoint rules like Simpson would sample the
+/// wrong side of the jump.
+#[must_use]
+pub fn integrate_with_breakpoints(
+    f: impl Fn(f64) -> f64,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    refine: usize,
+) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    let refine = refine.max(1);
+    let mut pts = Vec::with_capacity(breakpoints.len() + 2);
+    pts.push(lo);
+    pts.push(hi);
+    pts.extend(breakpoints.iter().copied().filter(|&p| p > lo && p < hi));
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    pts.dedup();
+    // 2-point Gauss-Legendre nodes on [-1, 1]: ±1/sqrt(3), weight 1 each.
+    let node = 1.0 / 3f64.sqrt();
+    let mut total = 0.0;
+    for w in pts.windows(2) {
+        let (a, c) = (w[0], w[1]);
+        let h = (c - a) / refine as f64;
+        for k in 0..refine {
+            let x0 = a + k as f64 * h;
+            let mid = x0 + 0.5 * h;
+            let half = 0.5 * h;
+            total += half * (f(mid - half * node) + f(mid + half * node));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_basic_cases() {
+        assert_eq!(interval_overlap(0.0, 1.0, 0.5, 2.0), 0.5);
+        assert_eq!(interval_overlap(0.0, 1.0, 2.0, 3.0), 0.0);
+        assert_eq!(interval_overlap(0.0, 1.0, -1.0, 2.0), 1.0);
+        assert_eq!(interval_overlap(0.0, 1.0, 0.25, 0.75), 0.5);
+    }
+
+    #[test]
+    fn overlap_integral_fully_inside() {
+        // If [v-b, v+b] stays strictly inside [l, h] for all v in range, the
+        // overlap is the constant 2b.
+        let got = integral_of_interval_overlap(0.4, 0.6, 0.1, 0.0, 1.0);
+        let expected = 0.2 * 0.2; // width 0.2 times constant 2b = 0.2
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_integral_disjoint() {
+        assert_eq!(
+            integral_of_interval_overlap(0.0, 0.1, 0.05, 0.5, 0.6),
+            0.0
+        );
+    }
+
+    #[test]
+    fn overlap_integral_matches_brute_force() {
+        // Compare against a fine Riemann sum across a mix of geometries.
+        let cases = [
+            (0.0, 1.0, 0.3, 0.2, 0.7),
+            (-0.5, 0.5, 0.25, 0.0, 0.1),
+            (0.2, 0.9, 0.05, 0.15, 0.95),
+            (0.0, 0.2, 0.5, -0.4, 0.4),
+        ];
+        for &(vlo, vhi, b, l, h) in &cases {
+            let exact = integral_of_interval_overlap(vlo, vhi, b, l, h);
+            let n = 200_000;
+            let dx = (vhi - vlo) / n as f64;
+            let mut brute = 0.0;
+            for k in 0..n {
+                let v = vlo + (k as f64 + 0.5) * dx;
+                brute += interval_overlap(v - b, v + b, l, h) * dx;
+            }
+            assert!(
+                (exact - brute).abs() < 1e-6,
+                "case {vlo},{vhi},{b},{l},{h}: exact={exact} brute={brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_integral_symmetric_under_reflection() {
+        // Reflecting both the v-range and the bucket about 0.5 must preserve
+        // the integral.
+        let a = integral_of_interval_overlap(0.1, 0.3, 0.2, 0.6, 0.8);
+        let b = integral_of_interval_overlap(0.7, 0.9, 0.2, 0.2, 0.4);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_exact_for_cubics() {
+        let f = |x: f64| 4.0 * x * x * x + 3.0 * x * x - 2.0 * x + 1.0;
+        // ∫0^2 = [x^4 + x^3 - x^2 + x] = 16 + 8 - 4 + 2 = 22.
+        let got = integrate_with_breakpoints(f, &[0.7, 1.3], 0.0, 2.0, 1);
+        assert!((got - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_handles_kinked_functions_with_breakpoints() {
+        // |x| on [-1, 1] is exactly integrable if we split at 0.
+        let f = |x: f64| x.abs();
+        let got = integrate_with_breakpoints(f, &[0.0], -1.0, 1.0, 1);
+        assert!((got - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_handles_jump_discontinuities_at_breakpoints() {
+        // A step function with the jump placed exactly on a breakpoint:
+        // interior Gauss nodes never sample the boundary value.
+        let f = |x: f64| if x < 0.5 { 2.0 } else { 7.0 };
+        let got = integrate_with_breakpoints(f, &[0.5], 0.0, 1.0, 1);
+        assert!((got - (2.0 * 0.5 + 7.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_inverted_ranges_integrate_to_zero() {
+        assert_eq!(integral_of_interval_overlap(1.0, 0.0, 0.1, 0.0, 1.0), 0.0);
+        assert_eq!(integrate_with_breakpoints(|x| x, &[], 2.0, 2.0, 4), 0.0);
+    }
+}

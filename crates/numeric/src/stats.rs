@@ -1,0 +1,148 @@
+//! Batch and streaming summary statistics.
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice. Returns 0.0 for slices shorter than 2.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected). Returns 0.0 for slices
+/// shorter than 2.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Mean of `|x|` over a slice; the MAE when `xs` holds signed errors.
+#[must_use]
+pub fn mean_absolute(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|x| x.abs()).sum::<f64>() / xs.len() as f64
+}
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current population variance (0.0 with fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Current sample standard deviation (0.0 with fewer than 2
+    /// observations).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        let bessel = std_dev(&xs);
+        assert!((bessel - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(mean_absolute(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_absolute_of_signed_errors() {
+        assert!((mean_absolute(&[-1.0, 1.0, -3.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [0.3, -1.2, 5.5, 2.0, 2.0, -0.7];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), xs.len() as u64);
+        assert!((r.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((r.variance() - variance(&xs)).abs() < 1e-12);
+        assert!((r.std_dev() - std_dev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_is_stable_for_large_offsets() {
+        let mut r = Running::new();
+        for i in 0..1000 {
+            r.push(1e9 + (i % 2) as f64);
+        }
+        assert!((r.variance() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,190 @@
+//! Streaming, mergeable report aggregation.
+//!
+//! A real deployment does not hold all reports in memory: collectors
+//! receive perturbed values one at a time, on many shards, and periodically
+//! merge partial histograms. [`ShardAggregator`] is that object — a fixed
+//! set of output-bucket counters that can be fed incrementally, merged
+//! across shards, serialized as plain counts, and finally handed to the
+//! EM/EMS reconstruction. Aggregating counts loses nothing: the EM
+//! algorithm only ever consumes the report histogram (paper §5.5).
+
+use crate::error::SwError;
+use crate::pipeline::SwPipeline;
+
+/// An incremental histogram of perturbed reports for one SW configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAggregator {
+    /// Output domain left edge (-b).
+    lo: f64,
+    /// Output domain right edge (1 + b).
+    hi: f64,
+    /// Output granularity d̃.
+    counts: Vec<u64>,
+}
+
+impl ShardAggregator {
+    /// Creates an empty aggregator matching a pipeline's output geometry.
+    #[must_use]
+    pub fn for_pipeline(pipeline: &SwPipeline) -> Self {
+        ShardAggregator {
+            lo: pipeline.wave().output_lo(),
+            hi: pipeline.wave().output_hi(),
+            counts: vec![0; pipeline.output_buckets()],
+        }
+    }
+
+    /// Number of output buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of reports absorbed so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The raw per-bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Absorbs one perturbed report. Reports outside the output domain are
+    /// rejected — they cannot have been produced by the matching mechanism,
+    /// so silently clamping them would let a malformed client skew the
+    /// boundary buckets.
+    pub fn push(&mut self, report: f64) -> Result<(), SwError> {
+        if !report.is_finite() || report < self.lo - 1e-12 || report > self.hi + 1e-12 {
+            return Err(SwError::InvalidParameter(format!(
+                "report {report} outside the output domain [{}, {}]",
+                self.lo, self.hi
+            )));
+        }
+        let d = self.counts.len();
+        let pos = ((report - self.lo) / (self.hi - self.lo) * d as f64) as isize;
+        let idx = pos.clamp(0, d as isize - 1) as usize;
+        self.counts[idx] += 1;
+        Ok(())
+    }
+
+    /// Merges another shard's counts into this one. Both shards must have
+    /// been created for the same mechanism configuration.
+    pub fn merge(&mut self, other: &ShardAggregator) -> Result<(), SwError> {
+        if self.counts.len() != other.counts.len()
+            || (self.lo - other.lo).abs() > 1e-12
+            || (self.hi - other.hi).abs() > 1e-12
+        {
+            return Err(SwError::InvalidParameter(
+                "cannot merge aggregators with different configurations".into(),
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// The counts as floats, ready for [`crate::em::reconstruct`].
+    #[must_use]
+    pub fn to_counts(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Reconstruction;
+    use ldp_numeric::SplitMix64;
+
+    fn pipeline() -> SwPipeline {
+        SwPipeline::new(1.0, 64).unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_batch_aggregation() {
+        let p = pipeline();
+        let mut rng = SplitMix64::new(5001);
+        let values: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let reports: Vec<f64> = values
+            .iter()
+            .map(|&v| p.randomize(v, &mut rng).unwrap())
+            .collect();
+        let batch = p.aggregate(&reports);
+        let mut agg = ShardAggregator::for_pipeline(&p);
+        for &r in &reports {
+            agg.push(r).unwrap();
+        }
+        assert_eq!(agg.total(), reports.len() as u64);
+        for (a, b) in agg.to_counts().iter().zip(&batch) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_shard() {
+        let p = pipeline();
+        let mut rng = SplitMix64::new(5002);
+        let reports: Vec<f64> = (0..3_000)
+            .map(|i| p.randomize((i % 97) as f64 / 97.0, &mut rng).unwrap())
+            .collect();
+        let mut single = ShardAggregator::for_pipeline(&p);
+        for &r in &reports {
+            single.push(r).unwrap();
+        }
+        let mut shard_a = ShardAggregator::for_pipeline(&p);
+        let mut shard_b = ShardAggregator::for_pipeline(&p);
+        for (i, &r) in reports.iter().enumerate() {
+            if i % 2 == 0 {
+                shard_a.push(r).unwrap();
+            } else {
+                shard_b.push(r).unwrap();
+            }
+        }
+        shard_a.merge(&shard_b).unwrap();
+        assert_eq!(shard_a, single);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        let p = pipeline();
+        let mut agg = ShardAggregator::for_pipeline(&p);
+        let b = p.wave().b();
+        assert!(agg.push(f64::NAN).is_err());
+        assert!(agg.push(-b - 0.5).is_err());
+        assert!(agg.push(1.0 + b + 0.5).is_err());
+        assert_eq!(agg.total(), 0);
+        // Legal boundary values are accepted.
+        assert!(agg.push(-b).is_ok());
+        assert!(agg.push(1.0 + b).is_ok());
+        assert_eq!(agg.total(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configurations() {
+        let a = ShardAggregator::for_pipeline(&pipeline());
+        let mut b = ShardAggregator::for_pipeline(&SwPipeline::new(2.0, 64).unwrap());
+        assert!(b.merge(&a).is_err());
+        let mut c = ShardAggregator::for_pipeline(&SwPipeline::new(1.0, 128).unwrap());
+        assert!(c.merge(&a).is_err());
+    }
+
+    #[test]
+    fn aggregated_counts_reconstruct_end_to_end() {
+        let p = pipeline();
+        let mut rng = SplitMix64::new(5003);
+        let mut agg = ShardAggregator::for_pipeline(&p);
+        for i in 0..20_000 {
+            let v = 0.3 + 0.4 * ((i % 500) as f64 / 500.0);
+            agg.push(p.randomize(v, &mut rng).unwrap()).unwrap();
+        }
+        let result = p
+            .reconstruct(&agg.to_counts(), &Reconstruction::Ems)
+            .unwrap();
+        // Mass concentrated in [0.3, 0.7].
+        let mass = result.histogram.range_mass(0.25, 0.75);
+        assert!(mass > 0.8, "mass {mass}");
+    }
+}

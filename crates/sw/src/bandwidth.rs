@@ -1,0 +1,154 @@
+//! Bandwidth selection for wave mechanisms (paper §5.3).
+//!
+//! The paper chooses `b` to maximize an upper bound on the mutual
+//! information between the mechanism's input and output:
+//!
+//! ```text
+//! I(V, Ṽ) ≤ log((2b + 1) / (2b·eᵉ + 1)) + 2bεeᵉ / (2b·eᵉ + 1)
+//! ```
+//!
+//! Setting the derivative to zero yields the closed form
+//! `b* = (ε·eᵉ − eᵉ + 1) / (2eᵉ(eᵉ − 1 − ε))`. As ε → ∞, b* → 0 (sharper
+//! waves carry more signal); as ε → 0, b* → ½ (the output domain doubles
+//! the input domain).
+
+use crate::error::{check_epsilon, SwError};
+
+/// The mutual-information upper bound the paper maximizes (as a function of
+/// `b` for fixed ε). Exposed so the optimality of [`optimal_b`] can be
+/// checked numerically (Figure 6's dotted line).
+#[must_use]
+pub fn mi_upper_bound(b: f64, eps: f64) -> f64 {
+    let e = eps.exp();
+    ((2.0 * b + 1.0) / (2.0 * b * e + 1.0)).ln() + 2.0 * b * eps * e / (2.0 * b * e + 1.0)
+}
+
+/// The closed-form bandwidth maximizing [`mi_upper_bound`].
+///
+/// For very small ε the closed form suffers catastrophic cancellation, so a
+/// second-order series (`b ≈ ½ − ε/3`) takes over below `ε = 1e-3`.
+pub fn optimal_b(eps: f64) -> Result<f64, SwError> {
+    check_epsilon(eps)?;
+    if eps < 1e-3 {
+        return Ok(0.5 - eps / 3.0);
+    }
+    let e = eps.exp();
+    let numerator = eps * e - e + 1.0;
+    let denominator = 2.0 * e * (e - 1.0 - eps);
+    let b = numerator / denominator;
+    if !(b > 0.0) || !b.is_finite() {
+        return Err(SwError::InvalidBandwidth(b));
+    }
+    Ok(b)
+}
+
+/// Grid-searches the MI bound over `b ∈ (0, 0.5]`; used in tests and the
+/// Figure 6 ablation to confirm the closed form.
+#[must_use]
+pub fn optimal_b_numeric(eps: f64, grid: usize) -> f64 {
+    let grid = grid.max(2);
+    let mut best_b = 0.5;
+    let mut best = f64::NEG_INFINITY;
+    for k in 1..=grid {
+        let b = 0.5 * k as f64 / grid as f64;
+        let v = mi_upper_bound(b, eps);
+        if v > best {
+            best = v;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+/// The discrete bandwidth for a bucketized domain of size `d`
+/// (paper §5.4): `b_discrete = ⌊b*·d⌋`, with a floor of 0 permitted — a
+/// zero-width discrete wave degenerates to reporting the bucket itself with
+/// GRR-style probabilities.
+pub fn optimal_b_discrete(eps: f64, d: usize) -> Result<usize, SwError> {
+    if d == 0 {
+        return Err(SwError::InvalidParameter(
+            "domain size must be positive".into(),
+        ));
+    }
+    let b = optimal_b(eps)?;
+    Ok((b * d as f64).floor() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_from_figure_6() {
+        // The paper's Figure 6 captions: b_SW = 0.256 (ε=1), 0.129 (ε=2),
+        // 0.064 (ε=3), 0.030 (ε=4).
+        assert!((optimal_b(1.0).unwrap() - 0.256).abs() < 5e-3);
+        assert!((optimal_b(2.0).unwrap() - 0.129).abs() < 5e-3);
+        assert!((optimal_b(3.0).unwrap() - 0.064).abs() < 5e-3);
+        assert!((optimal_b(4.0).unwrap() - 0.030).abs() < 5e-3);
+    }
+
+    #[test]
+    fn limits_match_the_paper() {
+        // ε → 0 gives b → 1/2; ε → ∞ gives b → 0.
+        assert!((optimal_b(1e-6).unwrap() - 0.5).abs() < 1e-3);
+        assert!(optimal_b(20.0).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn b_is_nonincreasing_in_eps() {
+        let mut last = f64::INFINITY;
+        for k in 1..100 {
+            let eps = k as f64 * 0.1;
+            let b = optimal_b(eps).unwrap();
+            assert!(b <= last + 1e-12, "b not monotone at eps={eps}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_argmax() {
+        for &eps in &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+            let closed = optimal_b(eps).unwrap();
+            let numeric = optimal_b_numeric(eps, 20_000);
+            assert!(
+                (closed - numeric).abs() < 1e-3,
+                "eps={eps}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mi_bound_is_maximized_at_closed_form() {
+        for &eps in &[0.5, 1.0, 2.0] {
+            let b = optimal_b(eps).unwrap();
+            let at_opt = mi_upper_bound(b, eps);
+            for &db in &[-0.05, -0.01, 0.01, 0.05] {
+                let other = b + db;
+                if other > 0.0 {
+                    assert!(
+                        mi_upper_bound(other, eps) <= at_opt + 1e-12,
+                        "eps={eps} b={b} db={db}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_bandwidth_scales_with_domain() {
+        let b256 = optimal_b_discrete(1.0, 256).unwrap();
+        let b1024 = optimal_b_discrete(1.0, 1024).unwrap();
+        // b* ~ 0.256: expect ~65 and ~262.
+        assert!((60..=70).contains(&b256), "b256={b256}");
+        assert!((255..=270).contains(&b1024), "b1024={b1024}");
+        assert!(optimal_b_discrete(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(optimal_b(0.0).is_err());
+        assert!(optimal_b(f64::NAN).is_err());
+        assert!(optimal_b(-1.0).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the Square Wave / EMS crate.
+
+use std::fmt;
+
+/// Errors produced by wave mechanisms and reconstruction algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwError {
+    /// The privacy parameter ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// The wave bandwidth `b` must be positive and finite.
+    InvalidBandwidth(f64),
+    /// A private value fell outside the input domain `[0, 1]`.
+    ValueOutOfDomain(f64),
+    /// Some other parameter was invalid (domain sizes, thresholds, …).
+    InvalidParameter(String),
+    /// Reconstruction could not proceed (e.g. empty report set).
+    Reconstruction(String),
+}
+
+impl fmt::Display for SwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwError::InvalidEpsilon(eps) => {
+                write!(f, "epsilon must be positive and finite, got {eps}")
+            }
+            SwError::InvalidBandwidth(b) => {
+                write!(f, "bandwidth b must be positive and finite, got {b}")
+            }
+            SwError::ValueOutOfDomain(v) => {
+                write!(f, "private value {v} outside the input domain [0, 1]")
+            }
+            SwError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SwError::Reconstruction(msg) => write!(f, "reconstruction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwError {}
+
+pub(crate) fn check_epsilon(eps: f64) -> Result<(), SwError> {
+    if !(eps > 0.0) || !eps.is_finite() {
+        return Err(SwError::InvalidEpsilon(eps));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SwError::InvalidEpsilon(-2.0).to_string().contains("-2"));
+        assert!(SwError::ValueOutOfDomain(1.5).to_string().contains("1.5"));
+        assert!(check_epsilon(1.0).is_ok());
+        assert!(check_epsilon(-1.0).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end Square Wave pipeline: the public API a deployment would use.
+//!
+//! Client side: [`SwPipeline::randomize`] perturbs one private value in
+//! `[0, 1]`. Server side: [`SwPipeline::aggregate`] histograms the perturbed
+//! reports ("randomize before bucketize", §5.4) and
+//! [`SwPipeline::reconstruct`] runs EM/EMS through the exact transition
+//! matrix to recover the input distribution.
+
+use crate::bandwidth::optimal_b;
+use crate::em::{reconstruct, EmConfig, EmResult};
+use crate::error::SwError;
+use crate::transition::transition_matrix;
+use crate::wave::{Wave, WaveShape};
+use ldp_numeric::{Histogram, Matrix};
+use rand::Rng;
+
+/// Which reconstruction the aggregator runs.
+#[derive(Debug, Clone)]
+pub enum Reconstruction {
+    /// Plain EM with the paper's `τ = 10⁻³·eᵉ` stopping rule.
+    Em,
+    /// EM with smoothing (the paper's recommended estimator).
+    Ems,
+    /// Fully custom configuration.
+    Custom(EmConfig),
+}
+
+/// A configured Square Wave (or general wave) estimation pipeline.
+#[derive(Debug, Clone)]
+pub struct SwPipeline {
+    wave: Wave,
+    d: usize,
+    d_tilde: usize,
+    matrix: Matrix,
+}
+
+impl SwPipeline {
+    /// The paper's default: square wave, mutual-information-optimal `b`,
+    /// `d̃ = d` output buckets.
+    pub fn new(eps: f64, d: usize) -> Result<Self, SwError> {
+        let b = optimal_b(eps)?;
+        let wave = Wave::square(b, eps)?;
+        Self::with_wave(wave, d, d)
+    }
+
+    /// A pipeline over an explicit wave and bucket counts (used by the
+    /// Figure 5/6/7 ablations).
+    pub fn with_wave(wave: Wave, d: usize, d_tilde: usize) -> Result<Self, SwError> {
+        if d < 2 || d_tilde < 2 {
+            return Err(SwError::InvalidParameter(format!(
+                "need at least 2 buckets on both sides, got d={d}, d_tilde={d_tilde}"
+            )));
+        }
+        let matrix = transition_matrix(&wave, d, d_tilde)?;
+        Ok(SwPipeline {
+            wave,
+            d,
+            d_tilde,
+            matrix,
+        })
+    }
+
+    /// The wave in use.
+    #[must_use]
+    pub fn wave(&self) -> &Wave {
+        &self.wave
+    }
+
+    /// Input granularity `d`.
+    #[must_use]
+    pub fn input_buckets(&self) -> usize {
+        self.d
+    }
+
+    /// Output granularity `d̃`.
+    #[must_use]
+    pub fn output_buckets(&self) -> usize {
+        self.d_tilde
+    }
+
+    /// The exact `d̃ × d` transition matrix.
+    #[must_use]
+    pub fn transition(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Client side: perturbs one private value.
+    pub fn randomize<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> Result<f64, SwError> {
+        self.wave.randomize(v, rng)
+    }
+
+    /// Output bucket index of a perturbed report.
+    #[must_use]
+    pub fn report_bucket(&self, v_tilde: f64) -> usize {
+        let lo = self.wave.output_lo();
+        let span = self.wave.output_hi() - lo;
+        let pos = ((v_tilde - lo) / span * self.d_tilde as f64) as isize;
+        pos.clamp(0, self.d_tilde as isize - 1) as usize
+    }
+
+    /// Server side: histograms perturbed reports into `d̃` buckets.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[f64]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.d_tilde];
+        for &r in reports {
+            counts[self.report_bucket(r)] += 1.0;
+        }
+        counts
+    }
+
+    /// Server side: reconstructs the input distribution from aggregated
+    /// counts.
+    pub fn reconstruct(
+        &self,
+        counts: &[f64],
+        method: &Reconstruction,
+    ) -> Result<EmResult, SwError> {
+        let config = match method {
+            Reconstruction::Em => EmConfig::em(self.wave.epsilon()),
+            Reconstruction::Ems => EmConfig::ems(),
+            Reconstruction::Custom(c) => c.clone(),
+        };
+        reconstruct(&self.matrix, counts, &config)
+    }
+
+    /// Full pipeline: randomize every value, aggregate, reconstruct.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        values: &[f64],
+        method: &Reconstruction,
+        rng: &mut R,
+    ) -> Result<Histogram, SwError> {
+        if values.is_empty() {
+            return Err(SwError::Reconstruction(
+                "need at least one user report".into(),
+            ));
+        }
+        let mut counts = vec![0.0; self.d_tilde];
+        for &v in values {
+            let r = self.wave.randomize(v, rng)?;
+            counts[self.report_bucket(r)] += 1.0;
+        }
+        Ok(self.reconstruct(&counts, method)?.histogram)
+    }
+}
+
+/// Convenience constructor for the Figure 5 wave-shape sweep.
+pub fn pipeline_with_shape(
+    shape: WaveShape,
+    b: f64,
+    eps: f64,
+    d: usize,
+) -> Result<SwPipeline, SwError> {
+    SwPipeline::with_wave(Wave::new(shape, b, eps)?, d, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_numeric::dist::{Beta, Sampler};
+    use ldp_numeric::SplitMix64;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SwPipeline::new(0.0, 64).is_err());
+        assert!(SwPipeline::new(1.0, 1).is_err());
+        assert!(SwPipeline::new(1.0, 64).is_ok());
+    }
+
+    #[test]
+    fn report_bucket_covers_output_domain() {
+        let p = SwPipeline::new(1.0, 16).unwrap();
+        let lo = p.wave().output_lo();
+        let hi = p.wave().output_hi();
+        assert_eq!(p.report_bucket(lo), 0);
+        assert_eq!(p.report_bucket(hi), 15);
+        assert_eq!(p.report_bucket(lo - 1.0), 0);
+        assert_eq!(p.report_bucket(hi + 1.0), 15);
+        // Monotone.
+        let mut last = 0;
+        for k in 0..=100 {
+            let v = lo + (hi - lo) * k as f64 / 100.0;
+            let b = p.report_bucket(v);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn ems_recovers_beta_distribution_shape() {
+        let d = 64;
+        let pipeline = SwPipeline::new(1.0, d).unwrap();
+        let mut rng = SplitMix64::new(131);
+        let beta = Beta::new(5.0, 2.0).unwrap();
+        let values = beta.sample_n(&mut rng, 100_000);
+        let truth = Histogram::from_samples(&values, d).unwrap();
+        let est = pipeline
+            .estimate(&values, &Reconstruction::Ems, &mut rng)
+            .unwrap();
+        // Wasserstein distance between CDFs should be small.
+        let mut w1 = 0.0;
+        let (tc, ec) = (truth.cdf(), est.cdf());
+        for (a, b) in tc.iter().zip(&ec) {
+            w1 += (a - b).abs() / d as f64;
+        }
+        assert!(w1 < 0.02, "W1 = {w1}");
+        // Mode of Beta(5,2) is 0.8; reconstruction should peak in the right
+        // half.
+        let peak = est
+            .probs()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak > d / 2, "peak at bucket {peak}");
+    }
+
+    #[test]
+    fn em_and_ems_both_run_through_pipeline() {
+        let pipeline = SwPipeline::new(0.5, 32).unwrap();
+        let mut rng = SplitMix64::new(132);
+        let values: Vec<f64> = (0..20_000).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        for method in [Reconstruction::Em, Reconstruction::Ems] {
+            let h = pipeline.estimate(&values, &method, &mut rng).unwrap();
+            assert_eq!(h.len(), 32);
+            assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_reconstruction_config_is_honored() {
+        let pipeline = SwPipeline::new(1.0, 16).unwrap();
+        let counts = vec![100.0; 16];
+        let custom = Reconstruction::Custom(EmConfig {
+            ll_threshold: 0.0,
+            max_iterations: 3,
+            min_iterations: 4,
+            smoothing: None,
+        });
+        let r = pipeline.reconstruct(&counts, &custom).unwrap();
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn estimate_rejects_empty_and_bad_values() {
+        let pipeline = SwPipeline::new(1.0, 16).unwrap();
+        let mut rng = SplitMix64::new(133);
+        assert!(pipeline
+            .estimate(&[], &Reconstruction::Ems, &mut rng)
+            .is_err());
+        assert!(pipeline
+            .estimate(&[2.0], &Reconstruction::Ems, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn different_output_granularity_is_supported() {
+        let wave = Wave::square(0.25, 1.0).unwrap();
+        let pipeline = SwPipeline::with_wave(wave, 16, 24).unwrap();
+        assert_eq!(pipeline.input_buckets(), 16);
+        assert_eq!(pipeline.output_buckets(), 24);
+        let mut rng = SplitMix64::new(134);
+        let values: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let h = pipeline
+            .estimate(&values, &Reconstruction::Ems, &mut rng)
+            .unwrap();
+        assert_eq!(h.len(), 16);
+    }
+
+    #[test]
+    fn shape_helper_builds_all_shapes() {
+        for shape in [
+            WaveShape::Square,
+            WaveShape::Trapezoid { ratio: 0.6 },
+            WaveShape::Triangle,
+        ] {
+            assert!(pipeline_with_shape(shape, 0.2, 1.0, 16).is_ok());
+        }
+    }
+}

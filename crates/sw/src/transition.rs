@@ -1,0 +1,251 @@
+//! Exact transition matrices for wave mechanisms (paper §5.5).
+//!
+//! The aggregator reconstructs over a discretized domain: the input `[0, 1]`
+//! is split into `d` buckets and the output `[-b, 1+b]` into `d̃` buckets.
+//! `M ∈ [0,1]^{d̃×d}` holds `M[j][i] = Pr[ṽ ∈ B̃j | v ∈ Bi]` under the
+//! assumption that `v` is uniform within its bucket; every column sums
+//! to 1. Entries are computed by *exact* integration — the square wave has a
+//! closed form via interval-overlap integrals, and the piecewise-linear
+//! general waves use Simpson quadrature split at the wave breakpoints
+//! (exact for the piecewise-quadratic integrand).
+
+use crate::error::SwError;
+use crate::wave::{Wave, WaveShape};
+use ldp_numeric::quad::{integral_of_interval_overlap, integrate_with_breakpoints};
+use ldp_numeric::Matrix;
+
+/// Builds the `d̃ × d` transition matrix of a continuous wave mechanism
+/// ("randomize before bucketize").
+pub fn transition_matrix(wave: &Wave, d: usize, d_tilde: usize) -> Result<Matrix, SwError> {
+    if d == 0 || d_tilde == 0 {
+        return Err(SwError::InvalidParameter(
+            "bucket counts must be positive".into(),
+        ));
+    }
+    let in_width = 1.0 / d as f64;
+    let out_lo = wave.output_lo();
+    let out_width = (wave.output_hi() - wave.output_lo()) / d_tilde as f64;
+
+    let mut m = Matrix::zeros(d_tilde, d);
+    match wave.shape() {
+        WaveShape::Square => {
+            // Closed form: mass = q·|B̃j| + (p − q)·overlap(band, B̃j),
+            // averaged over v ∈ Bi.
+            let q = wave.q();
+            let p = wave.peak();
+            let b = wave.b();
+            for j in 0..d_tilde {
+                let bj_lo = out_lo + j as f64 * out_width;
+                let bj_hi = bj_lo + out_width;
+                for i in 0..d {
+                    let bi_lo = i as f64 * in_width;
+                    let bi_hi = bi_lo + in_width;
+                    let avg_overlap =
+                        integral_of_interval_overlap(bi_lo, bi_hi, b, bj_lo, bj_hi) / in_width;
+                    m.set(j, i, q * out_width + (p - q) * avg_overlap);
+                }
+            }
+        }
+        _ => {
+            let wave_breaks = wave.breakpoints();
+            for j in 0..d_tilde {
+                let bj_lo = out_lo + j as f64 * out_width;
+                let bj_hi = bj_lo + out_width;
+                // v-breakpoints where the integrand kinks: bucket edges
+                // minus wave breakpoints.
+                let mut vbreaks = Vec::with_capacity(2 * wave_breaks.len());
+                for &z in &wave_breaks {
+                    vbreaks.push(bj_lo - z);
+                    vbreaks.push(bj_hi - z);
+                }
+                for i in 0..d {
+                    let bi_lo = i as f64 * in_width;
+                    let bi_hi = bi_lo + in_width;
+                    let integral = integrate_with_breakpoints(
+                        |v| wave.mass_on_interval(v, bj_lo, bj_hi),
+                        &vbreaks,
+                        bi_lo,
+                        bi_hi,
+                        1,
+                    );
+                    m.set(j, i, integral / in_width);
+                }
+            }
+        }
+    }
+    // Columns integrate to 1 analytically; normalize to erase the last few
+    // ulps of quadrature error so EM sees an exactly stochastic matrix.
+    m.normalize_columns();
+    Ok(m)
+}
+
+/// Builds the `(d + 2b) × d` transition matrix of the discrete square wave
+/// mechanism ("bucketize before randomize", paper §5.4): output `j`
+/// corresponds to input position `j - b`, reported with probability `p` when
+/// `|v - (j - b)| ≤ b` and `q` otherwise.
+pub fn discrete_transition_matrix(d: usize, b: usize, eps: f64) -> Result<Matrix, SwError> {
+    crate::error::check_epsilon(eps)?;
+    if d < 2 {
+        return Err(SwError::InvalidParameter(format!(
+            "discrete domain needs at least 2 buckets, got {d}"
+        )));
+    }
+    let e = eps.exp();
+    let width = 2 * b + 1;
+    let p = e / (width as f64 * e + d as f64 - 1.0);
+    let q = 1.0 / (width as f64 * e + d as f64 - 1.0);
+    let d_tilde = d + 2 * b;
+    let mut m = Matrix::zeros(d_tilde, d);
+    for j in 0..d_tilde {
+        for i in 0..d {
+            // Near iff j ∈ [i, i + 2b].
+            let near = j >= i && j <= i + 2 * b;
+            m.set(j, i, if near { p } else { q });
+        }
+    }
+    m.normalize_columns();
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::WaveShape;
+    use ldp_numeric::SplitMix64;
+
+    #[test]
+    fn columns_are_stochastic_for_all_shapes() {
+        for shape in [
+            WaveShape::Square,
+            WaveShape::Trapezoid { ratio: 0.4 },
+            WaveShape::Triangle,
+        ] {
+            let wave = Wave::new(shape, 0.25, 1.0).unwrap();
+            let m = transition_matrix(&wave, 16, 20).unwrap();
+            assert_eq!(m.rows(), 20);
+            assert_eq!(m.cols(), 16);
+            assert!(m.is_nonnegative());
+            for s in m.column_sums() {
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn square_matrix_matches_monte_carlo() {
+        let wave = Wave::square(0.25, 1.0).unwrap();
+        let d = 8;
+        let d_tilde = 8;
+        let m = transition_matrix(&wave, d, d_tilde).unwrap();
+        let mut rng = SplitMix64::new(111);
+        let n = 600_000;
+        let out_lo = wave.output_lo();
+        let out_width = (wave.output_hi() - out_lo) / d_tilde as f64;
+        // Column for input bucket 2: v uniform in [0.25, 0.375).
+        let i = 2;
+        let mut counts = vec![0u64; d_tilde];
+        for _ in 0..n {
+            let v = (i as f64 + rand::Rng::gen::<f64>(&mut rng)) / d as f64;
+            let r = wave.randomize(v, &mut rng).unwrap();
+            let j = (((r - out_lo) / out_width) as usize).min(d_tilde - 1);
+            counts[j] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let expect = m.get(j, i);
+            assert!(
+                (got - expect).abs() < 0.005,
+                "bucket {j}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_matrix_matches_monte_carlo() {
+        let wave = Wave::new(WaveShape::Triangle, 0.3, 1.5).unwrap();
+        let d = 6;
+        let d_tilde = 10;
+        let m = transition_matrix(&wave, d, d_tilde).unwrap();
+        let mut rng = SplitMix64::new(112);
+        let n = 600_000;
+        let out_lo = wave.output_lo();
+        let out_width = (wave.output_hi() - out_lo) / d_tilde as f64;
+        let i = 4;
+        let mut counts = vec![0u64; d_tilde];
+        for _ in 0..n {
+            let v = (i as f64 + rand::Rng::gen::<f64>(&mut rng)) / d as f64;
+            let r = wave.randomize(v, &mut rng).unwrap();
+            let j = (((r - out_lo) / out_width) as usize).min(d_tilde - 1);
+            counts[j] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let expect = m.get(j, i);
+            assert!(
+                (got - expect).abs() < 0.005,
+                "bucket {j}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_input_maps_to_baseline_plus_band() {
+        // For input uniform over [0,1] (all columns averaged), the output
+        // density must match q + (p-q)·(band coverage), in particular
+        // strictly positive everywhere.
+        let wave = Wave::square(0.2, 1.0).unwrap();
+        let m = transition_matrix(&wave, 32, 32).unwrap();
+        let uniform = vec![1.0 / 32.0; 32];
+        let out = m.matvec(&uniform).unwrap();
+        assert!(out.iter().all(|&o| o > 0.0));
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_buckets() {
+        let wave = Wave::square(0.25, 1.0).unwrap();
+        assert!(transition_matrix(&wave, 0, 8).is_err());
+        assert!(transition_matrix(&wave, 8, 0).is_err());
+    }
+
+    #[test]
+    fn discrete_matrix_shape_and_probabilities() {
+        let d = 8;
+        let b = 2;
+        let eps = 1.0;
+        let m = discrete_transition_matrix(d, b, eps).unwrap();
+        assert_eq!(m.rows(), 12);
+        assert_eq!(m.cols(), 8);
+        let e = eps.exp();
+        let p = e / (5.0 * e + 7.0);
+        let q = 1.0 / (5.0 * e + 7.0);
+        // Input 3: near outputs are j in [3, 7].
+        for j in 0..12 {
+            let expect = if (3..=7).contains(&j) { p } else { q };
+            assert!((m.get(j, 3) - expect).abs() < 1e-12, "j={j}");
+        }
+        for s in m.column_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discrete_matrix_zero_bandwidth_degenerates_to_grr_shape() {
+        let m = discrete_transition_matrix(4, 0, 1.0).unwrap();
+        assert_eq!(m.rows(), 4);
+        // Diagonal entries dominate.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    assert!(m.get(j, i) > m.get((j + 1) % 4, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_matrix_validates() {
+        assert!(discrete_transition_matrix(1, 2, 1.0).is_err());
+        assert!(discrete_transition_matrix(8, 2, -1.0).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! `sw-ldp` — estimating numerical distributions under local differential
+//! privacy.
+//!
+//! A from-scratch Rust reproduction of *Li, Wang, Lopuhaä-Zwakenberg,
+//! Škorić, Li: "Estimating Numerical Distributions under Local Differential
+//! Privacy" (SIGMOD 2020)*: the Square Wave mechanism with EM/EMS
+//! reconstruction, the HH-ADMM hierarchical estimator, every baseline the
+//! paper compares against, and a harness regenerating every table and
+//! figure of its evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! names. Start with [`prelude`] and the `examples/` directory.
+//!
+//! ```
+//! use sw_ldp::prelude::*;
+//!
+//! // 10k users each hold a private value in [0, 1].
+//! let values: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+//!
+//! // ε = 1, reconstruct a 64-bucket histogram with the paper's defaults
+//! // (square wave, MI-optimal bandwidth, EMS).
+//! let pipeline = SwPipeline::new(1.0, 64).unwrap();
+//! let mut rng = SplitMix64::new(42);
+//! let estimate = pipeline.estimate(&values, &Reconstruction::Ems, &mut rng).unwrap();
+//! assert!((estimate.mean() - 0.5).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ldp_cfo as cfo;
+pub use ldp_datasets as datasets;
+pub use ldp_experiments as experiments;
+pub use ldp_hierarchy as hierarchy;
+pub use ldp_mean as mean;
+pub use ldp_metrics as metrics;
+pub use ldp_numeric as numeric;
+pub use ldp_sw as sw;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use ldp_cfo::{BinningEstimator, FrequencyOracle, Grr, Hrr, Olh, Oue};
+    pub use ldp_datasets::{Dataset, DatasetKind, DatasetSpec};
+    pub use ldp_experiments::{ExperimentConfig, Method};
+    pub use ldp_hierarchy::{
+        hh_admm_histogram, AdmmConfig, HaarHrr, HierarchicalHistogram, TreeShape,
+    };
+    pub use ldp_mean::{MeanMechanism, MeanVariance, Pm, Sr};
+    pub use ldp_metrics::{ks_distance, quantile_mae, range_query_mae, wasserstein};
+    pub use ldp_numeric::{Histogram, SplitMix64};
+    pub use ldp_sw::{
+        optimal_b, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel, SwPipeline, Wave,
+        WaveShape,
+    };
+}
