@@ -8,9 +8,7 @@ use ldp_cfo::postprocess::{norm_mul, norm_sub};
 use ldp_datasets::DatasetKind;
 use ldp_hierarchy::{hh_admm, AdmmConfig, HierarchicalHistogram};
 use ldp_numeric::SplitMix64;
-use ldp_sw::{
-    reconstruct, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel, SwPipeline,
-};
+use ldp_sw::{reconstruct, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel, SwPipeline};
 use std::time::Duration;
 
 const D: usize = 256;

@@ -46,8 +46,18 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{arg} requires a value"))
         };
         match arg {
-            "table2" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "all"
-            | "ablation-em-threshold" | "ablation-reconstruction" | "ablation-smoothing"
+            "table2"
+            | "fig1"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "all"
+            | "ablation-em-threshold"
+            | "ablation-reconstruction"
+            | "ablation-smoothing"
             | "ablations" => {
                 targets.push(arg.to_string());
             }
@@ -88,10 +98,16 @@ fn parse_args() -> Result<Args, String> {
         i += 1;
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
-        targets = ["table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        // Expand `all` in place so explicit extra targets (e.g. `ablations`)
+        // survive the expansion.
+        targets.retain(|t| t != "all");
+        for t in [
+            "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        ] {
+            if !targets.iter().any(|x| x == t) {
+                targets.push(t.to_string());
+            }
+        }
     }
     if targets.iter().any(|t| t == "ablations") {
         targets.retain(|t| t != "ablations");
@@ -115,15 +131,11 @@ usage: repro [table2|fig1..fig7|all]... [--scale X] [--repeats N] [--eps a,b,c] 
 [--seed S] [--threads N] [--datasets beta,taxi,income,retirement] [--out DIR] [--full] [--smoke]";
 
 fn parse_f64(s: &str) -> Result<f64, String> {
-    s.trim()
-        .parse()
-        .map_err(|_| format!("not a number: {s}"))
+    s.trim().parse().map_err(|_| format!("not a number: {s}"))
 }
 
 fn parse_usize(s: &str) -> Result<usize, String> {
-    s.trim()
-        .parse()
-        .map_err(|_| format!("not an integer: {s}"))
+    s.trim().parse().map_err(|_| format!("not an integer: {s}"))
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -200,9 +212,7 @@ fn main() -> ExitCode {
             "ablation-reconstruction" => {
                 ldp_experiments::ablations::ablation_reconstruction(&args.config)
             }
-            "ablation-smoothing" => {
-                ldp_experiments::ablations::ablation_smoothing(&args.config)
-            }
+            "ablation-smoothing" => ldp_experiments::ablations::ablation_smoothing(&args.config),
             other => {
                 eprintln!("error: unknown target {other}");
                 return ExitCode::FAILURE;

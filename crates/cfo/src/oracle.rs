@@ -19,8 +19,11 @@ pub trait FrequencyOracle {
     fn epsilon(&self) -> f64;
 
     /// Client side: randomizes one private value.
-    fn randomize<R: Rng + ?Sized>(&self, value: usize, rng: &mut R)
-        -> Result<Self::Report, CfoError>;
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        value: usize,
+        rng: &mut R,
+    ) -> Result<Self::Report, CfoError>;
 
     /// Server side: turns all collected reports into unbiased frequency
     /// estimates (one per domain value, approximately summing to 1; entries

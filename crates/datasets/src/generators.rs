@@ -24,13 +24,25 @@ pub fn beta_5_2<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
 pub fn taxi_like<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
     let mixture = Mixture::new(vec![
         // Post-midnight activity tailing off (00:00–02:30).
-        (0.06, Component::Normal(Normal::new(0.04, 0.035).expect("valid"))),
+        (
+            0.06,
+            Component::Normal(Normal::new(0.04, 0.035).expect("valid")),
+        ),
         // Morning commute ridge around 08:30.
-        (0.22, Component::Normal(Normal::new(0.35, 0.055).expect("valid"))),
+        (
+            0.22,
+            Component::Normal(Normal::new(0.35, 0.055).expect("valid")),
+        ),
         // Midday plateau.
-        (0.27, Component::Normal(Normal::new(0.55, 0.09).expect("valid"))),
+        (
+            0.27,
+            Component::Normal(Normal::new(0.55, 0.09).expect("valid")),
+        ),
         // Broad evening peak around 19:00.
-        (0.37, Component::Normal(Normal::new(0.79, 0.065).expect("valid"))),
+        (
+            0.37,
+            Component::Normal(Normal::new(0.79, 0.065).expect("valid")),
+        ),
         // Thin uniform background (pickups never stop entirely).
         (0.08, Component::Uniform(0.0, 1.0)),
     ])
@@ -146,8 +158,8 @@ mod tests {
         let mut rng = SplitMix64::new(183);
         let values = taxi_like(300_000, &mut rng);
         let h = Histogram::from_samples(&values, 96).unwrap(); // 15-min bins
-        // The 04:00-06:00 trough (buckets 16..24) is far below the evening
-        // peak (buckets 72..84).
+                                                               // The 04:00-06:00 trough (buckets 16..24) is far below the evening
+                                                               // peak (buckets 72..84).
         let trough: f64 = h.probs()[16..24].iter().sum::<f64>() / 8.0;
         let peak: f64 = h.probs()[72..84].iter().sum::<f64>() / 12.0;
         assert!(peak > 3.0 * trough, "peak {peak} vs trough {trough}");

@@ -100,7 +100,10 @@ pub fn ablation_em_threshold(config: &ExperimentConfig) -> Result<Figure, Experi
         .map(|(vi, (name, _))| Series {
             label: (*name).into(),
             x: thresholds.clone(),
-            y: per[vi].iter().map(|v| ldp_numeric::stats::mean(v)).collect(),
+            y: per[vi]
+                .iter()
+                .map(|v| ldp_numeric::stats::mean(v))
+                .collect(),
             std: per[vi]
                 .iter()
                 .map(|v| ldp_numeric::stats::std_dev(v))
@@ -156,23 +159,18 @@ pub fn ablation_reconstruction(config: &ExperimentConfig) -> Result<Figure, Expe
         let counts = perturbed_counts(
             &pipeline,
             &ds.values,
-            mix64(config.seed ^ mix64((trial as u64) << 8 | ei as u64 | 0xE42)),
+            mix64(config.seed ^ mix64((trial as u64) << 8 ^ ei as u64 ^ 0xE42)),
         )?;
         let hist: Histogram = match variants[vi].1 {
-            Rec::Ems => {
-                reconstruct(pipeline.transition(), &counts, &EmConfig::ems())?.histogram
-            }
-            Rec::Em => {
-                reconstruct(pipeline.transition(), &counts, &EmConfig::em(eps))?.histogram
-            }
+            Rec::Ems => reconstruct(pipeline.transition(), &counts, &EmConfig::ems())?.histogram,
+            Rec::Em => reconstruct(pipeline.transition(), &counts, &EmConfig::em(eps))?.histogram,
             Rec::Inversion => reconstruct_inversion(pipeline.transition(), &counts)?,
         };
         let w1 = metrics::wasserstein(&truth, &hist)?;
         Ok((vi, ei, w1))
     })?;
 
-    let mut per: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); config.epsilons.len()]; variants.len()];
+    let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); config.epsilons.len()]; variants.len()];
     for (vi, ei, w1) in flat {
         per[vi][ei].push(w1);
     }
@@ -182,7 +180,10 @@ pub fn ablation_reconstruction(config: &ExperimentConfig) -> Result<Figure, Expe
         .map(|(vi, (name, _))| Series {
             label: (*name).into(),
             x: config.epsilons.clone(),
-            y: per[vi].iter().map(|v| ldp_numeric::stats::mean(v)).collect(),
+            y: per[vi]
+                .iter()
+                .map(|v| ldp_numeric::stats::mean(v))
+                .collect(),
             std: per[vi]
                 .iter()
                 .map(|v| ldp_numeric::stats::std_dev(v))
@@ -198,7 +199,10 @@ pub fn ablation_reconstruction(config: &ExperimentConfig) -> Result<Figure, Expe
             y_label: "W1".into(),
             series,
         }],
-        notes: vec![format!("scale {}, repeats {}", config.scale, config.repeats)],
+        notes: vec![format!(
+            "scale {}, repeats {}",
+            config.scale, config.repeats
+        )],
     })
 }
 
@@ -227,7 +231,7 @@ pub fn ablation_smoothing(config: &ExperimentConfig) -> Result<Figure, Experimen
         let counts = perturbed_counts(
             &pipeline,
             &ds.values,
-            mix64(config.seed ^ mix64((trial as u64) << 8 | ei as u64 | 0xE43)),
+            mix64(config.seed ^ mix64((trial as u64) << 8 ^ ei as u64 ^ 0xE43)),
         )?;
         let em_config = EmConfig {
             ll_threshold: if variants[vi].1.is_none() {
@@ -244,8 +248,7 @@ pub fn ablation_smoothing(config: &ExperimentConfig) -> Result<Figure, Experimen
         Ok((vi, ei, w1))
     })?;
 
-    let mut per: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); config.epsilons.len()]; variants.len()];
+    let mut per: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); config.epsilons.len()]; variants.len()];
     for (vi, ei, w1) in flat {
         per[vi][ei].push(w1);
     }
@@ -255,7 +258,10 @@ pub fn ablation_smoothing(config: &ExperimentConfig) -> Result<Figure, Experimen
         .map(|(vi, (name, _))| Series {
             label: (*name).into(),
             x: config.epsilons.clone(),
-            y: per[vi].iter().map(|v| ldp_numeric::stats::mean(v)).collect(),
+            y: per[vi]
+                .iter()
+                .map(|v| ldp_numeric::stats::mean(v))
+                .collect(),
             std: per[vi]
                 .iter()
                 .map(|v| ldp_numeric::stats::std_dev(v))
@@ -271,7 +277,10 @@ pub fn ablation_smoothing(config: &ExperimentConfig) -> Result<Figure, Experimen
             y_label: "W1".into(),
             series,
         }],
-        notes: vec![format!("scale {}, repeats {}", config.scale, config.repeats)],
+        notes: vec![format!(
+            "scale {}, repeats {}",
+            config.scale, config.repeats
+        )],
     })
 }
 

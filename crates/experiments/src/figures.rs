@@ -25,7 +25,11 @@ fn prepare(
     d: usize,
     config: &ExperimentConfig,
 ) -> Result<(Dataset, Histogram), ExperimentError> {
-    let spec = DatasetSpec::scaled(kind, config.scale, mix64(config.seed ^ kind.paper_n() as u64));
+    let spec = DatasetSpec::scaled(
+        kind,
+        config.scale,
+        mix64(config.seed ^ kind.paper_n() as u64),
+    );
     let ds = spec.generate();
     let truth = ds.histogram(d)?;
     Ok((ds, truth))
@@ -199,7 +203,10 @@ pub fn fig5(config: &ExperimentConfig) -> Result<Figure, ExperimentError> {
             .map(|(si, (label, _))| Series {
                 label: label.clone(),
                 x: grid.clone(),
-                y: per[si].iter().map(|v| ldp_numeric::stats::mean(v)).collect(),
+                y: per[si]
+                    .iter()
+                    .map(|v| ldp_numeric::stats::mean(v))
+                    .collect(),
                 std: per[si]
                     .iter()
                     .map(|v| ldp_numeric::stats::std_dev(v))
@@ -277,8 +284,11 @@ pub fn fig7(config: &ExperimentConfig) -> Result<Figure, ExperimentError> {
     let granularities = [256usize, 512, 1024, 2048];
     let mut charts = Vec::new();
     for &kind in &config.datasets {
-        let spec =
-            DatasetSpec::scaled(kind, config.scale, mix64(config.seed ^ kind.paper_n() as u64));
+        let spec = DatasetSpec::scaled(
+            kind,
+            config.scale,
+            mix64(config.seed ^ kind.paper_n() as u64),
+        );
         let ds = spec.generate();
         let mut series = Vec::new();
         for &d in &granularities {
@@ -312,8 +322,9 @@ pub fn fig7(config: &ExperimentConfig) -> Result<Figure, ExperimentError> {
     }
     Ok(Figure {
         id: "fig7".into(),
-        caption: "W1 between estimated and true distribution with different bucketization granularity"
-            .into(),
+        caption:
+            "W1 between estimated and true distribution with different bucketization granularity"
+                .into(),
         charts,
         notes: vec![scale_note(config)],
     })

@@ -193,7 +193,9 @@ mod tests {
     use super::*;
 
     fn values() -> Vec<f64> {
-        (0..6_000).map(|i| ((i * 37) % 1000) as f64 / 1000.0).collect()
+        (0..6_000)
+            .map(|i| ((i * 37) % 1000) as f64 / 1000.0)
+            .collect()
     }
 
     #[test]

@@ -64,11 +64,7 @@ pub fn evaluate_trial(
             )?);
             out.mean_err = Some(metrics::mean_error(truth, h)?);
             out.var_err = Some(metrics::variance_error(truth, h)?);
-            out.quantile_err = Some(metrics::quantile_mae(
-                truth,
-                h,
-                &metrics::paper_levels(),
-            )?);
+            out.quantile_err = Some(metrics::quantile_mae(truth, h, &metrics::paper_levels())?);
         }
         Estimate::SignedLeaves(leaves) => {
             out.rq_01 = Some(metrics::range_query_mae_signed(
@@ -105,19 +101,31 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<T, ExperimentError>>>> =
         Mutex::new((0..jobs).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= jobs {
-                    break;
-                }
-                let r = f(idx);
-                results.lock()[idx] = Some(r);
-            });
-        }
-    })
-    .map_err(|_| ExperimentError("worker thread panicked".into()))?;
+    let panicked = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= jobs {
+                        break;
+                    }
+                    let r = f(idx);
+                    results.lock()[idx] = Some(r);
+                })
+            })
+            .collect();
+        // Join every worker before deciding: a short-circuiting `any` would
+        // drop unjoined handles, and `std::thread::scope` re-panics on
+        // drop-joined panicked threads instead of letting us return Err.
+        workers
+            .into_iter()
+            .map(|w| w.join().is_err())
+            .collect::<Vec<_>>()
+            .contains(&true)
+    });
+    if panicked {
+        return Err(ExperimentError("worker thread panicked".into()));
+    }
     let collected = results.into_inner();
     let mut out = Vec::with_capacity(jobs);
     for r in collected {
@@ -204,8 +212,7 @@ pub fn run_grid(
         )
         .map(|m| (mi, ei, trial, m))
     })?;
-    let mut metrics =
-        vec![vec![Vec::with_capacity(config.repeats); n_eps]; methods.len()];
+    let mut metrics = vec![vec![Vec::with_capacity(config.repeats); n_eps]; methods.len()];
     for (mi, ei, _trial, m) in flat {
         metrics[mi][ei].push(m);
     }
@@ -280,14 +287,7 @@ mod tests {
             range_queries: 20,
             ..ExperimentConfig::default()
         };
-        let grid = run_grid(
-            &[Method::SwEms, Method::Sr],
-            &values,
-            &truth,
-            64,
-            &config,
-        )
-        .unwrap();
+        let grid = run_grid(&[Method::SwEms, Method::Sr], &values, &truth, 64, &config).unwrap();
         assert_eq!(grid.metrics.len(), 2);
         assert_eq!(grid.metrics[0].len(), 2);
         assert_eq!(grid.metrics[0][0].len(), 2);
@@ -316,10 +316,6 @@ mod tests {
         let grid = run_grid(&[Method::SwEms], &values, &truth, 64, &config).unwrap();
         let w1 = grid.series(|m| m.w1);
         let s = &w1[0];
-        assert!(
-            s.y[1] < s.y[0],
-            "W1 should shrink with epsilon: {:?}",
-            s.y
-        );
+        assert!(s.y[1] < s.y[0], "W1 should shrink with epsilon: {:?}", s.y);
     }
 }

@@ -58,11 +58,7 @@ pub struct AdmmResult {
 /// Projection onto `N+`: every level clamped to the probability simplex
 /// (non-negative, summing to 1). Norm-Sub per level (Appendix B).
 fn project_levels_simplex(v: &TreeValues) -> TreeValues {
-    let levels = v
-        .levels
-        .iter()
-        .map(|level| norm_sub(level, 1.0))
-        .collect();
+    let levels = v.levels.iter().map(|level| norm_sub(level, 1.0)).collect();
     TreeValues { levels }
 }
 
@@ -120,8 +116,7 @@ pub fn hh_admm(
         // x̂-update: average of the three blocks' pullbacks.
         change = 0.0;
         for i in 0..n {
-            let next =
-                ((y[i] + x_tilde[i] - mu[i]) + (z[i] - nu[i]) + (w[i] - eta[i])) / 3.0;
+            let next = ((y[i] + x_tilde[i] - mu[i]) + (z[i] - nu[i]) + (w[i] - eta[i])) / 3.0;
             change += (next - x_hat[i]).abs();
             x_hat[i] = next;
         }
@@ -159,8 +154,7 @@ pub fn hh_admm_histogram(
 ) -> Result<Histogram, HierarchyError> {
     let result = hh_admm(shape, raw, config)?;
     let leaves = norm_sub(result.tree.leaves(), 1.0);
-    Histogram::from_probs(leaves)
-        .map_err(|e| HierarchyError::InvalidParameter(e.to_string()))
+    Histogram::from_probs(leaves).map_err(|e| HierarchyError::InvalidParameter(e.to_string()))
 }
 
 #[cfg(test)]

@@ -54,7 +54,10 @@ pub fn constrained_inference(
             h + 1
         )));
     }
-    if level_variances.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+    if level_variances
+        .iter()
+        .any(|&v| !(v > 0.0) || !v.is_finite())
+    {
         return Err(HierarchyError::InvalidParameter(
             "level variances must be positive and finite".into(),
         ));
@@ -117,8 +120,7 @@ mod tests {
     fn consistent_input_is_fixed_point() {
         let s = shape_2_8();
         let t = TreeValues::from_leaves(&s, &[0.1, 0.2, 0.05, 0.15, 0.1, 0.1, 0.2, 0.1]);
-        let out =
-            constrained_inference(&s, &t, &[1.0; 4], RootPolicy::Estimated).unwrap();
+        let out = constrained_inference(&s, &t, &[1.0; 4], RootPolicy::Estimated).unwrap();
         for (a, b) in out.flatten().iter().zip(t.flatten().iter()) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -198,8 +200,7 @@ mod tests {
         let t = TreeValues {
             levels: vec![vec![1.0], vec![0.1, 0.1]],
         };
-        let out =
-            constrained_inference(&s, &t, &[1e-9, 10.0], RootPolicy::Estimated).unwrap();
+        let out = constrained_inference(&s, &t, &[1e-9, 10.0], RootPolicy::Estimated).unwrap();
         assert!((out.levels[0][0] - 1.0).abs() < 1e-3);
         // Children get pushed up to match the trusted parent.
         let child_sum: f64 = out.leaves().iter().sum();
@@ -211,8 +212,9 @@ mod tests {
         let s = shape_2_8();
         let t = TreeValues::zeros(&s);
         assert!(constrained_inference(&s, &t, &[1.0; 3], RootPolicy::Estimated).is_err());
-        assert!(constrained_inference(&s, &t, &[1.0, 1.0, 0.0, 1.0], RootPolicy::Estimated)
-            .is_err());
+        assert!(
+            constrained_inference(&s, &t, &[1.0, 1.0, 0.0, 1.0], RootPolicy::Estimated).is_err()
+        );
         let bad = TreeValues {
             levels: vec![vec![0.0]],
         };

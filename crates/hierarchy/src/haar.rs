@@ -240,12 +240,17 @@ mod tests {
     fn haarhrr_high_epsilon_recovers_distribution() {
         let est = HaarHrr::new(16, 8.0).unwrap();
         let mut rng = SplitMix64::new(81);
-        let values: Vec<usize> = (0..80_000).map(|i| if i % 4 == 0 { 3 } else { 12 }).collect();
+        let values: Vec<usize> = (0..80_000)
+            .map(|i| if i % 4 == 0 { 3 } else { 12 })
+            .collect();
         let leaves = est.estimate_leaves(&values, &mut rng).unwrap();
         assert!((leaves[3] - 0.25).abs() < 0.05, "leaf3={}", leaves[3]);
         assert!((leaves[12] - 0.75).abs() < 0.05, "leaf12={}", leaves[12]);
         let sum: f64 = leaves.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "leaves always sum to the public total");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "leaves always sum to the public total"
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ impl HhRaw {
         tree: TreeValues,
         level_variances: Vec<f64>,
     ) -> Result<Self, HierarchyError> {
-        if tree.levels.len() != shape.height() + 1
-            || level_variances.len() != shape.height() + 1
-        {
+        if tree.levels.len() != shape.height() + 1 || level_variances.len() != shape.height() + 1 {
             return Err(HierarchyError::InvalidParameter(format!(
                 "tree/variance levels must both be {}",
                 shape.height() + 1
@@ -197,7 +195,9 @@ mod tests {
         let hh = HierarchicalHistogram::new(4, 16, 8.0).unwrap();
         let mut rng = SplitMix64::new(73);
         // 50% bucket 2, 50% bucket 11.
-        let values: Vec<usize> = (0..60_000).map(|i| if i % 2 == 0 { 2 } else { 11 }).collect();
+        let values: Vec<usize> = (0..60_000)
+            .map(|i| if i % 2 == 0 { 2 } else { 11 })
+            .collect();
         let leaves = hh.estimate_leaves(&values, &mut rng).unwrap();
         assert!((leaves[2] - 0.5).abs() < 0.05, "leaf2={}", leaves[2]);
         assert!((leaves[11] - 0.5).abs() < 0.05, "leaf11={}", leaves[11]);

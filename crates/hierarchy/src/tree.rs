@@ -27,9 +27,9 @@ impl TreeShape {
         let mut height = 0usize;
         let mut size = 1usize;
         while size < leaves {
-            size = size.checked_mul(branching).ok_or_else(|| {
-                HierarchyError::InvalidParameter("tree size overflow".into())
-            })?;
+            size = size
+                .checked_mul(branching)
+                .ok_or_else(|| HierarchyError::InvalidParameter("tree size overflow".into()))?;
             height += 1;
         }
         if size != leaves || height == 0 {
@@ -204,7 +204,9 @@ impl TreeValues {
     /// The leaf level values.
     #[must_use]
     pub fn leaves(&self) -> &[f64] {
-        self.levels.last().expect("tree has at least the root level")
+        self.levels
+            .last()
+            .expect("tree has at least the root level")
     }
 
     /// Maximum absolute violation of parent = Σ children over all internal
@@ -214,10 +216,7 @@ impl TreeValues {
         let mut worst = 0.0f64;
         for level in 0..shape.height() {
             for k in 0..shape.level_size(level) {
-                let child_sum: f64 = shape
-                    .children(k)
-                    .map(|c| self.levels[level + 1][c])
-                    .sum();
+                let child_sum: f64 = shape.children(k).map(|c| self.levels[level + 1][c]).sum();
                 worst = worst.max((self.levels[level][k] - child_sum).abs());
             }
         }

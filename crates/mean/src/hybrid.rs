@@ -155,7 +155,11 @@ mod tests {
             }
         }
         let frac = f64::from(pm_seen) / f64::from(n);
-        assert!((frac - high.beta()).abs() < 0.02, "{frac} vs {}", high.beta());
+        assert!(
+            (frac - high.beta()).abs() < 0.02,
+            "{frac} vs {}",
+            high.beta()
+        );
     }
 
     #[test]
@@ -178,10 +182,7 @@ mod tests {
         // at small eps it equals SR exactly.
         let v = 0.5;
         let small = Hybrid::new(0.4).unwrap();
-        assert!(
-            (small.report_variance(v) - Sr::new(0.4).unwrap().report_variance(v)).abs()
-                < 1e-9
-        );
+        assert!((small.report_variance(v) - Sr::new(0.4).unwrap().report_variance(v)).abs() < 1e-9);
         let large = Hybrid::new(4.0).unwrap();
         let sr_var = Sr::new(4.0).unwrap().report_variance(v);
         assert!(large.report_variance(v) < sr_var);

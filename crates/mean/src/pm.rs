@@ -70,7 +70,11 @@ impl Pm {
             let right = self.s - hi;
             let total = left + right;
             let x = rng.gen::<f64>() * total;
-            Ok(if x < left { -self.s + x } else { hi + (x - left) })
+            Ok(if x < left {
+                -self.s + x
+            } else {
+                hi + (x - left)
+            })
         }
     }
 

@@ -38,7 +38,11 @@ impl Sr {
         check_signed(v)?;
         let q = 1.0 - self.p;
         let prob_plus = q + (self.p - q) * (1.0 + v) / 2.0;
-        Ok(if rng.gen::<f64>() < prob_plus { 1.0 } else { -1.0 })
+        Ok(if rng.gen::<f64>() < prob_plus {
+            1.0
+        } else {
+            -1.0
+        })
     }
 
     /// Debiases one raw report: `ṽ = v' / (p - q)`; `E[ṽ] = v`.

@@ -68,7 +68,10 @@ impl MeanVariance {
         values01: &[f64],
         rng: &mut R,
     ) -> Result<f64, MeanError> {
-        let signed: Vec<f64> = values01.iter().map(|&v| to_signed(v.clamp(0.0, 1.0))).collect();
+        let signed: Vec<f64> = values01
+            .iter()
+            .map(|&v| to_signed(v.clamp(0.0, 1.0)))
+            .collect();
         let est = self.run_mechanism(&signed, rng)?;
         Ok(from_signed(est.clamp(-1.0, 1.0)))
     }

@@ -100,12 +100,8 @@ mod tests {
     fn metrics_are_symmetric() {
         let a = h(&[0.4, 0.3, 0.2, 0.1]);
         let b = h(&[0.1, 0.2, 0.3, 0.4]);
-        assert!(
-            (wasserstein(&a, &b).unwrap() - wasserstein(&b, &a).unwrap()).abs() < 1e-12
-        );
-        assert!(
-            (ks_distance(&a, &b).unwrap() - ks_distance(&b, &a).unwrap()).abs() < 1e-12
-        );
+        assert!((wasserstein(&a, &b).unwrap() - wasserstein(&b, &a).unwrap()).abs() < 1e-12);
+        assert!((ks_distance(&a, &b).unwrap() - ks_distance(&b, &a).unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -58,12 +58,9 @@ mod tests {
     fn scalar_variants_match_histogram_variants() {
         let a = h(&[0.7, 0.1, 0.1, 0.1]);
         let b = h(&[0.1, 0.1, 0.1, 0.7]);
+        assert!((mean_error(&a, &b).unwrap() - mean_error_scalar(&a, b.mean())).abs() < 1e-12);
         assert!(
-            (mean_error(&a, &b).unwrap() - mean_error_scalar(&a, b.mean())).abs() < 1e-12
-        );
-        assert!(
-            (variance_error(&a, &b).unwrap() - variance_error_scalar(&a, b.variance()))
-                .abs()
+            (variance_error(&a, &b).unwrap() - variance_error_scalar(&a, b.variance())).abs()
                 < 1e-12
         );
     }

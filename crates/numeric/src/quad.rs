@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn overlap_integral_disjoint() {
-        assert_eq!(
-            integral_of_interval_overlap(0.0, 0.1, 0.05, 0.5, 0.6),
-            0.0
-        );
+        assert_eq!(integral_of_interval_overlap(0.0, 0.1, 0.05, 0.5, 0.6), 0.0);
     }
 
     #[test]

@@ -162,7 +162,9 @@ mod tests {
     fn counts_for(n: usize, seed: u64, d: usize) -> (SwPipeline, Vec<f64>, Histogram) {
         let pipeline = SwPipeline::new(1.0, d).unwrap();
         let mut rng = SplitMix64::new(seed);
-        let values: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * ((i % 97) as f64 / 97.0)).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| 0.3 + 0.4 * ((i % 97) as f64 / 97.0))
+            .collect();
         let mut counts = vec![0.0; d];
         for &v in &values {
             let r = pipeline.randomize(v, &mut rng).unwrap();
@@ -180,7 +182,10 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|_| sample_poisson(mean, &mut rng)).collect();
             let m = ldp_numeric::stats::mean(&xs);
             let v = ldp_numeric::stats::variance(&xs);
-            assert!((m - mean).abs() < mean.sqrt() * 0.1 + 0.05, "mean {m} vs {mean}");
+            assert!(
+                (m - mean).abs() < mean.sqrt() * 0.1 + 0.05,
+                "mean {m} vs {mean}"
+            );
             assert!((v - mean).abs() < mean * 0.15 + 0.1, "var {v} vs {mean}");
         }
         assert_eq!(sample_poisson(0.0, &mut rng), 0.0);
@@ -249,9 +254,13 @@ mod tests {
     fn median_interval_contains_truth_at_reasonable_scale() {
         let (pipeline, counts, truth) = counts_for(60_000, 8007, 32);
         let mut rng = SplitMix64::new(8008);
-        let result =
-            bootstrap(pipeline.transition(), &counts, &BootstrapConfig::default(), &mut rng)
-                .unwrap();
+        let result = bootstrap(
+            pipeline.transition(),
+            &counts,
+            &BootstrapConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let (lo, hi) = result.median_interval;
         let true_median = truth.quantile(0.5);
         // Allow slack: the bootstrap covers sampling noise, not mechanism
@@ -282,9 +291,13 @@ mod tests {
     fn point_estimate_matches_direct_reconstruction() {
         let (pipeline, counts, _) = counts_for(10_000, 8011, 16);
         let mut rng = SplitMix64::new(8012);
-        let result =
-            bootstrap(pipeline.transition(), &counts, &BootstrapConfig::default(), &mut rng)
-                .unwrap();
+        let result = bootstrap(
+            pipeline.transition(),
+            &counts,
+            &BootstrapConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let direct = pipeline
             .reconstruct(&counts, &Reconstruction::Ems)
             .unwrap()

@@ -148,7 +148,11 @@ mod tests {
     fn default_bandwidth_tracks_continuous_optimum() {
         let sw = DiscreteSw::new(1024, 1.0).unwrap();
         // b* ≈ 0.256 → ⌊262.x⌋.
-        assert!((250..=270).contains(&sw.bandwidth()), "b={}", sw.bandwidth());
+        assert!(
+            (250..=270).contains(&sw.bandwidth()),
+            "b={}",
+            sw.bandwidth()
+        );
     }
 
     #[test]
@@ -162,7 +166,11 @@ mod tests {
             counts[sw.randomize(v, &mut rng).unwrap()] += 1;
         }
         for (j, &c) in counts.iter().enumerate() {
-            let expect = if (v..=v + 4).contains(&j) { sw.p() } else { sw.q() };
+            let expect = if (v..=v + 4).contains(&j) {
+                sw.p()
+            } else {
+                sw.q()
+            };
             let got = c as f64 / n as f64;
             assert!((got - expect).abs() < 0.005, "j={j}: {got} vs {expect}");
         }

@@ -125,7 +125,11 @@ pub fn reconstruct(m: &Matrix, counts: &[f64], config: &EmConfig) -> Result<EmRe
         m.matvec_into(&theta, &mut cond)
             .map_err(|e| SwError::Reconstruction(e.to_string()))?;
         for j in 0..d_tilde {
-            ratio[j] = if cond[j] > 0.0 { counts[j] / cond[j] } else { 0.0 };
+            ratio[j] = if cond[j] > 0.0 {
+                counts[j] / cond[j]
+            } else {
+                0.0
+            };
         }
         m.matvec_transpose_into(&ratio, &mut tmp)
             .map_err(|e| SwError::Reconstruction(e.to_string()))?;
@@ -319,9 +323,7 @@ mod tests {
             .collect();
         let em = reconstruct(&m, &counts, &EmConfig::em(1.0)).unwrap();
         let ems = reconstruct(&m, &counts, &EmConfig::ems()).unwrap();
-        let tv = |h: &Histogram| -> f64 {
-            h.probs().windows(2).map(|w| (w[1] - w[0]).abs()).sum()
-        };
+        let tv = |h: &Histogram| -> f64 { h.probs().windows(2).map(|w| (w[1] - w[0]).abs()).sum() };
         assert!(
             tv(&ems.histogram) < tv(&em.histogram),
             "EMS TV {} vs EM TV {}",

@@ -50,8 +50,8 @@ pub mod transition;
 pub mod wave;
 
 pub use aggregator::ShardAggregator;
-pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapResult};
 pub use bandwidth::{mi_upper_bound, optimal_b, optimal_b_discrete};
+pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapResult};
 pub use discrete::DiscreteSw;
 pub use em::{reconstruct, EmConfig, EmResult};
 pub use error::SwError;

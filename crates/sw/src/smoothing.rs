@@ -47,9 +47,7 @@ impl SmoothingKernel {
         let half = weights.len() / 2;
         for k in 0..half {
             if (weights[k] - weights[weights.len() - 1 - k]).abs() > 1e-12 {
-                return Err(SwError::InvalidParameter(
-                    "kernel must be symmetric".into(),
-                ));
+                return Err(SwError::InvalidParameter("kernel must be symmetric".into()));
             }
         }
         Ok(SmoothingKernel { weights })

@@ -47,7 +47,10 @@ fn main() {
 
     // --- Compare ----------------------------------------------------------
     let levels: Vec<f64> = (1..=9).map(|k| k as f64 / 10.0).collect();
-    println!("\n{:<12} {:>12} {:>12} {:>12}", "method", "W1", "KS", "quantile MAE");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12}",
+        "method", "W1", "KS", "quantile MAE"
+    );
     for (name, est) in [("SW-EMS", &sw_est), ("HH-ADMM", &admm_est)] {
         println!(
             "{:<12} {:>12.5} {:>12.5} {:>12.5}",

@@ -72,18 +72,12 @@ fn main() {
     let mut qrng = SplitMix64::new(4242);
     for alpha in [0.1, 0.4] {
         let e_sw = range_query_mae(&truth, &sw, alpha, 500, &mut qrng).unwrap();
-        let e_hh = sw_ldp::metrics::range_query_mae_signed(
-            &truth, &hh_leaves, alpha, 500, &mut qrng,
-        )
-        .unwrap();
-        let e_haar = sw_ldp::metrics::range_query_mae_signed(
-            &truth,
-            &haar_leaves,
-            alpha,
-            500,
-            &mut qrng,
-        )
-        .unwrap();
+        let e_hh =
+            sw_ldp::metrics::range_query_mae_signed(&truth, &hh_leaves, alpha, 500, &mut qrng)
+                .unwrap();
+        let e_haar =
+            sw_ldp::metrics::range_query_mae_signed(&truth, &haar_leaves, alpha, 500, &mut qrng)
+                .unwrap();
         println!(
             "\nrandom range MAE (alpha = {alpha}): SW-EMS {e_sw:.5}  HH {e_hh:.5}  HaarHRR {e_haar:.5}"
         );

@@ -54,7 +54,11 @@ fn main() {
         let est = pipeline
             .estimate(&dataset.values, &Reconstruction::Ems, &mut rng)
             .expect("reconstruction succeeds");
-        let marker = if (bb - b).abs() < 1e-9 { "  <-- b*" } else { "" };
+        let marker = if (bb - b).abs() < 1e-9 {
+            "  <-- b*"
+        } else {
+            ""
+        };
         println!(
             "  b = {bb:.3}   W1 = {:.5}{marker}",
             wasserstein(&truth, &est).unwrap()

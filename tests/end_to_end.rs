@@ -105,14 +105,9 @@ fn hh_admm_beats_plain_hh_on_range_queries() {
     let admm = hh_admm_histogram(hh.shape(), &raw, AdmmConfig::default()).unwrap();
 
     let mut qrng = SplitMix64::new(5);
-    let e_plain = sw_ldp::metrics::range_query_mae_signed(
-        &truth,
-        &plain_leaves,
-        0.1,
-        500,
-        &mut qrng,
-    )
-    .unwrap();
+    let e_plain =
+        sw_ldp::metrics::range_query_mae_signed(&truth, &plain_leaves, 0.1, 500, &mut qrng)
+            .unwrap();
     let mut qrng = SplitMix64::new(5);
     let e_admm = range_query_mae(&truth, &admm, 0.1, 500, &mut qrng).unwrap();
     assert!(
@@ -214,9 +209,7 @@ fn all_methods_run_on_all_datasets_at_small_scale() {
             .into_iter()
             .chain([Method::Hh, Method::HaarHrr])
         {
-            let r = sw_ldp::experiments::evaluate_trial(
-                method, &ds.values, &truth, d, 1.0, 99, 20,
-            );
+            let r = sw_ldp::experiments::evaluate_trial(method, &ds.values, &truth, d, 1.0, 99, 20);
             assert!(
                 r.is_ok(),
                 "{} failed on {}: {:?}",

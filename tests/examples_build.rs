@@ -1,0 +1,30 @@
+//! Smoke test: every binary under `examples/` must compile.
+//!
+//! `cargo test` does not build example targets by default, so a broken
+//! example would otherwise only surface in CI's `cargo build --examples`
+//! step. This test shells out to cargo (the same toolchain that is running
+//! the tests, via `$CARGO`) and fails with the compiler output if any
+//! example is broken.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    assert!(
+        Path::new(manifest_dir).join("examples").is_dir(),
+        "examples/ directory missing"
+    );
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

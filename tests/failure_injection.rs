@@ -171,10 +171,10 @@ fn out_of_domain_bucket_values_are_rejected_by_hierarchy_methods() {
 fn reconstruct_rejects_malformed_counts() {
     let pipeline = SwPipeline::new(1.0, 16).unwrap();
     let m = pipeline.transition();
-    assert!(reconstruct(m, &vec![f64::NAN; 16], &EmConfig::ems()).is_err());
-    assert!(reconstruct(m, &vec![-1.0; 16], &EmConfig::ems()).is_err());
-    assert!(reconstruct(m, &vec![0.0; 16], &EmConfig::ems()).is_err());
-    assert!(reconstruct(m, &vec![1.0; 15], &EmConfig::ems()).is_err());
+    assert!(reconstruct(m, &[f64::NAN; 16], &EmConfig::ems()).is_err());
+    assert!(reconstruct(m, &[-1.0; 16], &EmConfig::ems()).is_err());
+    assert!(reconstruct(m, &[0.0; 16], &EmConfig::ems()).is_err());
+    assert!(reconstruct(m, &[1.0; 15], &EmConfig::ems()).is_err());
 }
 
 #[test]

@@ -7,17 +7,14 @@ use sw_ldp::prelude::*;
 use sw_ldp::sw::{reconstruct, transition_matrix};
 
 fn prob_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..1.0, 2..max_len).prop_filter_map(
-        "need positive mass",
-        |v| {
-            let s: f64 = v.iter().sum();
-            if s > 1e-9 {
-                Some(v.iter().map(|x| x / s).collect::<Vec<f64>>())
-            } else {
-                None
-            }
-        },
-    )
+    prop::collection::vec(0.0f64..1.0, 2..max_len).prop_filter_map("need positive mass", |v| {
+        let s: f64 = v.iter().sum();
+        if s > 1e-9 {
+            Some(v.iter().map(|x| x / s).collect::<Vec<f64>>())
+        } else {
+            None
+        }
+    })
 }
 
 proptest! {

@@ -1,0 +1,286 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's bench
+//! targets use — `Criterion::benchmark_group`, group configuration,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's full statistical engine.
+//! Benches compile unchanged against the real crate.
+//!
+//! Timing model: each `bench_function` runs a short warm-up, then
+//! `sample_size` samples; each sample runs the routine in a loop sized so a
+//! sample takes roughly `measurement_time / sample_size`. The median
+//! per-iteration time is printed to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stub runs one routine call
+/// per setup regardless of variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the default warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the default measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let warm_up_time = self.warm_up_time;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let warm_up_time = self.warm_up_time;
+        let measurement_time = self.measurement_time;
+        run_one(name, sample_size, warm_up_time, measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement duration for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finishes the group (no-op in the stub; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Warm-up: repeatedly run single iterations until the budget elapses.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(0);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = if warm_iters == 0 {
+            b.elapsed
+        } else {
+            (per_iter * warm_iters as u32 + b.elapsed) / (warm_iters as u32 + 1)
+        };
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+
+    // Size each sample so the whole measurement fits the time budget.
+    let sample_budget = measurement_time / sample_size.max(1) as u32;
+    let iters_per_sample = if per_iter.as_nanos() == 0 {
+        1000
+    } else {
+        (sample_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("bench: {name:60} {median:>14.1} ns/iter ({iters_per_sample} iters x {sample_size} samples)");
+}
+
+/// Per-benchmark timing context handed to the closure, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` product per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("stub");
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        runs += 1;
+        assert_eq!(runs, 1);
+    }
+}

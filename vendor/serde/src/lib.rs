@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and the matching
+//! derive macros so types in this workspace can declare serializability.
+//! No wire format is implemented — the workspace's own I/O (CSV report
+//! writing in `ldp-experiments`) is hand-rolled. Swapping in the real
+//! `serde` requires only replacing the path dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s role in bounds.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s role in bounds.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as manifest
+//! markers on plain-old-data types; no code path performs actual
+//! serialization. These derives therefore accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. Replacing this
+//! crate with the real `serde_derive` is a manifest-only change.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Marker derive matching `serde_derive::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive matching `serde_derive::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
