@@ -1,0 +1,115 @@
+//! Perf trajectory benches for the structured transition operator and the
+//! batched client path (recorded into `BENCH_em.json` by
+//! `scripts/bench_record.sh`).
+//!
+//! - `em_fixed/{dense,structured}_d{D}_iters{K}`: EM over exactly `K`
+//!   iterations at `d = d̃ = D`, dense matrix vs `BandedBaselineOperator`.
+//!   Per-iteration cost = reported ns / `K`.
+//! - `client_batch/randomize_n{N}_w{W}`: perturbing `N` reports across `W`
+//!   `std::thread::scope` workers; reports/sec = `N / (ns · 1e-9)`.
+//!
+//! `BENCH_SMOKE=1` switches to a seconds-long configuration for CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_sw::{
+    optimal_b, reconstruct, transition_matrix, BandedBaselineOperator, EmConfig, SwPipeline, Wave,
+};
+use std::time::Duration;
+
+/// Fixed EM iteration count so dense and structured runs do identical work.
+const EM_ITERS: usize = 32;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").as_deref() == Ok("1")
+}
+
+/// An EmConfig that runs exactly `iters` iterations (early stop disabled).
+fn fixed_iters(iters: usize) -> EmConfig {
+    EmConfig {
+        ll_threshold: 0.0,
+        max_iterations: iters,
+        min_iterations: iters + 1,
+        smoothing: None,
+    }
+}
+
+/// Expected report counts for a smooth bimodal truth — EM sees realistic,
+/// strictly positive conditionals without any sampling noise in the bench.
+fn expected_counts(m: &ldp_numeric::Matrix, d: usize) -> Vec<f64> {
+    let mut truth: Vec<f64> = (0..d)
+        .map(|i| {
+            let x = (i as f64 + 0.5) / d as f64;
+            (-(x - 0.3).powi(2) / 0.02).exp() + 0.6 * (-(x - 0.75).powi(2) / 0.01).exp()
+        })
+        .collect();
+    let s: f64 = truth.iter().sum();
+    for t in &mut truth {
+        *t /= s;
+    }
+    m.matvec(&truth).unwrap().iter().map(|p| p * 1e6).collect()
+}
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fixed");
+    if smoke() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(200));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+    }
+    let dims: &[usize] = if smoke() { &[256] } else { &[256, 1024] };
+    let eps = 1.0;
+    let wave = Wave::square(optimal_b(eps).unwrap(), eps).unwrap();
+    for &d in dims {
+        let m = transition_matrix(&wave, d, d).unwrap();
+        let op = BandedBaselineOperator::from_wave(&wave, d, d).unwrap();
+        let counts = expected_counts(&m, d);
+        let config = fixed_iters(EM_ITERS);
+        group.bench_function(format!("dense_d{d}_iters{EM_ITERS}"), |b| {
+            b.iter(|| reconstruct(black_box(&m), black_box(&counts), &config).unwrap())
+        });
+        group.bench_function(format!("structured_d{d}_iters{EM_ITERS}"), |b| {
+            b.iter(|| reconstruct(black_box(&op), black_box(&counts), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_batch");
+    if smoke() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(200));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+    }
+    let n: usize = if smoke() { 20_000 } else { 400_000 };
+    let pipeline = SwPipeline::new(1.0, 256).unwrap();
+    let values: Vec<f64> = (0..n).map(|i| (i % 9973) as f64 / 9973.0).collect();
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("randomize_n{n}_w{workers}"), |b| {
+            b.iter(|| {
+                pipeline
+                    .randomize_batch(black_box(&values), workers, 7)
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function(format!("aggregate_n{n}_w4"), |b| {
+        b.iter(|| pipeline.aggregate_batch(black_box(&values), 4, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_em, bench_batch);
+criterion_main!(benches);

@@ -85,7 +85,7 @@ pub fn ablation_em_threshold(config: &ExperimentConfig) -> Result<Figure, Experi
                 None
             },
         };
-        let est = reconstruct(pipeline.transition(), &counts, &em_config)?;
+        let est = reconstruct(pipeline.operator(), &counts, &em_config)?;
         let w1 = metrics::wasserstein(&truth, &est.histogram)?;
         Ok((vi, ti, w1))
     })?;
@@ -162,8 +162,8 @@ pub fn ablation_reconstruction(config: &ExperimentConfig) -> Result<Figure, Expe
             mix64(config.seed ^ mix64((trial as u64) << 8 ^ ei as u64 ^ 0xE42)),
         )?;
         let hist: Histogram = match variants[vi].1 {
-            Rec::Ems => reconstruct(pipeline.transition(), &counts, &EmConfig::ems())?.histogram,
-            Rec::Em => reconstruct(pipeline.transition(), &counts, &EmConfig::em(eps))?.histogram,
+            Rec::Ems => reconstruct(pipeline.operator(), &counts, &EmConfig::ems())?.histogram,
+            Rec::Em => reconstruct(pipeline.operator(), &counts, &EmConfig::em(eps))?.histogram,
             Rec::Inversion => reconstruct_inversion(pipeline.transition(), &counts)?,
         };
         let w1 = metrics::wasserstein(&truth, &hist)?;
@@ -243,7 +243,7 @@ pub fn ablation_smoothing(config: &ExperimentConfig) -> Result<Figure, Experimen
             min_iterations: 2,
             smoothing: variants[vi].1.clone(),
         };
-        let est = reconstruct(pipeline.transition(), &counts, &em_config)?;
+        let est = reconstruct(pipeline.operator(), &counts, &em_config)?;
         let w1 = metrics::wasserstein(&truth, &est.histogram)?;
         Ok((vi, ei, w1))
     })?;

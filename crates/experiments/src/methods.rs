@@ -126,14 +126,27 @@ pub fn run_method(
 ) -> Result<Estimate, ExperimentError> {
     let mut rng = SplitMix64::new(seed);
     match method {
-        Method::SwEms => {
+        Method::SwEms | Method::SwEm => {
             let pipeline = SwPipeline::new(eps, d)?;
-            let h = pipeline.estimate(values, &Reconstruction::Ems, &mut rng)?;
-            Ok(Estimate::Distribution(h))
-        }
-        Method::SwEm => {
-            let pipeline = SwPipeline::new(eps, d)?;
-            let h = pipeline.estimate(values, &Reconstruction::Em, &mut rng)?;
+            // Randomize with the trial's sequential RNG stream (so results
+            // are unchanged vs `pipeline.estimate`), bulk-ingesting through
+            // the aggregator in fixed-size blocks — O(d̃ + block) memory —
+            // then reconstruct via the structured operator.
+            let mut agg = ldp_sw::ShardAggregator::for_pipeline(&pipeline);
+            let mut reports = Vec::with_capacity(values.len().min(8 * 1024));
+            for block in values.chunks(8 * 1024) {
+                reports.clear();
+                for &v in block {
+                    reports.push(pipeline.randomize(v, &mut rng)?);
+                }
+                agg.push_slice(&reports)?;
+            }
+            let method = if method == Method::SwEms {
+                Reconstruction::Ems
+            } else {
+                Reconstruction::Em
+            };
+            let h = pipeline.reconstruct(&agg.to_counts(), &method)?.histogram;
             Ok(Estimate::Distribution(h))
         }
         Method::HhAdmm => {

@@ -11,6 +11,9 @@
 //!   mixtures).
 //! - [`matrix`]: a dense row-major [`matrix::Matrix`] with the handful of
 //!   BLAS-1/2 kernels the EM/EMS and ADMM solvers need.
+//! - [`operator`]: the [`operator::LinearOperator`] abstraction the solvers
+//!   apply matrices through, so structured (banded) transition operators
+//!   can replace the dense matvec.
 //! - [`histogram`]: [`histogram::Histogram`], the common currency of the
 //!   workspace — a normalized distribution over `d` equal-width buckets of
 //!   `[0, 1]` with CDF, moment, quantile and range-mass queries.
@@ -28,6 +31,7 @@ pub mod dist;
 pub mod error;
 pub mod histogram;
 pub mod matrix;
+pub mod operator;
 pub mod quad;
 pub mod rng;
 pub mod stats;
@@ -35,4 +39,5 @@ pub mod stats;
 pub use error::NumericError;
 pub use histogram::Histogram;
 pub use matrix::Matrix;
+pub use operator::LinearOperator;
 pub use rng::SplitMix64;

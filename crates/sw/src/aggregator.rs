@@ -51,21 +51,55 @@ impl ShardAggregator {
         &self.counts
     }
 
+    /// Whether a report could have been produced by the matching mechanism.
+    #[inline]
+    fn in_domain(&self, report: f64) -> bool {
+        report.is_finite() && report >= self.lo - 1e-12 && report <= self.hi + 1e-12
+    }
+
+    /// Output bucket of an in-domain report.
+    #[inline]
+    fn bucket(&self, report: f64) -> usize {
+        let d = self.counts.len();
+        let pos = ((report - self.lo) / (self.hi - self.lo) * d as f64) as isize;
+        pos.clamp(0, d as isize - 1) as usize
+    }
+
     /// Absorbs one perturbed report. Reports outside the output domain are
     /// rejected — they cannot have been produced by the matching mechanism,
     /// so silently clamping them would let a malformed client skew the
     /// boundary buckets.
     pub fn push(&mut self, report: f64) -> Result<(), SwError> {
-        if !report.is_finite() || report < self.lo - 1e-12 || report > self.hi + 1e-12 {
+        if !self.in_domain(report) {
             return Err(SwError::InvalidParameter(format!(
                 "report {report} outside the output domain [{}, {}]",
                 self.lo, self.hi
             )));
         }
-        let d = self.counts.len();
-        let pos = ((report - self.lo) / (self.hi - self.lo) * d as f64) as isize;
-        let idx = pos.clamp(0, d as isize - 1) as usize;
+        let idx = self.bucket(report);
         self.counts[idx] += 1;
+        Ok(())
+    }
+
+    /// Bulk ingestion: absorbs every report in `reports`, or absorbs
+    /// nothing if any report is malformed.
+    ///
+    /// One validation pass over the slice up front, then a branch-free
+    /// counting pass — no per-report `Result` plumbing in the hot loop,
+    /// which is what the batched randomization path and the experiment
+    /// runner feed through. All-or-nothing: on error the aggregator is
+    /// unchanged and the message names the first offending index.
+    pub fn push_slice(&mut self, reports: &[f64]) -> Result<(), SwError> {
+        if let Some(bad) = reports.iter().position(|&r| !self.in_domain(r)) {
+            return Err(SwError::InvalidParameter(format!(
+                "report {} (index {bad}) outside the output domain [{}, {}]",
+                reports[bad], self.lo, self.hi
+            )));
+        }
+        for &r in reports {
+            let idx = self.bucket(r);
+            self.counts[idx] += 1;
+        }
         Ok(())
     }
 
@@ -145,6 +179,33 @@ mod tests {
         }
         shard_a.merge(&shard_b).unwrap();
         assert_eq!(shard_a, single);
+    }
+
+    #[test]
+    fn push_slice_matches_sequential_pushes() {
+        let p = pipeline();
+        let mut rng = SplitMix64::new(5004);
+        let reports: Vec<f64> = (0..4_000)
+            .map(|i| p.randomize((i % 89) as f64 / 89.0, &mut rng).unwrap())
+            .collect();
+        let mut bulk = ShardAggregator::for_pipeline(&p);
+        bulk.push_slice(&reports).unwrap();
+        let mut seq = ShardAggregator::for_pipeline(&p);
+        for &r in &reports {
+            seq.push(r).unwrap();
+        }
+        assert_eq!(bulk, seq);
+    }
+
+    #[test]
+    fn push_slice_is_all_or_nothing() {
+        let p = pipeline();
+        let mut agg = ShardAggregator::for_pipeline(&p);
+        let err = agg.push_slice(&[0.1, 0.2, f64::INFINITY, 0.3]).unwrap_err();
+        assert!(err.to_string().contains("index 2"), "{err}");
+        assert_eq!(agg.total(), 0, "failed bulk ingest must not mutate");
+        agg.push_slice(&[]).unwrap();
+        assert_eq!(agg.total(), 0);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Batched, multi-threaded client-side randomization.
+//!
+//! A collector ingesting millions of reports should not perturb them one at
+//! a time on one core. The batch API shards the input across
+//! `std::thread::scope` workers — each with an independent, deterministic
+//! [`SplitMix64`] stream derived from a base seed and its shard index —
+//! and either materializes the perturbed reports in input order
+//! ([`SwPipeline::randomize_batch`]) or fuses perturbation with histogram
+//! aggregation, merging one [`ShardAggregator`] per worker at the end
+//! ([`SwPipeline::aggregate_batch`]). Given the same `(seed, workers)` pair
+//! the output is bit-reproducible; changing `workers` changes which stream
+//! perturbs which value, which is statistically irrelevant.
+
+use crate::aggregator::ShardAggregator;
+use crate::error::SwError;
+use crate::pipeline::{Reconstruction, SwPipeline};
+use ldp_numeric::rng::mix64;
+use ldp_numeric::{Histogram, SplitMix64};
+
+/// Splits `len` items into at most `workers` contiguous chunks of
+/// near-equal size (at least one item each).
+fn chunk_len(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers).max(1)
+}
+
+/// Perturbed reports are bulk-ingested in blocks of this size, bounding
+/// each aggregation worker's buffer regardless of shard length.
+const INGEST_BLOCK: usize = 8 * 1024;
+
+/// The per-shard RNG: decorrelated from the base seed and shard index.
+fn shard_rng(seed: u64, shard: u64) -> SplitMix64 {
+    SplitMix64::new(mix64(seed ^ mix64(shard.wrapping_add(1))))
+}
+
+fn check_workers(workers: usize) -> Result<(), SwError> {
+    if workers == 0 {
+        return Err(SwError::InvalidParameter(
+            "worker count must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl SwPipeline {
+    /// Client side, batched: perturbs every value in `values` across
+    /// `workers` threads, returning the reports in input order.
+    ///
+    /// Deterministic in `(seed, workers)`. Fails (without partial output)
+    /// if any value lies outside `[0, 1]`.
+    pub fn randomize_batch(
+        &self,
+        values: &[f64],
+        workers: usize,
+        seed: u64,
+    ) -> Result<Vec<f64>, SwError> {
+        check_workers(workers)?;
+        if values.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = chunk_len(values.len(), workers);
+        let mut out = vec![0.0; values.len()];
+        let results: Vec<Result<(), SwError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+                .map(|(shard, (vals, slot))| {
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(seed, shard as u64);
+                        for (v, s) in vals.iter().zip(slot.iter_mut()) {
+                            *s = self.wave().randomize(*v, &mut rng)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(SwError::InvalidParameter(
+                        "randomization worker panicked".into(),
+                    )))
+                })
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(out)
+    }
+
+    /// Server + client fused, batched: perturbs every value and histograms
+    /// the reports, without materializing the full report vector. Each
+    /// worker fills its own [`ShardAggregator`] (bulk-ingesting via
+    /// [`ShardAggregator::push_slice`]); the shards are merged in order.
+    ///
+    /// The merged aggregator equals what [`Self::randomize_batch`] followed
+    /// by sequential pushes would produce for the same `(seed, workers)`.
+    pub fn aggregate_batch(
+        &self,
+        values: &[f64],
+        workers: usize,
+        seed: u64,
+    ) -> Result<ShardAggregator, SwError> {
+        check_workers(workers)?;
+        let chunk = chunk_len(values.len(), workers);
+        let shards: Vec<Result<ShardAggregator, SwError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard, vals)| {
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(seed, shard as u64);
+                        let mut agg = ShardAggregator::for_pipeline(self);
+                        // Perturb into a fixed-size buffer and bulk-ingest
+                        // per block: peak memory stays O(d̃ + block) per
+                        // worker no matter how many reports flow through.
+                        let mut reports = Vec::with_capacity(INGEST_BLOCK.min(vals.len()));
+                        for block in vals.chunks(INGEST_BLOCK) {
+                            reports.clear();
+                            for &v in block {
+                                reports.push(self.wave().randomize(v, &mut rng)?);
+                            }
+                            agg.push_slice(&reports)?;
+                        }
+                        Ok(agg)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(SwError::InvalidParameter(
+                        "aggregation worker panicked".into(),
+                    )))
+                })
+                .collect()
+        });
+        let mut merged = ShardAggregator::for_pipeline(self);
+        for shard in shards {
+            merged.merge(&shard?)?;
+        }
+        Ok(merged)
+    }
+
+    /// Full batched pipeline: randomize + aggregate across `workers`
+    /// threads, then reconstruct through the structured operator.
+    pub fn estimate_batch(
+        &self,
+        values: &[f64],
+        method: &Reconstruction,
+        workers: usize,
+        seed: u64,
+    ) -> Result<Histogram, SwError> {
+        if values.is_empty() {
+            return Err(SwError::Reconstruction(
+                "need at least one user report".into(),
+            ));
+        }
+        let agg = self.aggregate_batch(values, workers, seed)?;
+        Ok(self.reconstruct(&agg.to_counts(), method)?.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> SwPipeline {
+        SwPipeline::new(1.0, 32).unwrap()
+    }
+
+    fn values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 199) as f64 / 199.0).collect()
+    }
+
+    #[test]
+    fn batch_is_deterministic_in_seed_and_workers() {
+        let p = pipeline();
+        let vals = values(3_000);
+        let a = p.randomize_batch(&vals, 4, 99).unwrap();
+        let b = p.randomize_batch(&vals, 4, 99).unwrap();
+        assert_eq!(a, b);
+        let c = p.randomize_batch(&vals, 4, 100).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_reports_stay_in_output_domain() {
+        let p = pipeline();
+        let vals = values(2_000);
+        let (lo, hi) = (p.wave().output_lo(), p.wave().output_hi());
+        for workers in [1, 2, 3, 8] {
+            let reports = p.randomize_batch(&vals, workers, 7).unwrap();
+            assert_eq!(reports.len(), vals.len());
+            assert!(reports.iter().all(|&r| r >= lo && r <= hi));
+        }
+    }
+
+    #[test]
+    fn aggregate_batch_matches_randomize_then_push() {
+        let p = pipeline();
+        let vals = values(5_000);
+        for workers in [1, 3, 7] {
+            let reports = p.randomize_batch(&vals, workers, 42).unwrap();
+            let mut direct = ShardAggregator::for_pipeline(&p);
+            direct.push_slice(&reports).unwrap();
+            let fused = p.aggregate_batch(&vals, workers, 42).unwrap();
+            assert_eq!(fused, direct);
+        }
+    }
+
+    #[test]
+    fn batch_validates_inputs() {
+        let p = pipeline();
+        assert!(p.randomize_batch(&[0.5], 0, 1).is_err());
+        assert!(p.aggregate_batch(&[0.5], 0, 1).is_err());
+        assert!(p.randomize_batch(&[1.5], 2, 1).is_err());
+        assert!(p.aggregate_batch(&[f64::NAN], 2, 1).is_err());
+        assert!(p.randomize_batch(&[], 4, 1).unwrap().is_empty());
+        assert_eq!(p.aggregate_batch(&[], 4, 1).unwrap().total(), 0);
+        assert!(p.estimate_batch(&[], &Reconstruction::Ems, 4, 1).is_err());
+    }
+
+    #[test]
+    fn more_workers_than_values_is_fine() {
+        let p = pipeline();
+        let reports = p.randomize_batch(&[0.25, 0.75], 16, 5).unwrap();
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn estimate_batch_recovers_concentrated_mass() {
+        let p = pipeline();
+        let vals: Vec<f64> = (0..40_000)
+            .map(|i| 0.4 + 0.2 * ((i % 331) as f64 / 331.0))
+            .collect();
+        let h = p
+            .estimate_batch(&vals, &Reconstruction::Ems, 4, 11)
+            .unwrap();
+        let mass = h.range_mass(0.3, 0.7);
+        assert!(mass > 0.8, "mass {mass}");
+    }
+}

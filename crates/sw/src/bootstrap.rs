@@ -10,7 +10,7 @@
 
 use crate::em::{reconstruct, EmConfig};
 use crate::error::SwError;
-use ldp_numeric::{Histogram, Matrix};
+use ldp_numeric::{Histogram, LinearOperator};
 use rand::Rng;
 
 /// Configuration of the bootstrap.
@@ -84,9 +84,11 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Runs the bootstrap. `m` and `counts` are exactly what
-/// [`crate::em::reconstruct`] takes.
-pub fn bootstrap<R: Rng + ?Sized>(
-    m: &Matrix,
+/// [`crate::em::reconstruct`] takes — pass
+/// [`SwPipeline::operator`](crate::pipeline::SwPipeline::operator) to run
+/// every replicate through the structured `O(d)` path.
+pub fn bootstrap<R: Rng + ?Sized, M: LinearOperator + ?Sized>(
+    m: &M,
     counts: &[f64],
     config: &BootstrapConfig,
     rng: &mut R,
@@ -291,8 +293,11 @@ mod tests {
     fn point_estimate_matches_direct_reconstruction() {
         let (pipeline, counts, _) = counts_for(10_000, 8011, 16);
         let mut rng = SplitMix64::new(8012);
+        // Run the bootstrap through the same structured operator
+        // `pipeline.reconstruct` applies, so the point estimates are
+        // bit-identical.
         let result = bootstrap(
-            pipeline.transition(),
+            pipeline.operator(),
             &counts,
             &BootstrapConfig::default(),
             &mut rng,

@@ -10,6 +10,7 @@
 
 use crate::bandwidth::optimal_b_discrete;
 use crate::error::{check_epsilon, SwError};
+use crate::operator::BandedBaselineOperator;
 use crate::transition::discrete_transition_matrix;
 use ldp_numeric::Matrix;
 use rand::Rng;
@@ -108,6 +109,12 @@ impl DiscreteSw {
     /// The matching transition matrix for EM/EMS reconstruction.
     pub fn transition_matrix(&self) -> Result<Matrix, SwError> {
         discrete_transition_matrix(self.d, self.b, self.eps)
+    }
+
+    /// The matching structured operator: the discrete band is a pure
+    /// plateau (`p` near / `q` far), so both matvecs are strictly `O(d)`.
+    pub fn banded_operator(&self) -> Result<BandedBaselineOperator, SwError> {
+        BandedBaselineOperator::from_discrete(self.d, self.b, self.eps)
     }
 
     /// Aggregates raw reports into output-bucket counts.
@@ -225,6 +232,12 @@ mod tests {
         let probs = result.histogram.probs();
         let mass_in_range: f64 = probs[8..24].iter().sum();
         assert!(mass_in_range > 0.8, "mass {mass_in_range}");
+        // The structured operator reconstructs the same distribution.
+        let op = sw.banded_operator().unwrap();
+        let structured = reconstruct(&op, &counts, &EmConfig::ems()).unwrap();
+        for (a, b) in probs.iter().zip(structured.histogram.probs()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
     }
 
     #[test]

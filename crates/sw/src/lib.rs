@@ -13,7 +13,10 @@
 //! - [`discrete`] — the bucketize-before-randomize variant (§5.4);
 //! - [`em`] / [`smoothing`] — Expectation Maximization (Algorithm 1) and
 //!   the binomial S-step that turns it into EMS;
-//! - [`pipeline`] — the end-to-end client/aggregator API.
+//! - [`operator`] — the structured `baseline + band` form of the
+//!   transition matrix, giving `O(d)` EM iterations;
+//! - [`pipeline`] — the end-to-end client/aggregator API, including the
+//!   multi-threaded `randomize_batch` / `aggregate_batch` client path.
 //!
 //! # Quick example
 //!
@@ -39,11 +42,13 @@
 
 pub mod aggregator;
 pub mod bandwidth;
+mod batch;
 pub mod bootstrap;
 pub mod discrete;
 pub mod em;
 pub mod error;
 pub mod inversion;
+pub mod operator;
 pub mod pipeline;
 pub mod smoothing;
 pub mod transition;
@@ -56,6 +61,7 @@ pub use discrete::DiscreteSw;
 pub use em::{reconstruct, EmConfig, EmResult};
 pub use error::SwError;
 pub use inversion::{invert_signed, reconstruct_inversion};
+pub use operator::BandedBaselineOperator;
 pub use pipeline::{pipeline_with_shape, Reconstruction, SwPipeline};
 pub use smoothing::SmoothingKernel;
 pub use transition::{discrete_transition_matrix, transition_matrix};

@@ -1,0 +1,485 @@
+//! Structured (banded + baseline) transition operators.
+//!
+//! Every wave transition matrix (paper §5.5) has the form
+//!
+//! ```text
+//! M = baseline · 1·1ᵀ + B
+//! ```
+//!
+//! where the rank-1 baseline is the far density `q` integrated over one
+//! output bucket and `B` is a *band*: `B[j][i] ≠ 0` only when the output
+//! bucket `B̃j` is within the wave bandwidth `b` of the input bucket `Bi`.
+//! Inside the band, every entry whose bucket pair sits entirely under the
+//! wave's flat top equals the same plateau value `(peak − q)·w̃`; only the
+//! few buckets straddling a flat-top edge need an exact fractional-overlap
+//! integral. [`BandedBaselineOperator`] stores exactly that decomposition —
+//! a scalar baseline, a scalar plateau, and per-row/per-column runs with
+//! explicit edge entries — so applying `M` (or `Mᵀ`) costs
+//! `O(d + d̃ + edges)` instead of the dense `O(d·d̃)`: the baseline needs
+//! one running sum of the input, the plateau run one prefix-sum window, and
+//! the edges a handful of multiplies. For the square wave (flat top = whole
+//! band) `edges` is `O(d + d̃)`, making EM/EMS reconstruction linear in the
+//! domain size per iteration.
+//!
+//! The constructors are *exact*: entries are produced by the same analytic
+//! integrals [`crate::transition::transition_matrix`] uses, so the operator
+//! matches the dense matrix to within a few ulps (the dense path's final
+//! column normalization only erases quadrature residue of that order).
+
+use crate::error::{check_epsilon, SwError};
+use crate::wave::{Wave, WaveShape};
+use ldp_numeric::operator::{check_matvec_dims, LinearOperator};
+use ldp_numeric::quad::{integral_of_interval_overlap, integrate_with_breakpoints};
+use ldp_numeric::{Matrix, NumericError};
+
+/// One compressed row (or column) of the band `B`: explicit edge entries
+/// before and after a constant plateau run.
+///
+/// The covered index range is `[head_start, head_start + head.len() +
+/// run_len + tail.len())`; entries outside it are zero (so the full matrix
+/// entry there is just the baseline).
+#[derive(Debug, Clone, PartialEq)]
+struct BandLine {
+    /// First index with a non-zero band entry.
+    head_start: usize,
+    /// Explicit entries preceding the plateau run.
+    head: Vec<f64>,
+    /// Length of the constant plateau run that follows `head`.
+    run_len: usize,
+    /// Explicit entries following the plateau run.
+    tail: Vec<f64>,
+}
+
+impl BandLine {
+    /// Dot product of this line (plus plateau) against `x`, using the
+    /// prefix-sum array `prefix` (`prefix[k] = x[0] + … + x[k-1]`) for the
+    /// plateau window.
+    #[inline]
+    fn dot(&self, plateau: f64, x: &[f64], prefix: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        let mut idx = self.head_start;
+        for &e in &self.head {
+            acc += e * x[idx];
+            idx += 1;
+        }
+        let run_end = idx + self.run_len;
+        acc += plateau * (prefix[run_end] - prefix[idx]);
+        idx = run_end;
+        for &e in &self.tail {
+            acc += e * x[idx];
+            idx += 1;
+        }
+        acc
+    }
+
+    /// Number of explicitly stored entries.
+    fn explicit(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+}
+
+/// A wave transition matrix in `baseline + banded` form (see the module
+/// docs). Implements [`LinearOperator`], so [`crate::em::reconstruct`] and
+/// [`crate::bootstrap::bootstrap`] accept it wherever a dense
+/// [`Matrix`] works.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedBaselineOperator {
+    /// Input granularity `d` (columns).
+    d: usize,
+    /// Output granularity `d̃` (rows).
+    d_tilde: usize,
+    /// The rank-1 part: every matrix entry is at least this.
+    baseline: f64,
+    /// Band entry value where a bucket pair sits fully under the flat top.
+    plateau: f64,
+    /// Row-compressed band, one line per output bucket.
+    rows: Vec<BandLine>,
+    /// Column-compressed band, one line per input bucket (for `Mᵀ·x`).
+    cols: Vec<BandLine>,
+}
+
+/// Geometry shared by the row and column sweeps of the continuous
+/// constructor.
+struct WaveGrid<'a> {
+    wave: &'a Wave,
+    w_in: f64,
+    w_out: f64,
+    out_lo: f64,
+    baseline: f64,
+}
+
+impl WaveGrid<'_> {
+    /// The band entry `B[j][i] = M[j][i] − baseline`, via the same exact
+    /// integrals the dense builder uses.
+    fn bump(&self, j: usize, i: usize) -> f64 {
+        let bj_lo = self.out_lo + j as f64 * self.w_out;
+        let bj_hi = bj_lo + self.w_out;
+        let bi_lo = i as f64 * self.w_in;
+        let bi_hi = bi_lo + self.w_in;
+        let wave = self.wave;
+        match wave.shape() {
+            WaveShape::Square => {
+                let avg =
+                    integral_of_interval_overlap(bi_lo, bi_hi, wave.b(), bj_lo, bj_hi) / self.w_in;
+                (wave.peak() - wave.q()) * avg
+            }
+            _ => {
+                let wave_breaks = wave.breakpoints();
+                let mut vbreaks = Vec::with_capacity(2 * wave_breaks.len());
+                for &z in &wave_breaks {
+                    vbreaks.push(bj_lo - z);
+                    vbreaks.push(bj_hi - z);
+                }
+                let integral = integrate_with_breakpoints(
+                    |v| wave.mass_on_interval(v, bj_lo, bj_hi),
+                    &vbreaks,
+                    bi_lo,
+                    bi_hi,
+                    1,
+                );
+                integral / self.w_in - self.baseline
+            }
+        }
+    }
+}
+
+/// Clamps a real-valued index bound into `[0, n]`, mapping negatives to 0.
+#[inline]
+fn clamp_index(x: f64, n: usize) -> usize {
+    if x <= 0.0 {
+        0
+    } else {
+        (x as usize).min(n)
+    }
+}
+
+/// Builds one compressed line over indices `[lo, hi)` with a plateau run
+/// candidate `[run_lo, run_hi)`, filling explicit entries from `entry`.
+fn build_line(
+    lo: usize,
+    hi: usize,
+    run_lo: usize,
+    run_hi: usize,
+    mut entry: impl FnMut(usize) -> f64,
+) -> BandLine {
+    let (run_lo, run_hi) = {
+        let a = run_lo.clamp(lo, hi);
+        let b = run_hi.clamp(lo, hi);
+        if a < b {
+            (a, b)
+        } else {
+            (hi, hi) // empty run: everything explicit, in `head`
+        }
+    };
+    BandLine {
+        head_start: lo,
+        head: (lo..run_lo).map(&mut entry).collect(),
+        run_len: run_hi - run_lo,
+        tail: (run_hi..hi).map(&mut entry).collect(),
+    }
+}
+
+impl BandedBaselineOperator {
+    /// Builds the structured operator exactly equivalent to
+    /// [`crate::transition::transition_matrix`]`(wave, d, d_tilde)` (to a
+    /// few ulps — see the module docs).
+    pub fn from_wave(wave: &Wave, d: usize, d_tilde: usize) -> Result<Self, SwError> {
+        if d == 0 || d_tilde == 0 {
+            return Err(SwError::InvalidParameter(
+                "bucket counts must be positive".into(),
+            ));
+        }
+        let w_in = 1.0 / d as f64;
+        let out_lo = wave.output_lo();
+        let w_out = (wave.output_hi() - out_lo) / d_tilde as f64;
+        let b = wave.b();
+        let ft = wave.flat_top_halfwidth();
+        let baseline = wave.q() * w_out;
+        let plateau = (wave.peak() - wave.q()) * w_out;
+        let grid = WaveGrid {
+            wave,
+            w_in,
+            w_out,
+            out_lo,
+            baseline,
+        };
+
+        // Row sweep: for output bucket j, band columns are the input
+        // buckets meeting (bj_lo − b, bj_hi + b); the plateau run holds the
+        // columns with Bi × B̃j entirely under the flat top, i.e.
+        // bi_lo ≥ bj_hi − ft and bi_hi ≤ bj_lo + ft.
+        let rows = (0..d_tilde)
+            .map(|j| {
+                let bj_lo = out_lo + j as f64 * w_out;
+                let bj_hi = bj_lo + w_out;
+                let lo = clamp_index(((bj_lo - b) / w_in).floor(), d);
+                let hi = clamp_index(((bj_hi + b) / w_in).ceil(), d);
+                let run_lo = clamp_index(((bj_hi - ft) / w_in).ceil(), d);
+                let run_hi = clamp_index(((bj_lo + ft) / w_in).floor(), d);
+                build_line(lo, hi, run_lo, run_hi, |i| grid.bump(j, i))
+            })
+            .collect();
+
+        // Column sweep: the same conditions with the roles of the bucket
+        // grids swapped (the plateau condition is symmetric).
+        let cols = (0..d)
+            .map(|i| {
+                let bi_lo = i as f64 * w_in;
+                let bi_hi = bi_lo + w_in;
+                let lo = clamp_index(((bi_lo - b - out_lo) / w_out).floor(), d_tilde);
+                let hi = clamp_index(((bi_hi + b - out_lo) / w_out).ceil(), d_tilde);
+                let run_lo = clamp_index(((bi_hi - ft - out_lo) / w_out).ceil(), d_tilde);
+                let run_hi = clamp_index(((bi_lo + ft - out_lo) / w_out).floor(), d_tilde);
+                build_line(lo, hi, run_lo, run_hi, |j| grid.bump(j, i))
+            })
+            .collect();
+
+        Ok(BandedBaselineOperator {
+            d,
+            d_tilde,
+            baseline: grid.baseline,
+            plateau,
+            rows,
+            cols,
+        })
+    }
+
+    /// Builds the structured operator exactly equivalent to
+    /// [`crate::transition::discrete_transition_matrix`]`(d, b, eps)`.
+    ///
+    /// The discrete matrix is the ideal case: the whole band is one
+    /// plateau (`p` near, `q` far, no fractional edges), so both matvecs
+    /// are strictly `O(d)`.
+    pub fn from_discrete(d: usize, b: usize, eps: f64) -> Result<Self, SwError> {
+        check_epsilon(eps)?;
+        if d < 2 {
+            return Err(SwError::InvalidParameter(format!(
+                "discrete domain needs at least 2 buckets, got {d}"
+            )));
+        }
+        let e = eps.exp();
+        let width = (2 * b + 1) as f64;
+        let p = e / (width * e + d as f64 - 1.0);
+        let q = 1.0 / (width * e + d as f64 - 1.0);
+        let d_tilde = d + 2 * b;
+        // Row j is `p` on columns i ∈ [j − 2b, j] ∩ [0, d); column i is `p`
+        // on rows j ∈ [i, i + 2b].
+        let rows = (0..d_tilde)
+            .map(|j| {
+                let lo = j.saturating_sub(2 * b);
+                let hi = (j + 1).min(d);
+                build_line(lo, hi, lo, hi, |_| unreachable!("run covers the band"))
+            })
+            .collect();
+        let cols = (0..d)
+            .map(|i| build_line(i, i + 2 * b + 1, i, i + 2 * b + 1, |_| unreachable!()))
+            .collect();
+        Ok(BandedBaselineOperator {
+            d,
+            d_tilde,
+            baseline: q,
+            plateau: p - q,
+            rows,
+            cols,
+        })
+    }
+
+    /// Total number of explicitly stored (fractional edge) entries. For
+    /// square waves this is `O(d + d̃)`; the dense matrix stores `d·d̃`.
+    #[must_use]
+    pub fn explicit_entries(&self) -> usize {
+        self.rows.iter().map(BandLine::explicit).sum()
+    }
+
+    /// Materializes the dense matrix this operator represents (tests and
+    /// debugging; the point of the operator is to never need this).
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::from_fn(self.d_tilde, self.d, |_, _| self.baseline);
+        for (j, line) in self.rows.iter().enumerate() {
+            let mut idx = line.head_start;
+            for &e in &line.head {
+                m.set(j, idx, self.baseline + e);
+                idx += 1;
+            }
+            for _ in 0..line.run_len {
+                m.set(j, idx, self.baseline + self.plateau);
+                idx += 1;
+            }
+            for &e in &line.tail {
+                m.set(j, idx, self.baseline + e);
+                idx += 1;
+            }
+        }
+        m
+    }
+}
+
+/// `prefix[k] = x[0] + … + x[k−1]`, with `prefix[len] = Σx`.
+fn prefix_sums(x: &[f64]) -> Vec<f64> {
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    let mut acc = 0.0;
+    prefix.push(0.0);
+    for &v in x {
+        acc += v;
+        prefix.push(acc);
+    }
+    prefix
+}
+
+impl LinearOperator for BandedBaselineOperator {
+    fn rows(&self) -> usize {
+        self.d_tilde
+    }
+
+    fn cols(&self) -> usize {
+        self.d
+    }
+
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumericError> {
+        check_matvec_dims(self.d_tilde, self.d, x, y)?;
+        let prefix = prefix_sums(x);
+        let base = self.baseline * prefix[x.len()];
+        for (line, yj) in self.rows.iter().zip(y.iter_mut()) {
+            *yj = base + line.dot(self.plateau, x, &prefix);
+        }
+        Ok(())
+    }
+
+    fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumericError> {
+        check_matvec_dims(self.d, self.d_tilde, x, y)?;
+        let prefix = prefix_sums(x);
+        let base = self.baseline * prefix[x.len()];
+        for (line, yi) in self.cols.iter().zip(y.iter_mut()) {
+            *yi = base + line.dot(self.plateau, x, &prefix);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::{discrete_transition_matrix, transition_matrix};
+
+    fn max_entry_diff(a: &Matrix, b: &Matrix) -> f64 {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        let mut worst: f64 = 0.0;
+        for j in 0..a.rows() {
+            for i in 0..a.cols() {
+                worst = worst.max((a.get(j, i) - b.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn square_operator_matches_dense_entrywise() {
+        for &(d, dt) in &[
+            (16usize, 16usize),
+            (16, 24),
+            (24, 16),
+            (1, 8),
+            (8, 1),
+            (64, 64),
+        ] {
+            let wave = Wave::square(0.25, 1.0).unwrap();
+            let dense = transition_matrix(&wave, d, dt).unwrap();
+            let op = BandedBaselineOperator::from_wave(&wave, d, dt).unwrap();
+            let diff = max_entry_diff(&dense, &op.to_dense());
+            assert!(diff < 1e-13, "d={d} dt={dt}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn all_shapes_match_dense_entrywise() {
+        for shape in [
+            WaveShape::Square,
+            WaveShape::Trapezoid { ratio: 0.4 },
+            WaveShape::Triangle,
+        ] {
+            let wave = Wave::new(shape, 0.3, 1.5).unwrap();
+            let dense = transition_matrix(&wave, 20, 28).unwrap();
+            let op = BandedBaselineOperator::from_wave(&wave, 20, 28).unwrap();
+            let diff = max_entry_diff(&dense, &op.to_dense());
+            assert!(diff < 1e-13, "shape {shape:?}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn square_operator_is_sparse() {
+        let wave = Wave::square(0.25, 1.0).unwrap();
+        let d = 512;
+        let op = BandedBaselineOperator::from_wave(&wave, d, d).unwrap();
+        // Each row has O(w̃/w + 1) fractional edge entries; the whole band
+        // interior compresses into plateau runs.
+        assert!(
+            op.explicit_entries() < 16 * d,
+            "explicit entries {} should be O(d), dense is {}",
+            op.explicit_entries(),
+            d * d
+        );
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense_on_random_vectors() {
+        let wave = Wave::square(0.18, 2.0).unwrap();
+        let (d, dt) = (33, 47);
+        let dense = transition_matrix(&wave, d, dt).unwrap();
+        let op = BandedBaselineOperator::from_wave(&wave, d, dt).unwrap();
+        let x: Vec<f64> = (0..d)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 101.0)
+            .collect();
+        let yd = dense.matvec(&x).unwrap();
+        let yo = LinearOperator::matvec(&op, &x).unwrap();
+        for (a, b) in yd.iter().zip(&yo) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+        let t: Vec<f64> = (0..dt).map(|j| ((j * 53 + 3) % 97) as f64 / 97.0).collect();
+        let yd = dense.matvec_transpose(&t).unwrap();
+        let yo = LinearOperator::matvec_transpose(&op, &t).unwrap();
+        for (a, b) in yd.iter().zip(&yo) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn discrete_operator_matches_dense() {
+        for &(d, b) in &[(8usize, 2usize), (8, 0), (32, 5), (2, 1)] {
+            let dense = discrete_transition_matrix(d, b, 1.3).unwrap();
+            let op = BandedBaselineOperator::from_discrete(d, b, 1.3).unwrap();
+            let diff = max_entry_diff(&dense, &op.to_dense());
+            assert!(diff < 1e-13, "d={d} b={b}: diff {diff}");
+            assert_eq!(op.explicit_entries(), 0, "discrete band is pure plateau");
+        }
+    }
+
+    #[test]
+    fn operator_validates_inputs() {
+        let wave = Wave::square(0.25, 1.0).unwrap();
+        assert!(BandedBaselineOperator::from_wave(&wave, 0, 8).is_err());
+        assert!(BandedBaselineOperator::from_wave(&wave, 8, 0).is_err());
+        assert!(BandedBaselineOperator::from_discrete(1, 2, 1.0).is_err());
+        assert!(BandedBaselineOperator::from_discrete(8, 2, -1.0).is_err());
+        let op = BandedBaselineOperator::from_wave(&wave, 8, 12).unwrap();
+        let mut y = vec![0.0; 12];
+        assert!(op.matvec_into(&[0.0; 7], &mut y).is_err());
+        assert!(op.matvec_transpose_into(&[0.0; 12], &mut [0.0; 7]).is_err());
+        assert!(op.matvec_transpose_into(&[0.0; 11], &mut [0.0; 8]).is_err());
+    }
+
+    #[test]
+    fn column_sums_are_stochastic_without_normalization() {
+        for shape in [
+            WaveShape::Square,
+            WaveShape::Trapezoid { ratio: 0.7 },
+            WaveShape::Triangle,
+        ] {
+            let wave = Wave::new(shape, 0.22, 1.0).unwrap();
+            let op = BandedBaselineOperator::from_wave(&wave, 12, 18).unwrap();
+            for s in op.to_dense().column_sums() {
+                assert!((s - 1.0).abs() < 1e-12, "shape {shape:?}: column sum {s}");
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use crate::bandwidth::optimal_b;
 use crate::em::{reconstruct, EmConfig, EmResult};
 use crate::error::SwError;
+use crate::operator::BandedBaselineOperator;
 use crate::transition::transition_matrix;
 use crate::wave::{Wave, WaveShape};
 use ldp_numeric::{Histogram, Matrix};
@@ -32,6 +33,7 @@ pub struct SwPipeline {
     d: usize,
     d_tilde: usize,
     matrix: Matrix,
+    operator: BandedBaselineOperator,
 }
 
 impl SwPipeline {
@@ -52,11 +54,13 @@ impl SwPipeline {
             )));
         }
         let matrix = transition_matrix(&wave, d, d_tilde)?;
+        let operator = BandedBaselineOperator::from_wave(&wave, d, d_tilde)?;
         Ok(SwPipeline {
             wave,
             d,
             d_tilde,
             matrix,
+            operator,
         })
     }
 
@@ -78,10 +82,20 @@ impl SwPipeline {
         self.d_tilde
     }
 
-    /// The exact `d̃ × d` transition matrix.
+    /// The exact `d̃ × d` transition matrix (dense; kept for consumers that
+    /// need entrywise access, e.g. the unbiased-inversion baseline).
     #[must_use]
     pub fn transition(&self) -> &Matrix {
         &self.matrix
+    }
+
+    /// The structured `O(d)`-matvec form of the transition matrix. This is
+    /// what [`Self::reconstruct`] applies; use it wherever a
+    /// [`ldp_numeric::LinearOperator`] is accepted (e.g.
+    /// [`crate::bootstrap::bootstrap`]) to stay on the fast path.
+    #[must_use]
+    pub fn operator(&self) -> &BandedBaselineOperator {
+        &self.operator
     }
 
     /// Client side: perturbs one private value.
@@ -120,7 +134,7 @@ impl SwPipeline {
             Reconstruction::Ems => EmConfig::ems(),
             Reconstruction::Custom(c) => c.clone(),
         };
-        reconstruct(&self.matrix, counts, &config)
+        reconstruct(&self.operator, counts, &config)
     }
 
     /// Full pipeline: randomize every value, aggregate, reconstruct.

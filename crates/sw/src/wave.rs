@@ -114,6 +114,14 @@ impl Wave {
         self.peak
     }
 
+    /// Half-width of the flat top, `r·b`: the wave density equals
+    /// [`Self::peak`] exactly on `|z| ≤ r·b`. For the square wave this is
+    /// the whole band (`b`), for the triangle it degenerates to 0.
+    #[must_use]
+    pub fn flat_top_halfwidth(&self) -> f64 {
+        self.shape.top_ratio() * self.b
+    }
+
     /// Left edge of the output domain `[-b, 1+b]`.
     #[must_use]
     pub fn output_lo(&self) -> f64 {

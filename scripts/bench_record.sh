@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Runs the `em_reconstruction` criterion bench and records the perf
+# trajectory into BENCH_em.json at the repo root, so PRs can compare
+# against the committed baseline.
+#
+# Usage:
+#   scripts/bench_record.sh          # full run, overwrites BENCH_em.json
+#   scripts/bench_record.sh smoke    # seconds-long CI smoke run; writes
+#                                    # BENCH_em.smoke.json instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="BENCH_em.json"
+if [ "$MODE" = "smoke" ]; then
+  export BENCH_SMOKE=1
+  OUT="BENCH_em.smoke.json"
+fi
+
+RAW="$(cargo bench --bench em_reconstruction 2>&1 | tee /dev/stderr | grep '^bench: ' || true)"
+if [ -z "$RAW" ]; then
+  echo "bench_record: no 'bench:' lines captured" >&2
+  exit 1
+fi
+
+printf '%s\n' "$RAW" | sort | awk \
+  -v mode="$MODE" \
+  -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  -v threads="$(nproc 2>/dev/null || echo 1)" '
+{
+  name = $2
+  ns[name] = $3 + 0
+  order[count++] = name
+}
+END {
+  printf "{\n"
+  printf "  \"schema\": 1,\n"
+  printf "  \"mode\": \"%s\",\n", mode
+  printf "  \"recorded_at\": \"%s\",\n", date
+  printf "  \"host_threads\": %d,\n", threads
+  printf "  \"em_iters_per_call\": 32,\n"
+
+  printf "  \"median_ns_per_call\": {"
+  sep = ""
+  for (k = 0; k < count; k++) {
+    printf "%s\n    \"%s\": %.1f", sep, order[k], ns[order[k]]
+    sep = ","
+  }
+  printf "\n  },\n"
+
+  # Per-EM-iteration cost: em_fixed/{kind}_d{D}_iters{K} -> ns / K.
+  printf "  \"em_iteration_ns\": {"
+  sep = ""
+  for (k = 0; k < count; k++) {
+    name = order[k]
+    if (match(name, /^em_fixed\//) &&
+        match(name, /_iters[0-9]+$/)) {
+      iters = substr(name, RSTART + 6) + 0
+      short = substr(name, 10, RSTART - 10)
+      periter[short] = ns[name] / iters
+      printf "%s\n    \"%s\": %.1f", sep, short, periter[short]
+      sep = ","
+    }
+  }
+  printf "\n  },\n"
+
+  # Structured-vs-dense speedup per granularity.
+  printf "  \"em_speedup_structured_vs_dense\": {"
+  sep = ""
+  for (short in periter) {
+    if (match(short, /^dense_d[0-9]+$/)) {
+      dim = substr(short, 8)
+      other = "structured_d" dim
+      if (other in periter && periter[other] > 0) {
+        speedup[dim] = periter[short] / periter[other]
+      }
+    }
+  }
+  for (k = 0; k < count; k++) {
+    name = order[k]
+    if (match(name, /^em_fixed\/dense_d[0-9]+_iters/)) {
+      dim = substr(name, 17, RSTART + RLENGTH - 23)
+      sub(/_.*/, "", dim)
+      if (dim in speedup) {
+        printf "%s\n    \"d%s\": %.2f", sep, dim, speedup[dim]
+        sep = ","
+        delete speedup[dim]
+      }
+    }
+  }
+  printf "\n  },\n"
+
+  # client_batch/randomize_n{N}_w{W} -> reports per second.
+  printf "  \"randomize_reports_per_sec\": {"
+  sep = ""
+  for (k = 0; k < count; k++) {
+    name = order[k]
+    if (match(name, /^client_batch\/randomize_n[0-9]+_w[0-9]+$/)) {
+      split(name, parts, /_n|_w/)
+      n = parts[2] + 0
+      w = parts[3] + 0
+      printf "%s\n    \"w%d\": %.0f", sep, w, n / (ns[name] * 1e-9)
+      sep = ","
+    }
+  }
+  printf "\n  }\n"
+  printf "}\n"
+}' > "$OUT"
+
+echo "bench_record: wrote $OUT" >&2
+cat "$OUT"

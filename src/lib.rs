@@ -47,9 +47,9 @@ pub mod prelude {
     };
     pub use ldp_mean::{MeanMechanism, MeanVariance, Pm, Sr};
     pub use ldp_metrics::{ks_distance, quantile_mae, range_query_mae, wasserstein};
-    pub use ldp_numeric::{Histogram, SplitMix64};
+    pub use ldp_numeric::{Histogram, LinearOperator, SplitMix64};
     pub use ldp_sw::{
-        optimal_b, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel, SwPipeline, Wave,
-        WaveShape,
+        optimal_b, BandedBaselineOperator, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel,
+        SwPipeline, Wave, WaveShape,
     };
 }

@@ -1,0 +1,128 @@
+//! Property tests: the structured `BandedBaselineOperator` is exactly
+//! equivalent (to 1e-12) to the dense `transition_matrix` it encodes —
+//! matvec, transposed matvec, and the EM reconstruction built on them —
+//! across all three wave shapes, the bucket-count grid
+//! `d, d̃ ∈ {1, 2, 7, 64, 257}`, and ε ∈ {0.1, 1, 4}.
+
+use proptest::prelude::*;
+use sw_ldp::numeric::LinearOperator;
+use sw_ldp::sw::em::reconstruct;
+use sw_ldp::sw::{transition_matrix, BandedBaselineOperator, EmConfig, Wave, WaveShape};
+
+const DIMS: [usize; 5] = [1, 2, 7, 64, 257];
+const EPSILONS: [f64; 3] = [0.1, 1.0, 4.0];
+
+fn shape_for(idx: usize) -> WaveShape {
+    match idx {
+        0 => WaveShape::Square,
+        1 => WaveShape::Trapezoid { ratio: 0.4 },
+        _ => WaveShape::Triangle,
+    }
+}
+
+/// Normalizes a raw vector to unit sum so matvec outputs stay O(1) and an
+/// absolute 1e-12 tolerance is meaningful at every granularity.
+fn unit_sum(raw: &[f64], len: usize) -> Vec<f64> {
+    let slice = &raw[..len];
+    let s: f64 = slice.iter().sum();
+    slice.iter().map(|x| x / s).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn banded_matches_dense_matvecs(
+        shape_idx in 0usize..3,
+        d_idx in 0usize..5,
+        dt_idx in 0usize..5,
+        eps_idx in 0usize..3,
+        b in 0.05f64..0.6,
+        x_raw in prop::collection::vec(0.01f64..1.0, 257),
+        t_raw in prop::collection::vec(0.01f64..1.0, 257),
+    ) {
+        let (d, dt) = (DIMS[d_idx], DIMS[dt_idx]);
+        let wave = Wave::new(shape_for(shape_idx), b, EPSILONS[eps_idx]).unwrap();
+        let dense = transition_matrix(&wave, d, dt).unwrap();
+        let op = BandedBaselineOperator::from_wave(&wave, d, dt).unwrap();
+        prop_assert_eq!(LinearOperator::rows(&op), dt);
+        prop_assert_eq!(LinearOperator::cols(&op), d);
+
+        let x = unit_sum(&x_raw, d);
+        let yd = dense.matvec(&x).unwrap();
+        let yo = LinearOperator::matvec(&op, &x).unwrap();
+        for (j, (a, b)) in yd.iter().zip(&yo).enumerate() {
+            prop_assert!((a - b).abs() < 1e-12,
+                "matvec row {} of {:?} d={} dt={}: {} vs {}", j, wave.shape(), d, dt, a, b);
+        }
+
+        let t = unit_sum(&t_raw, dt);
+        let yd = dense.matvec_transpose(&t).unwrap();
+        let yo = LinearOperator::matvec_transpose(&op, &t).unwrap();
+        for (i, (a, b)) in yd.iter().zip(&yo).enumerate() {
+            prop_assert!((a - b).abs() < 1e-12,
+                "transpose col {} of {:?} d={} dt={}: {} vs {}", i, wave.shape(), d, dt, a, b);
+        }
+    }
+
+    #[test]
+    fn banded_em_reconstruction_matches_dense(
+        shape_idx in 0usize..3,
+        eps_idx in 0usize..3,
+        d_idx in 1usize..5, // EM needs at least 2 buckets of signal
+        peak_bucket in 0.0f64..1.0,
+    ) {
+        let d = DIMS[d_idx];
+        let wave = Wave::new(shape_for(shape_idx), 0.25, EPSILONS[eps_idx]).unwrap();
+        let dense = transition_matrix(&wave, d, d).unwrap();
+        let op = BandedBaselineOperator::from_wave(&wave, d, d).unwrap();
+        // Expected counts of a two-spike truth.
+        let mut truth = vec![0.0; d];
+        let hot = ((peak_bucket * d as f64) as usize).min(d - 1);
+        truth[hot] = 0.7;
+        truth[d - 1 - hot] += 0.3;
+        let counts: Vec<f64> = dense
+            .matvec(&truth)
+            .unwrap()
+            .iter()
+            .map(|p| p * 1e5)
+            .collect();
+        let config = EmConfig {
+            ll_threshold: 1e-6,
+            max_iterations: 500,
+            min_iterations: 2,
+            smoothing: None,
+        };
+        let a = reconstruct(&dense, &counts, &config).unwrap();
+        let b = reconstruct(&op, &counts, &config).unwrap();
+        prop_assert_eq!(a.iterations, b.iterations);
+        for (x, y) in a.histogram.probs().iter().zip(b.histogram.probs()) {
+            prop_assert!((x - y).abs() < 1e-9, "{} vs {}", x, y);
+        }
+    }
+}
+
+/// Deterministic sweep of the full satellite grid for the square wave (the
+/// shape the structured fast path targets), entrywise.
+#[test]
+fn square_grid_entrywise_equivalence() {
+    for &d in &DIMS {
+        for &dt in &DIMS {
+            for &eps in &EPSILONS {
+                let wave = Wave::square(0.25, eps).unwrap();
+                let dense = transition_matrix(&wave, d, dt).unwrap();
+                let op = BandedBaselineOperator::from_wave(&wave, d, dt).unwrap();
+                let materialized = op.to_dense();
+                for j in 0..dt {
+                    for i in 0..d {
+                        let (a, b) = (dense.get(j, i), materialized.get(j, i));
+                        assert!(
+                            (a - b).abs() < 1e-12,
+                            "d={d} dt={dt} eps={eps} entry ({j},{i}): {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
