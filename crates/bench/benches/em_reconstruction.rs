@@ -6,13 +6,21 @@
 //!   iterations at `d = d̃ = D`, dense matrix vs `BandedBaselineOperator`.
 //!   Per-iteration cost = reported ns / `K`.
 //! - `client_batch/randomize_n{N}_w{W}`: perturbing `N` reports across `W`
-//!   `std::thread::scope` workers; reports/sec = `N / (ns · 1e-9)`.
+//!   shards on the shared `ldp-pool` worker pool; reports/sec =
+//!   `N / (ns · 1e-9)`.
+//! - `grid/sw_ems_jobs{J}_d{D}`: a figure-6-style `run_grid` slice of `J`
+//!   (ε × trial) jobs through `parallel_jobs`; per-trial cost = ns / `J`.
+//! - `bootstrap/replicates{R}_d{D}`: Poisson bootstrap with `R` replicates
+//!   on the pool; per-replicate cost = ns / `R`.
 //!
 //! `BENCH_SMOKE=1` switches to a seconds-long configuration for CI.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_experiments::{run_grid, ExperimentConfig, Method};
+use ldp_numeric::Histogram;
 use ldp_sw::{
-    optimal_b, reconstruct, transition_matrix, BandedBaselineOperator, EmConfig, SwPipeline, Wave,
+    bootstrap, optimal_b, reconstruct, transition_matrix, BandedBaselineOperator, BootstrapConfig,
+    EmConfig, SwPipeline, Wave,
 };
 use std::time::Duration;
 
@@ -111,5 +119,70 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_em, bench_batch);
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    if smoke() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(400));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+    }
+    let d = 64;
+    let n = if smoke() { 1_000 } else { 4_000 };
+    let values: Vec<f64> = (0..n).map(|i| ((i * 13) % 1000) as f64 / 1000.0).collect();
+    let truth = Histogram::from_samples(&values, d).unwrap();
+    // A figure-6-style slice: one method, a small ε × trial grid running
+    // through `parallel_jobs` on the shared pool.
+    let config = ExperimentConfig {
+        epsilons: vec![0.5, 1.0, 2.0],
+        repeats: if smoke() { 2 } else { 8 },
+        scale: 1.0,
+        seed: 23,
+        range_queries: 20,
+        ..ExperimentConfig::default()
+    };
+    let jobs = config.epsilons.len() * config.repeats;
+    group.bench_function(format!("sw_ems_jobs{jobs}_d{d}"), |b| {
+        b.iter(|| run_grid(&[Method::SwEms], black_box(&values), &truth, d, &config).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    if smoke() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(400));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+    }
+    let d = 64;
+    let replicates = if smoke() { 10 } else { 30 };
+    let pipeline = SwPipeline::new(1.0, d).unwrap();
+    let values: Vec<f64> = (0..60_000).map(|i| (i % 4093) as f64 / 4093.0).collect();
+    let counts = pipeline.aggregate_batch(&values, 4, 7).unwrap().to_counts();
+    let config = BootstrapConfig {
+        replicates,
+        ..BootstrapConfig::default()
+    };
+    group.bench_function(format!("replicates{replicates}_d{d}"), |b| {
+        b.iter(|| {
+            let mut rng = ldp_numeric::SplitMix64::new(11);
+            bootstrap(pipeline.operator(), black_box(&counts), &config, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_em, bench_batch, bench_grid, bench_bootstrap);
 criterion_main!(benches);

@@ -13,7 +13,7 @@ pub struct ExperimentConfig {
     pub scale: f64,
     /// Master seed; every trial derives its own stream from it.
     pub seed: u64,
-    /// Worker threads for the trial loop.
+    /// Concurrency cap for the trial loop on the shared worker pool.
     pub threads: usize,
     /// Random range queries per trial for the range-query MAE.
     pub range_queries: usize,
@@ -28,9 +28,12 @@ impl Default for ExperimentConfig {
             repeats: 5,
             scale: 0.05,
             seed: 0xC0FFEE,
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            // Size the trial loop like the pool it runs on: one knob
+            // (`LDP_POOL_THREADS` / host parallelism) governs both, instead
+            // of a second independent `available_parallelism` call here.
+            // `configured_threads` answers without spawning the pool, so
+            // building a config stays side-effect-free.
+            threads: ldp_pool::configured_threads(),
             range_queries: 100,
             datasets: DatasetKind::all().to_vec(),
         }
@@ -83,6 +86,9 @@ mod tests {
         assert_eq!(c.epsilons, vec![0.5, 1.0, 1.5, 2.0, 2.5]);
         assert!(c.repeats >= 1);
         assert!(c.threads >= 1);
+        // The default thread budget is the shared pool's size, so one knob
+        // governs both the pool and the trial loop.
+        assert_eq!(c.threads, ldp_pool::configured_threads());
     }
 
     #[test]

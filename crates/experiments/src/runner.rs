@@ -6,8 +6,6 @@ use crate::methods::{run_method, Estimate, Method};
 use ldp_metrics as metrics;
 use ldp_numeric::rng::mix64;
 use ldp_numeric::{Histogram, SplitMix64};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// All metrics computed for one trial (fields are `None` when the method
 /// does not support the metric — Table 2).
@@ -90,52 +88,21 @@ pub fn evaluate_trial(
     Ok(out)
 }
 
-/// Runs `jobs` independent closures over a pool of `threads` workers,
-/// preserving job order in the output. The first error aborts the batch.
+/// Runs `jobs` independent closures on the shared [`ldp_pool`] worker
+/// pool, preserving job order in the output. `threads` caps how many pool
+/// executors work on this batch concurrently (the submitting thread always
+/// participates); results depend only on the job index, never on the cap
+/// or the pool size. The first error aborts the batch, and a panicking job
+/// cancels it without poisoning the pool for later calls.
 pub fn parallel_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Result<Vec<T>, ExperimentError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, ExperimentError> + Sync,
 {
-    let threads = threads.max(1).min(jobs.max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<T, ExperimentError>>>> =
-        Mutex::new((0..jobs).map(|_| None).collect());
-    let panicked = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= jobs {
-                        break;
-                    }
-                    let r = f(idx);
-                    results.lock()[idx] = Some(r);
-                })
-            })
-            .collect();
-        // Join every worker before deciding: a short-circuiting `any` would
-        // drop unjoined handles, and `std::thread::scope` re-panics on
-        // drop-joined panicked threads instead of letting us return Err.
-        workers
-            .into_iter()
-            .map(|w| w.join().is_err())
-            .collect::<Vec<_>>()
-            .contains(&true)
-    });
-    if panicked {
-        return Err(ExperimentError("worker thread panicked".into()));
-    }
-    let collected = results.into_inner();
-    let mut out = Vec::with_capacity(jobs);
-    for r in collected {
-        match r {
-            Some(Ok(v)) => out.push(v),
-            Some(Err(e)) => return Err(e),
-            None => return Err(ExperimentError("job skipped by the pool".into())),
-        }
-    }
-    Ok(out)
+    let results = ldp_pool::global()
+        .run_capped(jobs, threads.max(1), f)
+        .map_err(|_| ExperimentError("worker thread panicked".into()))?;
+    results.into_iter().collect()
 }
 
 /// The results of a full (method × ε) grid: `metrics[m][e]` holds the

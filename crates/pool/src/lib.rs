@@ -1,0 +1,629 @@
+//! A shared, work-stealing worker pool for the whole workspace.
+//!
+//! Before this crate existed, every parallel entry point —
+//! `SwPipeline::randomize_batch`, the experiment grid's `parallel_jobs`,
+//! and (sequentially) the bootstrap — paid for its own `std::thread::scope`
+//! spawn/join round trip per call. Amortizing that setup across millions of
+//! reports is exactly what makes LDP aggregation practical at population
+//! scale, so the pool is **process-global and lazily initialized**
+//! ([`global`]): the first parallel call spawns the workers, every later
+//! call reuses them.
+//!
+//! # Execution model
+//!
+//! Work is submitted as a *batch* of indexed jobs ([`Pool::run`] /
+//! [`Pool::run_capped`]) or through the structured [`Pool::scope`] /
+//! [`Pool::join`] APIs. Batches are registered in a shared injector list;
+//! idle workers scan it round-robin and **steal** jobs from whichever batch
+//! has work, so concurrent batches (e.g. a grid trial whose method calls
+//! `randomize_batch`) share the same workers instead of oversubscribing the
+//! host. The submitting thread always participates in its own batch, which
+//! makes the design deadlock-free under arbitrary nesting: a batch can
+//! always be finished by its caller alone, workers are an acceleration.
+//!
+//! # Determinism
+//!
+//! Jobs are identified by their **index in the batch**, never by the worker
+//! that happens to execute them. Callers derive per-job state (RNG streams,
+//! shard ranges) from that index, so results are bit-identical regardless
+//! of how many workers the pool has — the property the batch randomizer,
+//! `parallel_jobs`, and the bootstrap all rely on and that the integration
+//! suite pins across `LDP_POOL_THREADS ∈ {1, 2, 7}`.
+//!
+//! # Sizing
+//!
+//! [`global`] sizes the pool from the `LDP_POOL_THREADS` environment
+//! variable when set to a positive integer, else from
+//! `std::thread::available_parallelism()`. A pool of size `t` keeps `t − 1`
+//! background workers: the caller is the `t`-th executor, so size 1 means
+//! strictly inline execution with zero thread traffic.
+//!
+//! # Panics
+//!
+//! A panicking job is caught on the worker, the rest of its batch is
+//! cancelled, and the submitting call returns [`PoolError::JobPanicked`].
+//! Workers and the pool survive — a panic never poisons the global pool
+//! for subsequent calls.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Environment variable overriding the global pool's thread count.
+pub const THREADS_ENV: &str = "LDP_POOL_THREADS";
+
+/// Errors surfaced by pool submission APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// At least one job in the batch panicked; the batch was cancelled.
+    JobPanicked,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobPanicked => write!(f, "a pool job panicked; the batch was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A lifetime-erased unit of work. Only ever constructed by
+/// [`Scope::spawn`], whose safety argument covers the erasure.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One submitted batch of jobs.
+struct Batch {
+    /// Jobs not yet claimed by an executor.
+    queue: Mutex<VecDeque<Job>>,
+    /// Jobs enqueued but not yet finished (queued + in flight).
+    pending: AtomicUsize,
+    /// Executors (workers + the caller) currently draining this batch.
+    /// Starts at 1: the submitting thread's slot is pre-reserved.
+    executors: AtomicUsize,
+    /// Maximum concurrent executors, including the caller's reserved slot.
+    cap: usize,
+    /// Whether the owning scope may still spawn more jobs.
+    open: AtomicBool,
+    /// Set when any job panicked; cancels the rest of the batch.
+    panicked: AtomicBool,
+    /// Completion signal: callers wait here until `pending` reaches zero.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    fn new(cap: usize) -> Self {
+        Batch {
+            queue: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            // One executor slot is pre-reserved for the submitting thread
+            // (it participates unconditionally in `scope_capped`), so
+            // workers can claim at most `cap − 1` and the cap is exact.
+            executors: AtomicUsize::new(1),
+            cap: cap.max(1),
+            open: AtomicBool::new(true),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Active batches; workers scan this round-robin to steal work.
+    /// Lock order: `active` strictly before any `Batch::queue`.
+    active: Mutex<Vec<Arc<Batch>>>,
+    /// Workers park here when no batch has claimable work.
+    work_cv: Condvar,
+    /// Tells workers to exit once the pool handle is dropped.
+    shutdown: AtomicBool,
+}
+
+/// A work-stealing worker pool. Most code should use the process-global
+/// instance via [`global`]; dedicated instances are for tests and for
+/// embedding with a custom size.
+pub struct Pool {
+    threads: usize,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Structured-concurrency handle passed to the closure of [`Pool::scope`].
+///
+/// `'env` is the lifetime of everything the spawned jobs may borrow; the
+/// scope call does not return until every spawned job has finished (or was
+/// cancelled and dropped), so those borrows never dangle.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool Pool,
+    batch: Arc<Batch>,
+    /// Invariant in `'env`, exactly like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawns a job onto the pool. Jobs start as soon as a worker (or the
+    /// scope's caller, once the scope closure returns) picks them up.
+    ///
+    /// Panics in the job are reported as [`PoolError::JobPanicked`] by the
+    /// enclosing [`Pool::scope`] call, after cancelling the batch's
+    /// remaining jobs.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the job may borrow data of lifetime 'env. The enclosing
+        // `scope_capped` call waits until `pending == 0` before returning,
+        // and every enqueued job is either executed or dropped (on
+        // cancellation) before that counter reaches zero — both strictly
+        // before 'env can end. The erased box therefore never outlives the
+        // borrows it captures.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(boxed)
+        };
+        self.batch.pending.fetch_add(1, Ordering::SeqCst);
+        self.batch.queue.lock().push_back(job);
+        self.pool.notify_work();
+    }
+}
+
+impl Pool {
+    /// Creates a pool of parallelism `threads` (clamped to ≥ 1), spawning
+    /// `threads − 1` background workers — the submitting thread is always
+    /// the remaining executor.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            active: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..threads - 1 {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ldp-pool-{i}"))
+                .spawn(move || worker_loop(&shared, i))
+                .expect("spawning a pool worker");
+        }
+        Pool { threads, shared }
+    }
+
+    /// The pool's parallelism: background workers plus the caller.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `jobs` indexed closures and returns their results in index
+    /// order. Equivalent to [`Pool::run_capped`] with no concurrency cap.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_capped(jobs, usize::MAX, f)
+    }
+
+    /// Runs `jobs` indexed closures with at most `cap` concurrent
+    /// executors (the submitting thread holds one of the `cap` slots, so
+    /// `cap = 1` executes strictly serially on the caller), returning
+    /// results in index order.
+    ///
+    /// Job `i` computes `f(i)`; derive all per-job state (RNG streams,
+    /// shard bounds) from `i` and results are independent of worker count.
+    /// The first panicking job cancels the batch and the call returns
+    /// [`PoolError::JobPanicked`].
+    pub fn run_capped<T, F>(&self, jobs: usize, cap: usize, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Ok(Vec::new());
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        self.scope_capped(cap, |scope| {
+            for (i, slot) in slots.iter().enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    *slot.lock() = Some(f(i));
+                });
+            }
+        })?;
+        let mut out = Vec::with_capacity(jobs);
+        for slot in slots {
+            out.push(slot.into_inner().ok_or(PoolError::JobPanicked)?);
+        }
+        Ok(out)
+    }
+
+    /// Runs two closures, potentially in parallel, and returns both
+    /// results. Rayon-style structured join built on [`Pool::scope`].
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> Result<(RA, RB), PoolError>
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        let ra: Mutex<Option<RA>> = Mutex::new(None);
+        let rb: Mutex<Option<RB>> = Mutex::new(None);
+        self.scope(|scope| {
+            scope.spawn(|| {
+                *rb.lock() = Some(b());
+            });
+            scope.spawn(|| {
+                *ra.lock() = Some(a());
+            });
+        })?;
+        match (ra.into_inner(), rb.into_inner()) {
+            (Some(ra), Some(rb)) => Ok((ra, rb)),
+            _ => Err(PoolError::JobPanicked),
+        }
+    }
+
+    /// Structured concurrency: `f` receives a [`Scope`] whose
+    /// [`Scope::spawn`]ed jobs all complete before `scope` returns.
+    /// Equivalent to [`Pool::scope_capped`] with no concurrency cap.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> Result<R, PoolError> {
+        self.scope_capped(usize::MAX, f)
+    }
+
+    /// [`Pool::scope`] with at most `cap` concurrent executors working on
+    /// this scope's jobs. The submitting thread always participates and
+    /// holds one of the `cap` slots from the start — that reservation is
+    /// what keeps nested submissions deadlock-free (a batch can always be
+    /// finished by its caller alone) while keeping the cap exact:
+    /// workers take at most `cap − 1` slots, so `cap = 1` runs the whole
+    /// batch serially on the caller.
+    pub fn scope_capped<'env, R>(
+        &self,
+        cap: usize,
+        f: impl FnOnce(&Scope<'_, 'env>) -> R,
+    ) -> Result<R, PoolError> {
+        let batch = Arc::new(Batch::new(cap));
+        self.shared.active.lock().push(Arc::clone(&batch));
+        let scope = Scope {
+            pool: self,
+            batch: Arc::clone(&batch),
+            _env: PhantomData,
+        };
+        // Even if `f` panics, the already-spawned jobs must finish (or be
+        // cancelled and dropped) before we unwind out of 'env.
+        let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        batch.open.store(false, Ordering::SeqCst);
+        // Participate on the executor slot `Batch::new` reserved for the
+        // caller.
+        drain(&batch);
+        batch.executors.fetch_sub(1, Ordering::SeqCst);
+        wait_done(&batch);
+        self.shared
+            .active
+            .lock()
+            .retain(|b| !Arc::ptr_eq(b, &batch));
+        match body {
+            Ok(r) => {
+                if batch.panicked.load(Ordering::SeqCst) {
+                    Err(PoolError::JobPanicked)
+                } else {
+                    Ok(r)
+                }
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Wakes one parked worker after new work became visible.
+    fn notify_work(&self) {
+        // Locking `active` (even briefly) orders this notification after
+        // the enqueue: a worker either sees the job during its scan or is
+        // already parked and gets woken.
+        drop(self.shared.active.lock());
+        self.shared.work_cv.notify_one();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(self.shared.active.lock());
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// Picks a batch with claimable work, registering as one of its executors.
+/// `rotation` rotates the scan start so batches are served fairly.
+fn claim(active: &[Arc<Batch>], rotation: &mut usize) -> Option<Arc<Batch>> {
+    let n = active.len();
+    for i in 0..n {
+        let idx = (*rotation + i) % n;
+        let batch = &active[idx];
+        if batch.queue.lock().is_empty() {
+            continue;
+        }
+        let executors = batch.executors.fetch_add(1, Ordering::SeqCst);
+        if executors >= batch.cap {
+            batch.executors.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        *rotation = idx + 1;
+        return Some(Arc::clone(batch));
+    }
+    None
+}
+
+/// Executes jobs from `batch` until its queue is empty.
+fn drain(batch: &Batch) {
+    loop {
+        let job = batch.queue.lock().pop_front();
+        match job {
+            Some(job) => run_job(batch, job),
+            None => break,
+        }
+    }
+}
+
+/// Runs one job, converting a panic into batch cancellation.
+fn run_job(batch: &Batch, job: Job) {
+    if batch.panicked.load(Ordering::SeqCst) {
+        // Cancelled batch: drop the job without running it.
+        drop(job);
+        finish(batch, 1);
+        return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(job));
+    if outcome.is_err() {
+        batch.panicked.store(true, Ordering::SeqCst);
+        // Fail fast: claim and drop everything still queued.
+        let drained: Vec<Job> = {
+            let mut queue = batch.queue.lock();
+            queue.drain(..).collect()
+        };
+        let cancelled = drained.len();
+        drop(drained);
+        if cancelled > 0 {
+            finish(batch, cancelled);
+        }
+    }
+    finish(batch, 1);
+}
+
+/// Marks `count` jobs finished, signalling completion on the last one.
+fn finish(batch: &Batch, count: usize) {
+    let previous = batch.pending.fetch_sub(count, Ordering::SeqCst);
+    if previous == count && !batch.open.load(Ordering::SeqCst) {
+        // Empty critical section: ensures the waiter is either still
+        // pre-check (and will observe pending == 0) or already parked in
+        // `wait` (and will receive the notification).
+        drop(batch.done_lock.lock());
+        batch.done_cv.notify_all();
+    }
+}
+
+/// Blocks until every job of `batch` has finished.
+fn wait_done(batch: &Batch) {
+    let mut guard = batch.done_lock.lock();
+    while batch.pending.load(Ordering::SeqCst) > 0 {
+        batch.done_cv.wait(&mut guard);
+    }
+}
+
+/// The worker main loop: steal a batch with work, drain it, repeat.
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut rotation = index; // desynchronize scan starts across workers
+    loop {
+        let claimed = {
+            let mut active = shared.active.lock();
+            loop {
+                if let Some(batch) = claim(&active, &mut rotation) {
+                    break Some(batch);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                shared.work_cv.wait(&mut active);
+            }
+        };
+        match claimed {
+            Some(batch) => {
+                drain(&batch);
+                batch.executors.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => return,
+        }
+    }
+}
+
+/// Parses a thread-count override, falling back to the host parallelism
+/// for unset, empty, zero, or malformed values.
+fn threads_from_env(value: Option<&str>) -> usize {
+    match value.map(str::trim).filter(|v| !v.is_empty()) {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => host_parallelism(),
+        },
+        None => host_parallelism(),
+    }
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-global pool, created on first use. Sized by
+/// [`THREADS_ENV`] when set to a positive integer, else by
+/// `std::thread::available_parallelism()`; the size is fixed for the
+/// lifetime of the process once initialized.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(threads_from_env(std::env::var(THREADS_ENV).ok().as_deref())))
+}
+
+/// The size the global pool has — or would have — **without creating it**:
+/// sizing queries (`ExperimentConfig::default()`, shard-count selection)
+/// must not spawn worker threads as a side effect. Matches
+/// [`Pool::threads`] of [`global`] exactly: once the pool exists its
+/// recorded size is returned, and before that the same
+/// [`THREADS_ENV`]/host-parallelism resolution the pool constructor uses.
+#[must_use]
+pub fn configured_threads() -> usize {
+    match GLOBAL.get() {
+        Some(pool) => pool.threads(),
+        None => threads_from_env(std::env::var(THREADS_ENV).ok().as_deref()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_index_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(100, |i| i * 3).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_is_deterministic_across_pool_sizes() {
+        let reference: Vec<u64> = (0..64).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 7] {
+            let pool = Pool::new(threads);
+            let out = pool.run(64, |i| (i as u64).wrapping_mul(0x9E37)).unwrap();
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let pool = Pool::new(2);
+        let out: Vec<usize> = pool.run(0, |i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = Pool::new(3);
+        let (a, b) = pool.join(|| 21 * 2, || "forty-two").unwrap();
+        assert_eq!(a, 42);
+        assert_eq!(b, "forty-two");
+    }
+
+    #[test]
+    fn scope_observes_borrowed_environment() {
+        let pool = Pool::new(3);
+        let mut results = vec![0usize; 8];
+        let source: Vec<usize> = (0..8).map(|i| i + 1).collect();
+        pool.scope(|scope| {
+            for (slot, &v) in results.iter_mut().zip(&source) {
+                scope.spawn(move || *slot = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn nested_submissions_complete() {
+        let pool = Pool::new(2);
+        let out = pool
+            .run(6, |i| {
+                // Each outer job fans out again on the same pool.
+                let inner = global().run(4, move |j| i * 10 + j).unwrap();
+                inner.iter().sum::<usize>()
+            })
+            .unwrap();
+        let expected: Vec<usize> = (0..6).map(|i| 4 * i * 10 + 6).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_surfaces_as_error_and_pool_survives() {
+        let pool = Pool::new(3);
+        let r = pool.run(16, |i| {
+            assert!(i != 9, "injected failure");
+            i
+        });
+        assert_eq!(r, Err(PoolError::JobPanicked));
+        // The same pool keeps working afterwards.
+        let ok = pool.run(16, |i| i + 1).unwrap();
+        assert_eq!(ok.len(), 16);
+    }
+
+    #[test]
+    fn capped_run_still_finishes_everything() {
+        let pool = Pool::new(4);
+        let out = pool.run_capped(40, 2, |i| i % 5).unwrap();
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn cap_of_one_is_strictly_serial_on_the_caller() {
+        // The caller's pre-reserved executor slot IS the whole cap, so no
+        // background worker may touch the batch even on a wide pool.
+        let pool = Pool::new(4);
+        let caller = std::thread::current().id();
+        let ids = pool
+            .run_capped(32, 1, |_| std::thread::current().id())
+            .unwrap();
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn configured_threads_matches_global_and_does_not_require_the_pool() {
+        // Before and after the pool exists the answer is identical; the
+        // pre-existence branch is covered implicitly when this test runs
+        // first in the process, and the equality holds either way.
+        let before = configured_threads();
+        assert_eq!(before, global().threads());
+        assert_eq!(configured_threads(), global().threads());
+    }
+
+    #[test]
+    fn env_parsing_falls_back_sanely() {
+        let host = host_parallelism();
+        assert_eq!(threads_from_env(Some("7")), 7);
+        assert_eq!(threads_from_env(Some(" 2 ")), 2);
+        assert_eq!(threads_from_env(Some("0")), host);
+        assert_eq!(threads_from_env(Some("-3")), host);
+        assert_eq!(threads_from_env(Some("lots")), host);
+        assert_eq!(threads_from_env(Some("")), host);
+        assert_eq!(threads_from_env(None), host);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let ids = pool.run(8, |_| std::thread::current().id()).unwrap();
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+}

@@ -1,30 +1,35 @@
 //! Batched, multi-threaded client-side randomization.
 //!
 //! A collector ingesting millions of reports should not perturb them one at
-//! a time on one core. The batch API shards the input across
-//! `std::thread::scope` workers — each with an independent, deterministic
-//! [`SplitMix64`] stream derived from a base seed and its shard index —
-//! and either materializes the perturbed reports in input order
-//! ([`SwPipeline::randomize_batch`]) or fuses perturbation with histogram
-//! aggregation, merging one [`ShardAggregator`] per worker at the end
-//! ([`SwPipeline::aggregate_batch`]). Given the same `(seed, workers)` pair
-//! the output is bit-reproducible; changing `workers` changes which stream
-//! perturbs which value, which is statistically irrelevant.
+//! a time on one core — and it should not pay a thread spawn/join round
+//! trip per batch either. The batch API shards the input into contiguous
+//! chunks — each with an independent, deterministic [`SplitMix64`] stream
+//! derived from a base seed and its **shard index** — and executes the
+//! shards on the process-global [`ldp_pool`] worker pool, either
+//! materializing the perturbed reports in input order
+//! ([`SwPipeline::randomize_batch`]) or fusing perturbation with histogram
+//! aggregation, merging one [`ShardAggregator`] per shard at the end
+//! ([`SwPipeline::aggregate_batch`]). Because RNG streams attach to shard
+//! indices rather than worker threads, the output for a given
+//! `(seed, shards)` pair is bit-reproducible no matter how many pool
+//! workers exist (`LDP_POOL_THREADS` included); changing `shards` changes
+//! which stream perturbs which value, which is statistically irrelevant.
 
 use crate::aggregator::ShardAggregator;
 use crate::error::SwError;
 use crate::pipeline::{Reconstruction, SwPipeline};
 use ldp_numeric::rng::mix64;
 use ldp_numeric::{Histogram, SplitMix64};
+use parking_lot::Mutex;
 
-/// Splits `len` items into at most `workers` contiguous chunks of
+/// Splits `len` items into at most `shards` contiguous chunks of
 /// near-equal size (at least one item each).
-fn chunk_len(len: usize, workers: usize) -> usize {
-    len.div_ceil(workers).max(1)
+fn chunk_len(len: usize, shards: usize) -> usize {
+    len.div_ceil(shards).max(1)
 }
 
 /// Perturbed reports are bulk-ingested in blocks of this size, bounding
-/// each aggregation worker's buffer regardless of shard length.
+/// each aggregation shard's buffer regardless of shard length.
 const INGEST_BLOCK: usize = 8 * 1024;
 
 /// The per-shard RNG: decorrelated from the base seed and shard index.
@@ -32,8 +37,8 @@ fn shard_rng(seed: u64, shard: u64) -> SplitMix64 {
     SplitMix64::new(mix64(seed ^ mix64(shard.wrapping_add(1))))
 }
 
-fn check_workers(workers: usize) -> Result<(), SwError> {
-    if workers == 0 {
+fn check_shards(shards: usize) -> Result<(), SwError> {
+    if shards == 0 {
         return Err(SwError::InvalidParameter(
             "worker count must be positive".into(),
         ));
@@ -41,115 +46,132 @@ fn check_workers(workers: usize) -> Result<(), SwError> {
     Ok(())
 }
 
+/// Maps a cancelled pool batch (a panicking shard) onto the error the old
+/// `std::thread::scope` implementation reported.
+fn pool_panic(_: ldp_pool::PoolError) -> SwError {
+    SwError::InvalidParameter("randomization worker panicked".into())
+}
+
+/// One shard's input chunk paired with its disjoint output slice, claimed
+/// exactly once by the pool job owning that shard index.
+type ShardSlot<'a> = Mutex<Option<(&'a [f64], &'a mut [f64])>>;
+
+/// The default shard count for the batch API: the shared pool's size, so
+/// one shard saturates each executor. This is the single place the batch
+/// path consults the host parallelism (via
+/// [`ldp_pool::configured_threads`], which answers without spawning the
+/// pool) — it never calls `available_parallelism` on its own.
+#[must_use]
+pub fn default_shards() -> usize {
+    ldp_pool::configured_threads()
+}
+
 impl SwPipeline {
     /// Client side, batched: perturbs every value in `values` across
-    /// `workers` threads, returning the reports in input order.
+    /// `shards` deterministic sub-streams, executed on the shared worker
+    /// pool, returning the reports in input order.
     ///
-    /// Deterministic in `(seed, workers)`. Fails (without partial output)
-    /// if any value lies outside `[0, 1]`.
+    /// Deterministic in `(seed, shards)` — independent of pool size.
+    /// Fails (without partial output) if any value lies outside `[0, 1]`.
     pub fn randomize_batch(
         &self,
         values: &[f64],
-        workers: usize,
+        shards: usize,
         seed: u64,
     ) -> Result<Vec<f64>, SwError> {
-        check_workers(workers)?;
+        check_shards(shards)?;
         if values.is_empty() {
             return Ok(Vec::new());
         }
-        let chunk = chunk_len(values.len(), workers);
+        let chunk = chunk_len(values.len(), shards);
         let mut out = vec![0.0; values.len()];
-        let results: Vec<Result<(), SwError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = values
-                .chunks(chunk)
-                .zip(out.chunks_mut(chunk))
-                .enumerate()
-                .map(|(shard, (vals, slot))| {
-                    scope.spawn(move || {
-                        let mut rng = shard_rng(seed, shard as u64);
-                        for (v, s) in vals.iter().zip(slot.iter_mut()) {
-                            *s = self.wave().randomize(*v, &mut rng)?;
-                        }
-                        Ok(())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or(Err(SwError::InvalidParameter(
-                        "randomization worker panicked".into(),
-                    )))
-                })
-                .collect()
-        });
-        for r in results {
-            r?;
-        }
+        // Hand each shard its disjoint output slice through a take-once
+        // slot: the pool's job closure is `Fn`, so exclusive access to the
+        // chunk goes through interior mutability claimed exactly once.
+        let slots: Vec<ShardSlot<'_>> = values
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        let results = ldp_pool::global()
+            .run(slots.len(), |shard| {
+                let (vals, slot) = slots[shard].lock().take().expect("shards claimed once");
+                let mut rng = shard_rng(seed, shard as u64);
+                for (v, s) in vals.iter().zip(slot.iter_mut()) {
+                    *s = self.wave().randomize(*v, &mut rng)?;
+                }
+                Ok(())
+            })
+            .map_err(pool_panic)?;
+        results.into_iter().collect::<Result<(), SwError>>()?;
         Ok(out)
+    }
+
+    /// [`Self::randomize_batch`] with the shard count taken from
+    /// [`default_shards`] (the shared pool's size).
+    pub fn randomize_batch_auto(&self, values: &[f64], seed: u64) -> Result<Vec<f64>, SwError> {
+        self.randomize_batch(values, default_shards(), seed)
     }
 
     /// Server + client fused, batched: perturbs every value and histograms
     /// the reports, without materializing the full report vector. Each
-    /// worker fills its own [`ShardAggregator`] (bulk-ingesting via
+    /// shard fills its own [`ShardAggregator`] (bulk-ingesting via
     /// [`ShardAggregator::push_slice`]); the shards are merged in order.
     ///
     /// The merged aggregator equals what [`Self::randomize_batch`] followed
-    /// by sequential pushes would produce for the same `(seed, workers)`.
+    /// by sequential pushes would produce for the same `(seed, shards)`.
     pub fn aggregate_batch(
         &self,
         values: &[f64],
-        workers: usize,
+        shards: usize,
         seed: u64,
     ) -> Result<ShardAggregator, SwError> {
-        check_workers(workers)?;
-        let chunk = chunk_len(values.len(), workers);
-        let shards: Vec<Result<ShardAggregator, SwError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = values
-                .chunks(chunk)
-                .enumerate()
-                .map(|(shard, vals)| {
-                    scope.spawn(move || {
-                        let mut rng = shard_rng(seed, shard as u64);
-                        let mut agg = ShardAggregator::for_pipeline(self);
-                        // Perturb into a fixed-size buffer and bulk-ingest
-                        // per block: peak memory stays O(d̃ + block) per
-                        // worker no matter how many reports flow through.
-                        let mut reports = Vec::with_capacity(INGEST_BLOCK.min(vals.len()));
-                        for block in vals.chunks(INGEST_BLOCK) {
-                            reports.clear();
-                            for &v in block {
-                                reports.push(self.wave().randomize(v, &mut rng)?);
-                            }
-                            agg.push_slice(&reports)?;
-                        }
-                        Ok(agg)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or(Err(SwError::InvalidParameter(
-                        "aggregation worker panicked".into(),
-                    )))
-                })
-                .collect()
-        });
+        check_shards(shards)?;
+        let chunk = chunk_len(values.len(), shards);
+        let chunks: Vec<&[f64]> = values.chunks(chunk).collect();
+        let results = ldp_pool::global()
+            .run(chunks.len(), |shard| {
+                let mut rng = shard_rng(seed, shard as u64);
+                let mut agg = ShardAggregator::for_pipeline(self);
+                // Perturb into a fixed-size buffer and bulk-ingest per
+                // block: peak memory stays O(d̃ + block) per shard no
+                // matter how many reports flow through.
+                let vals = chunks[shard];
+                let mut reports = Vec::with_capacity(INGEST_BLOCK.min(vals.len()));
+                for block in vals.chunks(INGEST_BLOCK) {
+                    reports.clear();
+                    for &v in block {
+                        reports.push(self.wave().randomize(v, &mut rng)?);
+                    }
+                    agg.push_slice(&reports)?;
+                }
+                Ok(agg)
+            })
+            .map_err(pool_panic)?;
         let mut merged = ShardAggregator::for_pipeline(self);
-        for shard in shards {
+        for shard in results {
             merged.merge(&shard?)?;
         }
         Ok(merged)
     }
 
-    /// Full batched pipeline: randomize + aggregate across `workers`
-    /// threads, then reconstruct through the structured operator.
+    /// [`Self::aggregate_batch`] with the shard count taken from
+    /// [`default_shards`] (the shared pool's size).
+    pub fn aggregate_batch_auto(
+        &self,
+        values: &[f64],
+        seed: u64,
+    ) -> Result<ShardAggregator, SwError> {
+        self.aggregate_batch(values, default_shards(), seed)
+    }
+
+    /// Full batched pipeline: randomize + aggregate across the worker
+    /// pool, then reconstruct through the structured operator.
     pub fn estimate_batch(
         &self,
         values: &[f64],
         method: &Reconstruction,
-        workers: usize,
+        shards: usize,
         seed: u64,
     ) -> Result<Histogram, SwError> {
         if values.is_empty() {
@@ -157,7 +179,7 @@ impl SwPipeline {
                 "need at least one user report".into(),
             ));
         }
-        let agg = self.aggregate_batch(values, workers, seed)?;
+        let agg = self.aggregate_batch(values, shards, seed)?;
         Ok(self.reconstruct(&agg.to_counts(), method)?.histogram)
     }
 }
@@ -175,7 +197,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_is_deterministic_in_seed_and_workers() {
+    fn batch_is_deterministic_in_seed_and_shards() {
         let p = pipeline();
         let vals = values(3_000);
         let a = p.randomize_batch(&vals, 4, 99).unwrap();
@@ -190,8 +212,8 @@ mod tests {
         let p = pipeline();
         let vals = values(2_000);
         let (lo, hi) = (p.wave().output_lo(), p.wave().output_hi());
-        for workers in [1, 2, 3, 8] {
-            let reports = p.randomize_batch(&vals, workers, 7).unwrap();
+        for shards in [1, 2, 3, 8] {
+            let reports = p.randomize_batch(&vals, shards, 7).unwrap();
             assert_eq!(reports.len(), vals.len());
             assert!(reports.iter().all(|&r| r >= lo && r <= hi));
         }
@@ -201,11 +223,11 @@ mod tests {
     fn aggregate_batch_matches_randomize_then_push() {
         let p = pipeline();
         let vals = values(5_000);
-        for workers in [1, 3, 7] {
-            let reports = p.randomize_batch(&vals, workers, 42).unwrap();
+        for shards in [1, 3, 7] {
+            let reports = p.randomize_batch(&vals, shards, 42).unwrap();
             let mut direct = ShardAggregator::for_pipeline(&p);
             direct.push_slice(&reports).unwrap();
-            let fused = p.aggregate_batch(&vals, workers, 42).unwrap();
+            let fused = p.aggregate_batch(&vals, shards, 42).unwrap();
             assert_eq!(fused, direct);
         }
     }
@@ -223,10 +245,24 @@ mod tests {
     }
 
     #[test]
-    fn more_workers_than_values_is_fine() {
+    fn more_shards_than_values_is_fine() {
         let p = pipeline();
         let reports = p.randomize_batch(&[0.25, 0.75], 16, 5).unwrap();
         assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn auto_variants_agree_with_explicit_pool_sized_calls() {
+        let p = pipeline();
+        let vals = values(1_500);
+        let shards = default_shards();
+        assert!(shards >= 1);
+        let auto = p.randomize_batch_auto(&vals, 3).unwrap();
+        let explicit = p.randomize_batch(&vals, shards, 3).unwrap();
+        assert_eq!(auto, explicit);
+        let auto = p.aggregate_batch_auto(&vals, 3).unwrap();
+        let explicit = p.aggregate_batch(&vals, shards, 3).unwrap();
+        assert_eq!(auto, explicit);
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! (asymptotically equivalent to multinomial resampling, and embarrassingly
 //! simple), re-runs the reconstruction, and collects percentile intervals
 //! for every bucket and for derived statistics.
+//!
+//! Replicates are mutually independent EM runs, so they execute on the
+//! shared [`ldp_pool`] worker pool: one job per replicate, each with its
+//! own [`SplitMix64`] stream derived from a base seed drawn once from the
+//! caller's RNG and the **replicate index**. Results are therefore
+//! bit-identical regardless of pool size (`LDP_POOL_THREADS` included).
 
 use crate::em::{reconstruct, EmConfig};
 use crate::error::SwError;
-use ldp_numeric::{Histogram, LinearOperator};
+use ldp_numeric::rng::mix64;
+use ldp_numeric::{Histogram, LinearOperator, SplitMix64};
 use rand::Rng;
 
 /// Configuration of the bootstrap.
@@ -83,11 +90,19 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// One pool job: a resampled reconstruction plus its derived statistics.
+/// `None` marks a degenerate replicate (all resampled counts zero).
+type Replicate = Option<(Histogram, f64, f64)>;
+
 /// Runs the bootstrap. `m` and `counts` are exactly what
 /// [`crate::em::reconstruct`] takes — pass
 /// [`SwPipeline::operator`](crate::pipeline::SwPipeline::operator) to run
 /// every replicate through the structured `O(d)` path.
-pub fn bootstrap<R: Rng + ?Sized, M: LinearOperator + ?Sized>(
+///
+/// Replicates run concurrently on the shared worker pool; `rng` is drawn
+/// from exactly once (for the base seed of the per-replicate streams), so
+/// the result depends only on `(m, counts, config)` and that one draw.
+pub fn bootstrap<R: Rng + ?Sized, M: LinearOperator + Sync + ?Sized>(
     m: &M,
     counts: &[f64],
     config: &BootstrapConfig,
@@ -107,24 +122,37 @@ pub fn bootstrap<R: Rng + ?Sized, M: LinearOperator + ?Sized>(
     let point = reconstruct(m, counts, &config.em)?.histogram;
     let d = point.len();
 
+    let base_seed = rng.next_u64();
+    let replicates: Vec<Result<Replicate, SwError>> = ldp_pool::global()
+        .run(config.replicates, |i| {
+            let mut rng = SplitMix64::new(mix64(base_seed ^ mix64(i as u64 + 1)));
+            let mut resampled = vec![0.0; counts.len()];
+            for (r, &c) in resampled.iter_mut().zip(counts.iter()) {
+                *r = sample_poisson(c, &mut rng);
+            }
+            if resampled.iter().sum::<f64>() <= 0.0 {
+                // Degenerate replicate (possible only for tiny populations).
+                return Ok(None);
+            }
+            let h = reconstruct(m, &resampled, &config.em)?.histogram;
+            let mean = h.mean();
+            let median = h.quantile(0.5);
+            Ok(Some((h, mean, median)))
+        })
+        .map_err(|_| SwError::Reconstruction("bootstrap replicate panicked".into()))?;
+
     let mut bucket_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(config.replicates); d];
     let mut mean_samples = Vec::with_capacity(config.replicates);
     let mut median_samples = Vec::with_capacity(config.replicates);
-    let mut resampled = vec![0.0; counts.len()];
-    for _ in 0..config.replicates {
-        for (r, &c) in resampled.iter_mut().zip(counts.iter()) {
-            *r = sample_poisson(c, rng);
-        }
-        if resampled.iter().sum::<f64>() <= 0.0 {
-            // Degenerate replicate (possible only for tiny populations).
+    for replicate in replicates {
+        let Some((h, mean, median)) = replicate? else {
             continue;
-        }
-        let h = reconstruct(m, &resampled, &config.em)?.histogram;
+        };
         for (samples, &p) in bucket_samples.iter_mut().zip(h.probs()) {
             samples.push(p);
         }
-        mean_samples.push(h.mean());
-        median_samples.push(h.quantile(0.5));
+        mean_samples.push(mean);
+        median_samples.push(median);
     }
     let used = mean_samples.len();
     if used < 2 {

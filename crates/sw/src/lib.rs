@@ -56,6 +56,7 @@ pub mod wave;
 
 pub use aggregator::ShardAggregator;
 pub use bandwidth::{mi_upper_bound, optimal_b, optimal_b_discrete};
+pub use batch::default_shards;
 pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapResult};
 pub use discrete::DiscreteSw;
 pub use em::{reconstruct, EmConfig, EmResult};

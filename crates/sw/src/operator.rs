@@ -50,10 +50,47 @@ struct BandLine {
     tail: Vec<f64>,
 }
 
+/// Below this many explicit entries a plain serial loop wins: the square
+/// wave keeps only 1–2 fractional edges per line, where the blocked path's
+/// setup costs more than the multiply-adds it saves. Longer edge runs
+/// (trapezoid/triangle shapes, coarse output grids) take the 4-wide path.
+const EDGE_UNROLL_THRESHOLD: usize = 8;
+
+/// Dot product of a long explicit-edge run against the matching window of
+/// `x`, split over four independent accumulators. Breaking the serial
+/// add chain lets the compiler keep partial sums in separate registers
+/// (or SIMD lanes) — the unrolled inner loop the band's explicit entries
+/// run through on every matvec. Only reached through operators whose
+/// lines cleared [`EDGE_UNROLL_THRESHOLD`] at construction.
+#[inline]
+fn dot_edges(entries: &[f64], window: &[f64]) -> f64 {
+    debug_assert_eq!(entries.len(), window.len());
+    let mut acc = [0.0f64; 4];
+    let mut entry_blocks = entries.chunks_exact(4);
+    let mut window_blocks = window.chunks_exact(4);
+    for (e, w) in (&mut entry_blocks).zip(&mut window_blocks) {
+        acc[0] += e[0] * w[0];
+        acc[1] += e[1] * w[1];
+        acc[2] += e[2] * w[2];
+        acc[3] += e[3] * w[3];
+    }
+    let mut rest = 0.0;
+    for (e, w) in entry_blocks
+        .remainder()
+        .iter()
+        .zip(window_blocks.remainder())
+    {
+        rest += e * w;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
+}
+
 impl BandLine {
     /// Dot product of this line (plus plateau) against `x`, using the
     /// prefix-sum array `prefix` (`prefix[k] = x[0] + … + x[k-1]`) for the
-    /// plateau window.
+    /// plateau window. The serial variant for short edge runs — the square
+    /// wave's lines carry only 1–2 fractional entries each, where any
+    /// blocking setup costs more than it saves.
     #[inline]
     fn dot(&self, plateau: f64, x: &[f64], prefix: &[f64]) -> f64 {
         let mut acc = 0.0;
@@ -69,6 +106,20 @@ impl BandLine {
             acc += e * x[idx];
             idx += 1;
         }
+        acc
+    }
+
+    /// [`Self::dot`] for long explicit-edge runs: both edge segments go
+    /// through the blocked 4-accumulator [`dot_edges`] kernel. Selected
+    /// once per operator (see `long_edges`), so the per-line hot loop
+    /// carries no length branches.
+    #[inline]
+    fn dot_unrolled(&self, plateau: f64, x: &[f64], prefix: &[f64]) -> f64 {
+        let head_end = self.head_start + self.head.len();
+        let mut acc = dot_edges(&self.head, &x[self.head_start..head_end]);
+        let run_end = head_end + self.run_len;
+        acc += plateau * (prefix[run_end] - prefix[head_end]);
+        acc += dot_edges(&self.tail, &x[run_end..run_end + self.tail.len()]);
         acc
     }
 
@@ -96,6 +147,10 @@ pub struct BandedBaselineOperator {
     rows: Vec<BandLine>,
     /// Column-compressed band, one line per input bucket (for `Mᵀ·x`).
     cols: Vec<BandLine>,
+    /// Whether any line's explicit edges reach [`EDGE_UNROLL_THRESHOLD`]:
+    /// decided once at construction so the matvecs pick the serial or the
+    /// blocked 4-accumulator kernel without per-line branching.
+    long_edges: bool,
 }
 
 /// Geometry shared by the row and column sweeps of the continuous
@@ -208,7 +263,7 @@ impl BandedBaselineOperator {
         // buckets meeting (bj_lo − b, bj_hi + b); the plateau run holds the
         // columns with Bi × B̃j entirely under the flat top, i.e.
         // bi_lo ≥ bj_hi − ft and bi_hi ≤ bj_lo + ft.
-        let rows = (0..d_tilde)
+        let rows: Vec<BandLine> = (0..d_tilde)
             .map(|j| {
                 let bj_lo = out_lo + j as f64 * w_out;
                 let bj_hi = bj_lo + w_out;
@@ -222,7 +277,7 @@ impl BandedBaselineOperator {
 
         // Column sweep: the same conditions with the roles of the bucket
         // grids swapped (the plateau condition is symmetric).
-        let cols = (0..d)
+        let cols: Vec<BandLine> = (0..d)
             .map(|i| {
                 let bi_lo = i as f64 * w_in;
                 let bi_hi = bi_lo + w_in;
@@ -234,6 +289,10 @@ impl BandedBaselineOperator {
             })
             .collect();
 
+        let long_edges = rows
+            .iter()
+            .chain(cols.iter())
+            .any(|l| l.head.len().max(l.tail.len()) >= EDGE_UNROLL_THRESHOLD);
         Ok(BandedBaselineOperator {
             d,
             d_tilde,
@@ -241,6 +300,7 @@ impl BandedBaselineOperator {
             plateau,
             rows,
             cols,
+            long_edges,
         })
     }
 
@@ -281,6 +341,8 @@ impl BandedBaselineOperator {
             plateau: p - q,
             rows,
             cols,
+            // The discrete band is one pure plateau — no explicit entries.
+            long_edges: false,
         })
     }
 
@@ -340,8 +402,14 @@ impl LinearOperator for BandedBaselineOperator {
         check_matvec_dims(self.d_tilde, self.d, x, y)?;
         let prefix = prefix_sums(x);
         let base = self.baseline * prefix[x.len()];
-        for (line, yj) in self.rows.iter().zip(y.iter_mut()) {
-            *yj = base + line.dot(self.plateau, x, &prefix);
+        if self.long_edges {
+            for (line, yj) in self.rows.iter().zip(y.iter_mut()) {
+                *yj = base + line.dot_unrolled(self.plateau, x, &prefix);
+            }
+        } else {
+            for (line, yj) in self.rows.iter().zip(y.iter_mut()) {
+                *yj = base + line.dot(self.plateau, x, &prefix);
+            }
         }
         Ok(())
     }
@@ -350,8 +418,14 @@ impl LinearOperator for BandedBaselineOperator {
         check_matvec_dims(self.d, self.d_tilde, x, y)?;
         let prefix = prefix_sums(x);
         let base = self.baseline * prefix[x.len()];
-        for (line, yi) in self.cols.iter().zip(y.iter_mut()) {
-            *yi = base + line.dot(self.plateau, x, &prefix);
+        if self.long_edges {
+            for (line, yi) in self.cols.iter().zip(y.iter_mut()) {
+                *yi = base + line.dot_unrolled(self.plateau, x, &prefix);
+            }
+        } else {
+            for (line, yi) in self.cols.iter().zip(y.iter_mut()) {
+                *yi = base + line.dot(self.plateau, x, &prefix);
+            }
         }
         Ok(())
     }
@@ -440,6 +514,35 @@ mod tests {
         let yo = LinearOperator::matvec_transpose(&op, &t).unwrap();
         for (a, b) in yd.iter().zip(&yo) {
             assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unrolled_matvec_agrees_with_dense_for_long_edge_shapes() {
+        // Triangle/trapezoid waves have little or no flat top, so their
+        // band lines carry long explicit-edge runs — the blocked
+        // 4-accumulator kernel, not the square wave's serial loop.
+        for shape in [WaveShape::Triangle, WaveShape::Trapezoid { ratio: 0.3 }] {
+            let wave = Wave::new(shape, 0.3, 1.2).unwrap();
+            let (d, dt) = (48, 56);
+            let dense = transition_matrix(&wave, d, dt).unwrap();
+            let op = BandedBaselineOperator::from_wave(&wave, d, dt).unwrap();
+            assert!(
+                op.long_edges,
+                "shape {shape:?} should select the unrolled kernel"
+            );
+            let x: Vec<f64> = (0..d).map(|i| ((i * 29 + 7) % 83) as f64 / 83.0).collect();
+            let yd = dense.matvec(&x).unwrap();
+            let yo = LinearOperator::matvec(&op, &x).unwrap();
+            for (a, b) in yd.iter().zip(&yo) {
+                assert!((a - b).abs() < 1e-12, "shape {shape:?}: {a} vs {b}");
+            }
+            let t: Vec<f64> = (0..dt).map(|j| ((j * 31 + 5) % 89) as f64 / 89.0).collect();
+            let yd = dense.matvec_transpose(&t).unwrap();
+            let yo = LinearOperator::matvec_transpose(&op, &t).unwrap();
+            for (a, b) in yd.iter().zip(&yo) {
+                assert!((a - b).abs() < 1e-12, "shape {shape:?}: {a} vs {b}");
+            }
         }
     }
 

@@ -14,6 +14,7 @@ use crate::transition::transition_matrix;
 use crate::wave::{Wave, WaveShape};
 use ldp_numeric::{Histogram, Matrix};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// Which reconstruction the aggregator runs.
 #[derive(Debug, Clone)]
@@ -27,12 +28,19 @@ pub enum Reconstruction {
 }
 
 /// A configured Square Wave (or general wave) estimation pipeline.
+///
+/// Reconstruction runs through the structured
+/// [`BandedBaselineOperator`]; the dense `d̃ × d` matrix is only needed by
+/// entrywise consumers (the inversion baseline, [`SwPipeline::transition`])
+/// and is built **lazily on first access**, so the estimation hot path
+/// never pays its `O(d̃·d)` construction or memory.
 #[derive(Debug, Clone)]
 pub struct SwPipeline {
     wave: Wave,
     d: usize,
     d_tilde: usize,
-    matrix: Matrix,
+    /// Dense transition matrix, built on first [`Self::transition`] call.
+    dense: OnceLock<Matrix>,
     operator: BandedBaselineOperator,
 }
 
@@ -53,13 +61,12 @@ impl SwPipeline {
                 "need at least 2 buckets on both sides, got d={d}, d_tilde={d_tilde}"
             )));
         }
-        let matrix = transition_matrix(&wave, d, d_tilde)?;
         let operator = BandedBaselineOperator::from_wave(&wave, d, d_tilde)?;
         Ok(SwPipeline {
             wave,
             d,
             d_tilde,
-            matrix,
+            dense: OnceLock::new(),
             operator,
         })
     }
@@ -84,9 +91,26 @@ impl SwPipeline {
 
     /// The exact `d̃ × d` transition matrix (dense; kept for consumers that
     /// need entrywise access, e.g. the unbiased-inversion baseline).
+    ///
+    /// Built lazily on the first call and cached; the estimation paths
+    /// ([`Self::estimate`], [`Self::estimate_batch`], [`Self::reconstruct`])
+    /// never trigger the construction. Check with
+    /// [`Self::dense_transition_built`].
     #[must_use]
     pub fn transition(&self) -> &Matrix {
-        &self.matrix
+        self.dense.get_or_init(|| {
+            transition_matrix(&self.wave, self.d, self.d_tilde)
+                .expect("bucket counts were validated at pipeline construction")
+        })
+    }
+
+    /// Whether the dense transition matrix has been materialized. The
+    /// estimation hot path must keep this `false`; only
+    /// [`Self::transition`] (and through it the inversion baseline) flips
+    /// it.
+    #[must_use]
+    pub fn dense_transition_built(&self) -> bool {
+        self.dense.get().is_some()
     }
 
     /// The structured `O(d)`-matvec form of the transition matrix. This is
@@ -281,6 +305,42 @@ mod tests {
             .estimate(&values, &Reconstruction::Ems, &mut rng)
             .unwrap();
         assert_eq!(h.len(), 16);
+    }
+
+    #[test]
+    fn estimation_paths_never_build_the_dense_matrix() {
+        let pipeline = SwPipeline::new(1.0, 32).unwrap();
+        assert!(!pipeline.dense_transition_built());
+        let mut rng = SplitMix64::new(900);
+        let values: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        pipeline
+            .estimate(&values, &Reconstruction::Ems, &mut rng)
+            .unwrap();
+        assert!(!pipeline.dense_transition_built());
+        pipeline
+            .estimate_batch(&values, &Reconstruction::Ems, 3, 5)
+            .unwrap();
+        assert!(!pipeline.dense_transition_built());
+        pipeline
+            .reconstruct(&vec![10.0; 32], &Reconstruction::Em)
+            .unwrap();
+        assert!(!pipeline.dense_transition_built());
+    }
+
+    #[test]
+    fn lazy_transition_equals_eager_construction() {
+        let pipeline = SwPipeline::new(1.5, 24).unwrap();
+        let eager = transition_matrix(pipeline.wave(), 24, 24).unwrap();
+        let lazy = pipeline.transition();
+        assert!(pipeline.dense_transition_built());
+        assert_eq!((lazy.rows(), lazy.cols()), (eager.rows(), eager.cols()));
+        for j in 0..lazy.rows() {
+            for i in 0..lazy.cols() {
+                assert_eq!(lazy.get(j, i), eager.get(j, i), "entry ({j}, {i})");
+            }
+        }
+        // Repeated access returns the cached instance, not a rebuild.
+        assert!(std::ptr::eq(pipeline.transition(), lazy));
     }
 
     #[test]

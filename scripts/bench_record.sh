@@ -1,16 +1,63 @@
 #!/usr/bin/env bash
-# Runs the `em_reconstruction` criterion bench and records the perf
-# trajectory into BENCH_em.json at the repo root, so PRs can compare
-# against the committed baseline.
+# Records the perf trajectory of the `em_reconstruction` criterion bench
+# into BENCH_em.json at the repo root (a schema-2 file holding a list of
+# snapshots), and gates regressions between the two most recent snapshots.
 #
 # Usage:
-#   scripts/bench_record.sh          # full run, overwrites BENCH_em.json
+#   scripts/bench_record.sh          # full run, APPENDS a snapshot to
+#                                    # BENCH_em.json (migrating the old
+#                                    # single-snapshot schema 1 in place)
 #   scripts/bench_record.sh smoke    # seconds-long CI smoke run; writes
 #                                    # BENCH_em.smoke.json instead
+#   scripts/bench_record.sh compare  # diffs the last two snapshots in
+#                                    # BENCH_em.json and exits non-zero on
+#                                    # a >25% per-iteration regression
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+if [ "$MODE" = "compare" ]; then
+  exec python3 - <<'PY'
+import json, sys
+
+LIMIT = 1.25  # fail on >25% per-unit-of-work regression
+
+with open("BENCH_em.json") as f:
+    doc = json.load(f)
+snapshots = doc.get("snapshots") if isinstance(doc, dict) else None
+if not snapshots or len(snapshots) < 2:
+    print("bench compare: need at least 2 snapshots in BENCH_em.json "
+          f"(found {len(snapshots or [])}); nothing to gate", file=sys.stderr)
+    sys.exit(1)
+prev, last = snapshots[-2], snapshots[-1]
+
+GATED = [
+    ("em_iteration_ns", "ns/EM-iteration"),
+    ("grid_ns_per_trial", "ns/grid-trial"),
+    ("bootstrap_ns_per_replicate", "ns/bootstrap-replicate"),
+]
+failed = False
+for section, unit in GATED:
+    a, b = prev.get(section, {}), last.get(section, {})
+    for key in sorted(set(a) & set(b)):
+        if a[key] <= 0:
+            continue
+        ratio = b[key] / a[key]
+        verdict = "REGRESSION" if ratio > LIMIT else "ok"
+        print(f"bench compare: {section}/{key}: {a[key]:.1f} -> {b[key]:.1f} "
+              f"{unit}  ({ratio:.1%} of baseline, {verdict})")
+        if ratio > LIMIT:
+            failed = True
+if failed:
+    print(f"bench compare: FAILED (>{LIMIT - 1:.0%} regression between the "
+          f"last two snapshots)", file=sys.stderr)
+    sys.exit(1)
+print("bench compare: ok (all gated metrics within "
+      f"{LIMIT - 1:.0%} of the previous snapshot)")
+PY
+fi
+
 OUT="BENCH_em.json"
 if [ "$MODE" = "smoke" ]; then
   export BENCH_SMOKE=1
@@ -23,89 +70,83 @@ if [ -z "$RAW" ]; then
   exit 1
 fi
 
-printf '%s\n' "$RAW" | sort | awk \
-  -v mode="$MODE" \
-  -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-  -v threads="$(nproc 2>/dev/null || echo 1)" '
-{
-  name = $2
-  ns[name] = $3 + 0
-  order[count++] = name
+# RAW travels via the environment: the script body arrives on stdin (the
+# heredoc), so piping the bench lines in as well would clobber it.
+RAW="$RAW" MODE="$MODE" OUT="$OUT" python3 - <<'PY'
+import datetime, json, os, re, sys
+
+mode, out = os.environ["MODE"], os.environ["OUT"]
+
+ns = {}
+for line in os.environ["RAW"].splitlines():
+    parts = line.split()
+    if len(parts) >= 3 and parts[0] == "bench:":
+        ns[parts[1]] = float(parts[2])
+
+def env_threads():
+    override = os.environ.get("LDP_POOL_THREADS", "").strip()
+    if override.isdigit() and int(override) >= 1:
+        return int(override)
+    return os.cpu_count() or 1
+
+snapshot = {
+    "mode": mode,
+    "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host_threads": os.cpu_count() or 1,
+    "pool_threads": env_threads(),
+    "em_iters_per_call": 32,
+    "median_ns_per_call": {k: round(v, 1) for k, v in sorted(ns.items())},
+    "em_iteration_ns": {},
+    "em_speedup_structured_vs_dense": {},
+    "randomize_reports_per_sec": {},
+    "grid_ns_per_trial": {},
+    "bootstrap_ns_per_replicate": {},
 }
-END {
-  printf "{\n"
-  printf "  \"schema\": 1,\n"
-  printf "  \"mode\": \"%s\",\n", mode
-  printf "  \"recorded_at\": \"%s\",\n", date
-  printf "  \"host_threads\": %d,\n", threads
-  printf "  \"em_iters_per_call\": 32,\n"
 
-  printf "  \"median_ns_per_call\": {"
-  sep = ""
-  for (k = 0; k < count; k++) {
-    printf "%s\n    \"%s\": %.1f", sep, order[k], ns[order[k]]
-    sep = ","
-  }
-  printf "\n  },\n"
+for name, v in sorted(ns.items()):
+    m = re.fullmatch(r"em_fixed/(\w+)_d(\d+)_iters(\d+)", name)
+    if m:
+        kind, d, iters = m.group(1), m.group(2), int(m.group(3))
+        snapshot["em_iteration_ns"][f"{kind}_d{d}"] = round(v / iters, 1)
+    m = re.fullmatch(r"client_batch/randomize_n(\d+)_w(\d+)", name)
+    if m:
+        n, w = int(m.group(1)), m.group(2)
+        snapshot["randomize_reports_per_sec"][f"w{w}"] = round(n / (v * 1e-9))
+    m = re.fullmatch(r"grid/(\w+?)_jobs(\d+)_d(\d+)", name)
+    if m:
+        label, jobs, d = m.group(1), int(m.group(2)), m.group(3)
+        snapshot["grid_ns_per_trial"][f"{label}_d{d}"] = round(v / jobs, 1)
+    m = re.fullmatch(r"bootstrap/replicates(\d+)_d(\d+)", name)
+    if m:
+        reps, d = int(m.group(1)), m.group(2)
+        snapshot["bootstrap_ns_per_replicate"][f"d{d}"] = round(v / reps, 1)
 
-  # Per-EM-iteration cost: em_fixed/{kind}_d{D}_iters{K} -> ns / K.
-  printf "  \"em_iteration_ns\": {"
-  sep = ""
-  for (k = 0; k < count; k++) {
-    name = order[k]
-    if (match(name, /^em_fixed\//) &&
-        match(name, /_iters[0-9]+$/)) {
-      iters = substr(name, RSTART + 6) + 0
-      short = substr(name, 10, RSTART - 10)
-      periter[short] = ns[name] / iters
-      printf "%s\n    \"%s\": %.1f", sep, short, periter[short]
-      sep = ","
-    }
-  }
-  printf "\n  },\n"
+per_iter = snapshot["em_iteration_ns"]
+for key, value in per_iter.items():
+    if key.startswith("dense_d"):
+        other = "structured_d" + key[len("dense_d"):]
+        if other in per_iter and per_iter[other] > 0:
+            snapshot["em_speedup_structured_vs_dense"]["d" + key[len("dense_d"):]] = \
+                round(value / per_iter[other], 2)
 
-  # Structured-vs-dense speedup per granularity.
-  printf "  \"em_speedup_structured_vs_dense\": {"
-  sep = ""
-  for (short in periter) {
-    if (match(short, /^dense_d[0-9]+$/)) {
-      dim = substr(short, 8)
-      other = "structured_d" dim
-      if (other in periter && periter[other] > 0) {
-        speedup[dim] = periter[short] / periter[other]
-      }
-    }
-  }
-  for (k = 0; k < count; k++) {
-    name = order[k]
-    if (match(name, /^em_fixed\/dense_d[0-9]+_iters/)) {
-      dim = substr(name, 17, RSTART + RLENGTH - 23)
-      sub(/_.*/, "", dim)
-      if (dim in speedup) {
-        printf "%s\n    \"d%s\": %.2f", sep, dim, speedup[dim]
-        sep = ","
-        delete speedup[dim]
-      }
-    }
-  }
-  printf "\n  },\n"
+doc = {"schema": 2, "snapshots": []}
+if mode == "full" and os.path.exists(out):
+    with open(out) as f:
+        existing = json.load(f)
+    if isinstance(existing, dict) and "snapshots" in existing:
+        doc["snapshots"] = existing["snapshots"]
+    elif isinstance(existing, dict):
+        # Migrate a schema-1 single-snapshot file: it becomes snapshot 0.
+        existing.pop("schema", None)
+        doc["snapshots"] = [existing]
 
-  # client_batch/randomize_n{N}_w{W} -> reports per second.
-  printf "  \"randomize_reports_per_sec\": {"
-  sep = ""
-  for (k = 0; k < count; k++) {
-    name = order[k]
-    if (match(name, /^client_batch\/randomize_n[0-9]+_w[0-9]+$/)) {
-      split(name, parts, /_n|_w/)
-      n = parts[2] + 0
-      w = parts[3] + 0
-      printf "%s\n    \"w%d\": %.0f", sep, w, n / (ns[name] * 1e-9)
-      sep = ","
-    }
-  }
-  printf "\n  }\n"
-  printf "}\n"
-}' > "$OUT"
+doc["snapshots"].append(snapshot)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_record: wrote snapshot {len(doc['snapshots'])} to {out}",
+      file=sys.stderr)
+PY
 
-echo "bench_record: wrote $OUT" >&2
 cat "$OUT"

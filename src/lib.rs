@@ -35,6 +35,7 @@ pub use ldp_hierarchy as hierarchy;
 pub use ldp_mean as mean;
 pub use ldp_metrics as metrics;
 pub use ldp_numeric as numeric;
+pub use ldp_pool as pool;
 pub use ldp_sw as sw;
 
 /// The most commonly used types, re-exported flat.

@@ -9,11 +9,37 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::ops::{Deref, DerefMut};
 use std::sync::TryLockError;
+use std::time::Duration;
 
-pub use std::sync::MutexGuard;
 pub use std::sync::RwLockReadGuard;
 pub use std::sync::RwLockWriteGuard;
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Unlike a plain re-export of [`std::sync::MutexGuard`], this owns the
+/// inner guard behind an `Option` so [`Condvar::wait`] can temporarily
+/// take it (std's condvar consumes the guard; parking_lot's borrows it).
+/// The `Option` is `Some` at every point user code can observe.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard held")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard held")
+    }
+}
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning interface.
 #[derive(Debug, Default)]
@@ -41,19 +67,21 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        let guard = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        MutexGuard { inner: Some(guard) }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard { inner: Some(guard) })
     }
 
     /// Returns a mutable reference to the underlying data.
@@ -106,6 +134,86 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than a notification.
+    #[must_use]
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with `parking_lot`'s borrow-the-guard interface.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically releases the mutex and blocks until notified, reacquiring
+    /// the lock before returning. Spurious wakeups are possible, as with
+    /// every condition variable.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard held");
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(inner);
+    }
+
+    /// [`Self::wait`] with an upper bound on the blocking time.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard held");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Blocks until `condition` returns `false`, rechecking after every
+    /// wakeup with the lock held.
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut *guard) {
+            self.wait(guard);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +232,34 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut started = lock.lock();
+            cvar.wait_while(&mut started, |s| !*s);
+            assert!(*started);
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cvar.wait_for(&mut guard, Duration::from_millis(10));
+        assert!(result.timed_out());
     }
 
     #[test]
