@@ -12,15 +12,22 @@
 //!   (ε × trial) jobs through `parallel_jobs`; per-trial cost = ns / `J`.
 //! - `bootstrap/replicates{R}_d{D}`: Poisson bootstrap with `R` replicates
 //!   on the pool; per-replicate cost = ns / `R`.
+//! - `streaming/{legacy,push_slice,one_shot}_n{N}_d{D}`: server-side
+//!   aggregation of `N` pre-randomized reports + EMS reconstruction —
+//!   the pre-redesign `ShardAggregator` path vs. chunked
+//!   `Aggregator::push_slice` vs. one-shot `Mechanism::aggregate` through
+//!   the unified `ldp-core` API; per-report cost = ns / `N`. The three
+//!   must stay at parity: the API redesign is free on the hot path.
 //!
 //! `BENCH_SMOKE=1` switches to a seconds-long configuration for CI.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_core::{Aggregator, Client, Mechanism};
 use ldp_experiments::{run_grid, ExperimentConfig, Method};
 use ldp_numeric::Histogram;
 use ldp_sw::{
     bootstrap, optimal_b, reconstruct, transition_matrix, BandedBaselineOperator, BootstrapConfig,
-    EmConfig, SwPipeline, Wave,
+    EmConfig, Reconstruction, ShardAggregator, SwMechanism, SwPipeline, Wave,
 };
 use std::time::Duration;
 
@@ -184,5 +191,62 @@ fn bench_bootstrap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_em, bench_batch, bench_grid, bench_bootstrap);
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    if smoke() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(400));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+    }
+    let d = 256;
+    let n: usize = if smoke() { 20_000 } else { 200_000 };
+    let mech = SwMechanism::ems(1.0, d).unwrap();
+    let client = Client::new(&mech);
+    let mut rng = ldp_numeric::SplitMix64::new(17);
+    let values: Vec<f64> = (0..n).map(|i| (i % 9973) as f64 / 9973.0).collect();
+    let reports = client.randomize_batch(&values, &mut rng).unwrap();
+
+    // Pre-redesign baseline: ShardAggregator bulk ingest + pipeline
+    // reconstruct.
+    group.bench_function(format!("legacy_n{n}_d{d}"), |b| {
+        b.iter(|| {
+            let mut agg = ShardAggregator::for_pipeline(mech.pipeline());
+            agg.push_slice(black_box(&reports)).unwrap();
+            mech.pipeline()
+                .reconstruct(&agg.to_counts(), &Reconstruction::Ems)
+                .unwrap()
+                .histogram
+        })
+    });
+    // Unified API, streaming ingestion in collector-sized chunks.
+    group.bench_function(format!("push_slice_n{n}_d{d}"), |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(&mech);
+            for chunk in black_box(&reports).chunks(8 * 1024) {
+                agg.push_slice(chunk).unwrap();
+            }
+            agg.finalize().unwrap()
+        })
+    });
+    // Unified API, one-shot server side.
+    group.bench_function(format!("one_shot_n{n}_d{d}"), |b| {
+        b.iter(|| mech.aggregate(black_box(&reports)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_em,
+    bench_batch,
+    bench_grid,
+    bench_bootstrap,
+    bench_streaming
+);
 criterion_main!(benches);

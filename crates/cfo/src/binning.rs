@@ -26,9 +26,7 @@ impl BinningEstimator {
     /// Creates an estimator with `bins` CFO bins, reporting the final
     /// distribution at `target_d` buckets (`bins` must divide `target_d`).
     pub fn new(bins: usize, target_d: usize, eps: f64) -> Result<Self, CfoError> {
-        if bins < 2 {
-            return Err(CfoError::DomainTooSmall(bins));
-        }
+        ldp_core::Domain::new(bins)?;
         if target_d == 0 || !target_d.is_multiple_of(bins) {
             return Err(CfoError::InvalidParameter(format!(
                 "bin count {bins} must divide the target granularity {target_d}"
@@ -57,6 +55,11 @@ impl BinningEstimator {
     #[must_use]
     pub fn oracle_kind(&self) -> crate::select::OracleKind {
         self.oracle.kind()
+    }
+
+    /// The underlying adaptive oracle (shared with the `Mechanism` impl).
+    pub(crate) fn oracle(&self) -> &AdaptiveOracle {
+        &self.oracle
     }
 
     /// Runs the full pipeline over users' private values in `[0, 1]`:

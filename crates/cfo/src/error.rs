@@ -1,5 +1,6 @@
 //! Error type for frequency-oracle construction and use.
 
+use ldp_core::CoreError;
 use std::fmt;
 
 /// Errors produced by CFO protocols.
@@ -39,36 +40,42 @@ impl fmt::Display for CfoError {
 
 impl std::error::Error for CfoError {}
 
-/// Validates ε, shared by all oracle constructors.
-pub(crate) fn check_epsilon(eps: f64) -> Result<(), CfoError> {
-    if !(eps > 0.0) || !eps.is_finite() {
-        return Err(CfoError::InvalidEpsilon(eps));
+/// Parameter validation is centralized in `ldp-core` ([`ldp_core::Epsilon`]
+/// and [`ldp_core::Domain`]); this impl folds its errors back into the
+/// crate's established variants.
+impl From<CoreError> for CfoError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::InvalidEpsilon(eps) => CfoError::InvalidEpsilon(eps),
+            CoreError::DomainTooSmall(d) => CfoError::DomainTooSmall(d),
+            other => CfoError::InvalidParameter(other.to_string()),
+        }
     }
-    Ok(())
-}
-
-/// Validates the domain size, shared by all oracle constructors.
-pub(crate) fn check_domain(d: usize) -> Result<(), CfoError> {
-    if d < 2 {
-        return Err(CfoError::DomainTooSmall(d));
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_core::Epsilon;
 
     #[test]
-    fn validators_accept_and_reject() {
-        assert!(check_epsilon(1.0).is_ok());
-        assert!(check_epsilon(0.0).is_err());
-        assert!(check_epsilon(-1.0).is_err());
-        assert!(check_epsilon(f64::NAN).is_err());
-        assert!(check_epsilon(f64::INFINITY).is_err());
-        assert!(check_domain(2).is_ok());
-        assert!(check_domain(1).is_err());
-        assert!(check_domain(0).is_err());
+    fn core_validation_maps_to_crate_variants() {
+        assert_eq!(
+            CfoError::from(Epsilon::new(0.0).unwrap_err()),
+            CfoError::InvalidEpsilon(0.0)
+        );
+        assert!(matches!(
+            CfoError::from(Epsilon::new(f64::NAN).unwrap_err()),
+            CfoError::InvalidEpsilon(e) if e.is_nan()
+        ));
+        assert_eq!(
+            CfoError::from(ldp_core::Domain::new(1).unwrap_err()),
+            CfoError::DomainTooSmall(1)
+        );
+        assert!(matches!(
+            CfoError::from(CoreError::Wire("x".into())),
+            CfoError::InvalidParameter(_)
+        ));
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! `(d - 2 + eᵉ) / ((eᵉ - 1)² n)` (paper §2.1, eq. 1) — linear in `d`,
 //! which is why GRR only wins on small domains.
 
-use crate::error::{check_domain, check_epsilon, CfoError};
+use crate::error::CfoError;
 use crate::oracle::{check_value, FrequencyOracle};
+use ldp_core::{Domain, Epsilon};
 use rand::Rng;
 
 /// The GRR frequency oracle.
@@ -23,8 +24,8 @@ pub struct Grr {
 impl Grr {
     /// Creates a GRR oracle over a domain of size `d` with budget `eps`.
     pub fn new(d: usize, eps: f64) -> Result<Self, CfoError> {
-        check_domain(d)?;
-        check_epsilon(eps)?;
+        Domain::new(d)?;
+        Epsilon::new(eps)?;
         let e = eps.exp();
         let p = e / (e + d as f64 - 1.0);
         let q = 1.0 / (e + d as f64 - 1.0);
@@ -48,6 +49,21 @@ impl Grr {
     pub fn theoretical_variance(d: usize, eps: f64, n: usize) -> f64 {
         let e = eps.exp();
         (d as f64 - 2.0 + e) / ((e - 1.0) * (e - 1.0) * n as f64)
+    }
+
+    /// Debiases raw per-value report counts into frequency estimates — the
+    /// single estimator shared by one-shot aggregation and the streaming
+    /// [`ldp_core::Aggregator`] state, which is what makes the two paths
+    /// bit-identical.
+    pub(crate) fn estimate_from_counts(&self, counts: &[u64], n: u64) -> Vec<f64> {
+        if n == 0 {
+            return vec![0.0; self.d];
+        }
+        let nf = n as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 / nf - self.q) / (self.p - self.q))
+            .collect()
     }
 }
 
@@ -78,21 +94,13 @@ impl FrequencyOracle for Grr {
     }
 
     fn aggregate(&self, reports: &[usize]) -> Vec<f64> {
-        let n = reports.len();
         let mut counts = vec![0u64; self.d];
         for &r in reports {
             if r < self.d {
                 counts[r] += 1;
             }
         }
-        if n == 0 {
-            return vec![0.0; self.d];
-        }
-        let nf = n as f64;
-        counts
-            .iter()
-            .map(|&c| (c as f64 / nf - self.q) / (self.p - self.q))
-            .collect()
+        self.estimate_from_counts(&counts, reports.len() as u64)
     }
 
     fn estimate_variance(&self, n: usize) -> f64 {

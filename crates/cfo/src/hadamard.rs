@@ -10,9 +10,11 @@
 //! oracle Kulkarni et al. (PVLDB '19) use inside HaarHRR; the paper calls it
 //! "Hadamard random response" (§4.2).
 
-use crate::error::{check_domain, check_epsilon, CfoError};
+use crate::error::CfoError;
 use crate::oracle::{check_value, FrequencyOracle};
+use ldp_core::{Domain, Epsilon};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Entry `φ[r, c] ∈ {-1, +1}` of the (Sylvester) Hadamard matrix of any
 /// power-of-two order: `(-1)^(popcount(r & c))`.
@@ -57,7 +59,7 @@ pub fn next_pow2(d: usize) -> usize {
 }
 
 /// One HRR report: the chosen Hadamard row and the perturbed ±1 entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HrrReport {
     /// Row index in the padded Hadamard matrix.
     pub row: u32,
@@ -80,8 +82,8 @@ impl Hrr {
     /// Creates an HRR oracle over domain size `d` (padded internally to the
     /// next power of two).
     pub fn new(d: usize, eps: f64) -> Result<Self, CfoError> {
-        check_domain(d)?;
-        check_epsilon(eps)?;
+        Domain::new(d)?;
+        Epsilon::new(eps)?;
         let e = eps.exp();
         Ok(Hrr {
             d,
@@ -103,6 +105,31 @@ impl Hrr {
     pub fn theoretical_variance(eps: f64, n: usize) -> f64 {
         let e = eps.exp();
         (e + 1.0) * (e + 1.0) / ((e - 1.0) * (e - 1.0) * n as f64)
+    }
+
+    /// Inverts integer per-row bit sums into frequency estimates; shared by
+    /// one-shot aggregation and the streaming state. Summing the ±1 bits in
+    /// `i64` is exact (so shard merges are exact), and converting each row
+    /// total to `f64` reproduces the sequential float accumulation bit for
+    /// bit because every intermediate is an integer below 2⁵³.
+    pub(crate) fn estimate_from_spectrum(&self, spectrum: &[i64], n: u64) -> Vec<f64> {
+        if n == 0 {
+            return vec![0.0; self.d];
+        }
+        let mut spec: Vec<f64> = spectrum.iter().map(|&c| c as f64).collect();
+        let gamma = 2.0 * self.p - 1.0; // (e^eps - 1)/(e^eps + 1)
+        let scale = self.padded as f64 / (n as f64 * gamma);
+        for s in &mut spec {
+            *s *= scale;
+        }
+        // Invert: f = (1/D) * H * spectrum.
+        fwht(&mut spec).expect("padded size is a power of two");
+        let inv_d = 1.0 / self.padded as f64;
+        spec.truncate(self.d);
+        for s in &mut spec {
+            *s *= inv_d;
+        }
+        spec
     }
 }
 
@@ -133,29 +160,13 @@ impl FrequencyOracle for Hrr {
     }
 
     fn aggregate(&self, reports: &[HrrReport]) -> Vec<f64> {
-        let n = reports.len();
-        if n == 0 {
-            return vec![0.0; self.d];
-        }
-        // Per-row sums of the debiased bits estimate the Walsh-Hadamard
-        // spectrum of the frequency vector.
-        let mut spectrum = vec![0.0; self.padded];
+        // Per-row sums of the ±1 bits estimate the Walsh-Hadamard spectrum
+        // of the frequency vector.
+        let mut spectrum = vec![0i64; self.padded];
         for r in reports {
-            spectrum[r.row as usize] += f64::from(r.bit);
+            spectrum[r.row as usize] += i64::from(r.bit);
         }
-        let gamma = 2.0 * self.p - 1.0; // (e^eps - 1)/(e^eps + 1)
-        let scale = self.padded as f64 / (n as f64 * gamma);
-        for s in &mut spectrum {
-            *s *= scale;
-        }
-        // Invert: f = (1/D) * H * spectrum.
-        fwht(&mut spectrum).expect("padded size is a power of two");
-        let inv_d = 1.0 / self.padded as f64;
-        spectrum.truncate(self.d);
-        for s in &mut spectrum {
-            *s *= inv_d;
-        }
-        spectrum
+        self.estimate_from_spectrum(&spectrum, reports.len() as u64)
     }
 
     fn estimate_variance(&self, n: usize) -> f64 {

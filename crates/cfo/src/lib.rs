@@ -15,6 +15,11 @@
 //! plus [`select`] (the variance-driven GRR/OLH choice the paper applies),
 //! [`postprocess`] (Norm-Sub and friends, §4.1), and [`binning`] (the
 //! complete "CFO with binning" distribution estimator of §4.1).
+//!
+//! Every oracle also implements the workspace-wide
+//! [`ldp_core::Mechanism`] trait (see [`mechanism`]): streaming O(d)
+//! aggregation state, exact shard merges, and wire-format reports through
+//! the unified `Client`/`Aggregator` split.
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
@@ -26,6 +31,7 @@ pub mod binning;
 pub mod error;
 pub mod grr;
 pub mod hadamard;
+pub mod mechanism;
 pub mod olh;
 pub mod oracle;
 pub mod oue;
@@ -36,6 +42,7 @@ pub use binning::BinningEstimator;
 pub use error::CfoError;
 pub use grr::Grr;
 pub use hadamard::Hrr;
+pub use mechanism::{AdaptiveState, CountState, SpectrumState, SupportState};
 pub use olh::Olh;
 pub use oracle::FrequencyOracle;
 pub use oue::Oue;

@@ -1,0 +1,804 @@
+//! [`Mechanism`] implementations for every frequency oracle.
+//!
+//! This adapts the crate-local [`FrequencyOracle`] protocols onto the
+//! workspace-wide `ldp-core` surface: each oracle gains a bounded streaming
+//! state (per-value counts, OLH support counts, or an integer Hadamard
+//! spectrum) so collectors ingest reports one at a time in O(d) memory and
+//! merge shards exactly. One-shot aggregation and streaming ingestion share
+//! the same debiasing helpers, which makes their estimates bit-identical by
+//! construction.
+
+use crate::binning::BinningEstimator;
+use crate::error::CfoError;
+use crate::grr::Grr;
+use crate::hadamard::{Hrr, HrrReport};
+use crate::olh::{Olh, OlhReport};
+use crate::oracle::FrequencyOracle;
+use crate::oue::{Oue, OueReport};
+use crate::postprocess::norm_sub;
+use crate::select::{AdaptiveOracle, AdaptiveReport};
+use ldp_core::params::fingerprint_fields;
+use ldp_core::wire::parse_field;
+use ldp_core::{CoreError, Epsilon, Mechanism, WireReport};
+use ldp_numeric::histogram::bucket_of;
+use ldp_numeric::Histogram;
+use rand::Rng;
+use std::fmt::Write;
+
+/// Fingerprint tags, one per mechanism family (kept distinct so two
+/// different protocols over the same `(d, ε)` never merge).
+mod tag {
+    pub const GRR: u64 = 0x01;
+    pub const OLH: u64 = 0x02;
+    pub const OUE: u64 = 0x03;
+    pub const HRR: u64 = 0x04;
+    pub const BINNING: u64 = 0x05;
+}
+
+fn input_err(e: CfoError) -> CoreError {
+    CoreError::InvalidInput(e.to_string())
+}
+
+/// Per-value report counts: the streaming state of GRR and OUE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountState {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl CountState {
+    fn new(d: usize) -> Self {
+        CountState {
+            counts: vec![0; d],
+            n: 0,
+        }
+    }
+
+    /// Raw per-value counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+
+    fn merge(&mut self, other: &CountState) -> Result<(), CoreError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(CoreError::ShardMismatch(format!(
+                "count states over {} vs {} values",
+                self.counts.len(),
+                other.counts.len()
+            )));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+/// Per-value support counts: the streaming state of OLH.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportState {
+    support: Vec<u64>,
+    n: u64,
+}
+
+impl SupportState {
+    /// Raw per-value support counts.
+    #[must_use]
+    pub fn support(&self) -> &[u64] {
+        &self.support
+    }
+
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Integer Walsh–Hadamard spectrum sums: the streaming state of HRR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpectrumState {
+    spectrum: Vec<i64>,
+    n: u64,
+}
+
+impl SpectrumState {
+    /// Raw per-row ±1 sums.
+    #[must_use]
+    pub fn spectrum(&self) -> &[i64] {
+        &self.spectrum
+    }
+
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Mechanism for Grr {
+    type Input = usize;
+    type Report = usize;
+    type State = CountState;
+    type Output = Vec<f64>;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(FrequencyOracle::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::GRR,
+            &[
+                self.domain_size() as u64,
+                FrequencyOracle::epsilon(self).to_bits(),
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &usize, rng: &mut R) -> Result<usize, CoreError> {
+        FrequencyOracle::randomize(self, *input, rng).map_err(input_err)
+    }
+
+    fn empty_state(&self) -> CountState {
+        CountState::new(self.domain_size())
+    }
+
+    fn absorb(&self, state: &mut CountState, report: &usize) -> Result<(), CoreError> {
+        if *report >= self.domain_size() {
+            return Err(CoreError::InvalidReport(format!(
+                "GRR report {report} outside domain of {}",
+                self.domain_size()
+            )));
+        }
+        state.counts[*report] += 1;
+        state.n += 1;
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut CountState, other: &CountState) -> Result<(), CoreError> {
+        state.merge(other)
+    }
+
+    fn finalize(&self, state: &CountState) -> Result<Vec<f64>, CoreError> {
+        Ok(self.estimate_from_counts(&state.counts, state.n))
+    }
+}
+
+impl Mechanism for Olh {
+    type Input = usize;
+    type Report = OlhReport;
+    type State = SupportState;
+    type Output = Vec<f64>;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(FrequencyOracle::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::OLH,
+            &[
+                self.domain_size() as u64,
+                FrequencyOracle::epsilon(self).to_bits(),
+                self.hash_range() as u64,
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &usize,
+        rng: &mut R,
+    ) -> Result<OlhReport, CoreError> {
+        FrequencyOracle::randomize(self, *input, rng).map_err(input_err)
+    }
+
+    fn empty_state(&self) -> SupportState {
+        SupportState {
+            support: vec![0; self.domain_size()],
+            n: 0,
+        }
+    }
+
+    fn absorb(&self, state: &mut SupportState, report: &OlhReport) -> Result<(), CoreError> {
+        if report.y as usize >= self.hash_range() {
+            return Err(CoreError::InvalidReport(format!(
+                "OLH report value {} outside hash range {}",
+                report.y,
+                self.hash_range()
+            )));
+        }
+        self.add_support(&mut state.support, report);
+        state.n += 1;
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut SupportState, other: &SupportState) -> Result<(), CoreError> {
+        if state.support.len() != other.support.len() {
+            return Err(CoreError::ShardMismatch(format!(
+                "support states over {} vs {} values",
+                state.support.len(),
+                other.support.len()
+            )));
+        }
+        for (a, b) in state.support.iter_mut().zip(&other.support) {
+            *a += b;
+        }
+        state.n += other.n;
+        Ok(())
+    }
+
+    fn finalize(&self, state: &SupportState) -> Result<Vec<f64>, CoreError> {
+        Ok(self.estimate_from_support(&state.support, state.n))
+    }
+}
+
+impl Mechanism for Oue {
+    type Input = usize;
+    type Report = OueReport;
+    type State = CountState;
+    type Output = Vec<f64>;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(FrequencyOracle::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::OUE,
+            &[
+                self.domain_size() as u64,
+                FrequencyOracle::epsilon(self).to_bits(),
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &usize,
+        rng: &mut R,
+    ) -> Result<OueReport, CoreError> {
+        FrequencyOracle::randomize(self, *input, rng).map_err(input_err)
+    }
+
+    fn empty_state(&self) -> CountState {
+        CountState::new(self.domain_size())
+    }
+
+    fn absorb(&self, state: &mut CountState, report: &OueReport) -> Result<(), CoreError> {
+        if report.len() != self.domain_size() {
+            return Err(CoreError::InvalidReport(format!(
+                "OUE report over {} bits, mechanism domain is {}",
+                report.len(),
+                self.domain_size()
+            )));
+        }
+        self.add_counts(&mut state.counts, report);
+        state.n += 1;
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut CountState, other: &CountState) -> Result<(), CoreError> {
+        state.merge(other)
+    }
+
+    fn finalize(&self, state: &CountState) -> Result<Vec<f64>, CoreError> {
+        Ok(self.estimate_from_counts(&state.counts, state.n))
+    }
+}
+
+impl Mechanism for Hrr {
+    type Input = usize;
+    type Report = HrrReport;
+    type State = SpectrumState;
+    type Output = Vec<f64>;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(FrequencyOracle::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::HRR,
+            &[
+                self.domain_size() as u64,
+                FrequencyOracle::epsilon(self).to_bits(),
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &usize,
+        rng: &mut R,
+    ) -> Result<HrrReport, CoreError> {
+        FrequencyOracle::randomize(self, *input, rng).map_err(input_err)
+    }
+
+    fn empty_state(&self) -> SpectrumState {
+        SpectrumState {
+            spectrum: vec![0; self.padded_size()],
+            n: 0,
+        }
+    }
+
+    fn absorb(&self, state: &mut SpectrumState, report: &HrrReport) -> Result<(), CoreError> {
+        if report.row as usize >= self.padded_size() || report.bit.abs() != 1 {
+            return Err(CoreError::InvalidReport(format!(
+                "HRR report (row {}, bit {}) invalid for padded domain {}",
+                report.row,
+                report.bit,
+                self.padded_size()
+            )));
+        }
+        state.spectrum[report.row as usize] += i64::from(report.bit);
+        state.n += 1;
+        Ok(())
+    }
+
+    fn merge_state(
+        &self,
+        state: &mut SpectrumState,
+        other: &SpectrumState,
+    ) -> Result<(), CoreError> {
+        if state.spectrum.len() != other.spectrum.len() {
+            return Err(CoreError::ShardMismatch(format!(
+                "spectrum states over {} vs {} rows",
+                state.spectrum.len(),
+                other.spectrum.len()
+            )));
+        }
+        for (a, b) in state.spectrum.iter_mut().zip(&other.spectrum) {
+            *a += b;
+        }
+        state.n += other.n;
+        Ok(())
+    }
+
+    fn finalize(&self, state: &SpectrumState) -> Result<Vec<f64>, CoreError> {
+        Ok(self.estimate_from_spectrum(&state.spectrum, state.n))
+    }
+}
+
+/// The streaming state of the GRR/OLH adaptive oracle, tagged like its
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptiveState {
+    /// GRR was selected: per-value counts.
+    Grr(CountState),
+    /// OLH was selected: per-value support counts.
+    Olh(SupportState),
+}
+
+impl AdaptiveState {
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        match self {
+            AdaptiveState::Grr(s) => s.total(),
+            AdaptiveState::Olh(s) => s.total(),
+        }
+    }
+}
+
+impl Mechanism for AdaptiveOracle {
+    type Input = usize;
+    type Report = AdaptiveReport;
+    type State = AdaptiveState;
+    type Output = Vec<f64>;
+
+    fn epsilon(&self) -> Epsilon {
+        match self {
+            AdaptiveOracle::Grr(o) => Mechanism::epsilon(o),
+            AdaptiveOracle::Olh(o) => Mechanism::epsilon(o),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            AdaptiveOracle::Grr(o) => Mechanism::fingerprint(o),
+            AdaptiveOracle::Olh(o) => Mechanism::fingerprint(o),
+        }
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &usize,
+        rng: &mut R,
+    ) -> Result<AdaptiveReport, CoreError> {
+        Ok(match self {
+            AdaptiveOracle::Grr(o) => AdaptiveReport::Grr(Mechanism::randomize(o, input, rng)?),
+            AdaptiveOracle::Olh(o) => AdaptiveReport::Olh(Mechanism::randomize(o, input, rng)?),
+        })
+    }
+
+    fn empty_state(&self) -> AdaptiveState {
+        match self {
+            AdaptiveOracle::Grr(o) => AdaptiveState::Grr(o.empty_state()),
+            AdaptiveOracle::Olh(o) => AdaptiveState::Olh(o.empty_state()),
+        }
+    }
+
+    fn absorb(&self, state: &mut AdaptiveState, report: &AdaptiveReport) -> Result<(), CoreError> {
+        match (self, state, report) {
+            (AdaptiveOracle::Grr(o), AdaptiveState::Grr(s), AdaptiveReport::Grr(r)) => {
+                o.absorb(s, r)
+            }
+            (AdaptiveOracle::Olh(o), AdaptiveState::Olh(s), AdaptiveReport::Olh(r)) => {
+                o.absorb(s, r)
+            }
+            _ => Err(CoreError::InvalidReport(
+                "adaptive report protocol does not match the selected oracle".into(),
+            )),
+        }
+    }
+
+    fn merge_state(
+        &self,
+        state: &mut AdaptiveState,
+        other: &AdaptiveState,
+    ) -> Result<(), CoreError> {
+        match (self, state, other) {
+            (AdaptiveOracle::Grr(o), AdaptiveState::Grr(s), AdaptiveState::Grr(t)) => {
+                o.merge_state(s, t)
+            }
+            (AdaptiveOracle::Olh(o), AdaptiveState::Olh(s), AdaptiveState::Olh(t)) => {
+                o.merge_state(s, t)
+            }
+            _ => Err(CoreError::ShardMismatch(
+                "adaptive states were collected under different protocols".into(),
+            )),
+        }
+    }
+
+    fn finalize(&self, state: &AdaptiveState) -> Result<Vec<f64>, CoreError> {
+        match (self, state) {
+            (AdaptiveOracle::Grr(o), AdaptiveState::Grr(s)) => o.finalize(s),
+            (AdaptiveOracle::Olh(o), AdaptiveState::Olh(s)) => o.finalize(s),
+            _ => Err(CoreError::ShardMismatch(
+                "adaptive state was collected under a different protocol".into(),
+            )),
+        }
+    }
+}
+
+impl Mechanism for BinningEstimator {
+    type Input = f64;
+    type Report = AdaptiveReport;
+    type State = AdaptiveState;
+    type Output = Histogram;
+
+    fn epsilon(&self) -> Epsilon {
+        Mechanism::epsilon(self.oracle())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::BINNING,
+            &[
+                self.bins() as u64,
+                self.target_d() as u64,
+                Mechanism::fingerprint(self.oracle()),
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &f64,
+        rng: &mut R,
+    ) -> Result<AdaptiveReport, CoreError> {
+        if !input.is_finite() {
+            return Err(CoreError::InvalidInput(format!(
+                "private value {input} is not finite"
+            )));
+        }
+        let bucket = bucket_of(input.clamp(0.0, 1.0), self.bins());
+        Mechanism::randomize(self.oracle(), &bucket, rng)
+    }
+
+    fn empty_state(&self) -> AdaptiveState {
+        self.oracle().empty_state()
+    }
+
+    fn absorb(&self, state: &mut AdaptiveState, report: &AdaptiveReport) -> Result<(), CoreError> {
+        self.oracle().absorb(state, report)
+    }
+
+    fn merge_state(
+        &self,
+        state: &mut AdaptiveState,
+        other: &AdaptiveState,
+    ) -> Result<(), CoreError> {
+        self.oracle().merge_state(state, other)
+    }
+
+    fn finalize(&self, state: &AdaptiveState) -> Result<Histogram, CoreError> {
+        if state.total() == 0 {
+            return Err(CoreError::Aggregation(
+                "need at least one report to estimate a distribution".into(),
+            ));
+        }
+        let raw = self.oracle().finalize(state)?;
+        let repaired = norm_sub(&raw, 1.0);
+        let coarse =
+            Histogram::from_probs(repaired).map_err(|e| CoreError::Aggregation(e.to_string()))?;
+        coarse
+            .expand_uniform(self.target_d() / self.bins())
+            .map_err(|e| CoreError::Aggregation(e.to_string()))
+    }
+}
+
+impl WireReport for OlhReport {
+    fn encode(&self, out: &mut String) {
+        let _ = write!(out, "{} {}", self.seed, self.y);
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        let mut it = line.split_whitespace();
+        let seed = parse_field(it.next().unwrap_or(""), "OLH seed")?;
+        let y = parse_field(it.next().unwrap_or(""), "OLH value")?;
+        if it.next().is_some() {
+            return Err(CoreError::Wire(format!("trailing fields in {line:?}")));
+        }
+        Ok(OlhReport { seed, y })
+    }
+}
+
+impl WireReport for HrrReport {
+    fn encode(&self, out: &mut String) {
+        let _ = write!(out, "{} {}", self.row, self.bit);
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        let mut it = line.split_whitespace();
+        let row = parse_field(it.next().unwrap_or(""), "HRR row")?;
+        let bit: i8 = parse_field(it.next().unwrap_or(""), "HRR bit")?;
+        if it.next().is_some() {
+            return Err(CoreError::Wire(format!("trailing fields in {line:?}")));
+        }
+        if bit.abs() != 1 {
+            return Err(CoreError::Wire(format!("HRR bit must be ±1, got {bit}")));
+        }
+        Ok(HrrReport { row, bit })
+    }
+}
+
+impl WireReport for OueReport {
+    fn encode(&self, out: &mut String) {
+        let _ = write!(out, "{}", self.len());
+        for w in self.words() {
+            let _ = write!(out, " {w:x}");
+        }
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        let mut it = line.split_whitespace();
+        let len: usize = parse_field(it.next().unwrap_or(""), "OUE length")?;
+        // Sized by the words actually present on the line, never by the
+        // (untrusted) length field — `from_words` then validates the two
+        // against each other. A tampered length must produce a wire error,
+        // not a pathological allocation.
+        let mut bits = Vec::new();
+        for field in it {
+            let w = u64::from_str_radix(field, 16)
+                .map_err(|_| CoreError::Wire(format!("cannot parse OUE word from {field:?}")))?;
+            bits.push(w);
+        }
+        OueReport::from_words(bits, len).map_err(|e| CoreError::Wire(e.to_string()))
+    }
+}
+
+impl WireReport for AdaptiveReport {
+    fn encode(&self, out: &mut String) {
+        match self {
+            AdaptiveReport::Grr(v) => {
+                let _ = write!(out, "g {v}");
+            }
+            AdaptiveReport::Olh(r) => {
+                out.push_str("o ");
+                r.encode(out);
+            }
+        }
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| CoreError::Wire(format!("adaptive report needs a tag: {line:?}")))?;
+        match kind {
+            "g" => Ok(AdaptiveReport::Grr(parse_field(rest.trim(), "GRR value")?)),
+            "o" => Ok(AdaptiveReport::Olh(OlhReport::decode(rest)?)),
+            other => Err(CoreError::Wire(format!("unknown adaptive tag {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{encode_lines, Aggregator, Client};
+    use ldp_numeric::SplitMix64;
+
+    /// Streaming ingestion must reproduce the legacy
+    /// `FrequencyOracle::run` estimate bit for bit when fed the same RNG
+    /// stream.
+    #[test]
+    fn streaming_matches_legacy_oracle_run() {
+        let values: Vec<usize> = (0..4_000).map(|i| (i * 7) % 12).collect();
+        let d = 12;
+        let eps = 1.0;
+
+        macro_rules! check {
+            ($oracle:expr) => {{
+                let oracle = $oracle;
+                let legacy = {
+                    let mut rng = SplitMix64::new(404);
+                    oracle.run(&values, &mut rng).unwrap()
+                };
+                let streamed = {
+                    let mut rng = SplitMix64::new(404);
+                    let client = Client::new(&oracle);
+                    let mut agg = Aggregator::new(&oracle);
+                    for v in &values {
+                        agg.push(&client.randomize(v, &mut rng).unwrap()).unwrap();
+                    }
+                    agg.finalize().unwrap()
+                };
+                assert_eq!(legacy.len(), streamed.len());
+                for (a, b) in legacy.iter().zip(&streamed) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }};
+        }
+
+        check!(Grr::new(d, eps).unwrap());
+        check!(Olh::new(d, eps).unwrap());
+        check!(Oue::new(d, eps).unwrap());
+        check!(Hrr::new(d, eps).unwrap());
+        check!(AdaptiveOracle::new(d, eps).unwrap());
+    }
+
+    #[test]
+    fn binning_streaming_matches_legacy_estimate() {
+        let est = BinningEstimator::new(16, 64, 1.0).unwrap();
+        let values: Vec<f64> = (0..5_000).map(|i| (i % 97) as f64 / 97.0).collect();
+        let legacy = {
+            let mut rng = SplitMix64::new(77);
+            est.estimate(&values, &mut rng).unwrap()
+        };
+        let streamed = {
+            let mut rng = SplitMix64::new(77);
+            let client = Client::new(&est);
+            let mut agg = Aggregator::new(&est);
+            for v in &values {
+                agg.push(&client.randomize(v, &mut rng).unwrap()).unwrap();
+            }
+            agg.finalize().unwrap()
+        };
+        assert_eq!(legacy.probs(), streamed.probs());
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_reports() {
+        let grr = Grr::new(4, 1.0).unwrap();
+        let mut st = grr.empty_state();
+        assert!(grr.absorb(&mut st, &4).is_err());
+        assert!(grr.absorb(&mut st, &3).is_ok());
+        assert_eq!(st.total(), 1);
+
+        let olh = Olh::new(8, 1.0).unwrap();
+        let mut st = olh.empty_state();
+        let bad = OlhReport {
+            seed: 1,
+            y: olh.hash_range() as u32,
+        };
+        assert!(olh.absorb(&mut st, &bad).is_err());
+
+        let hrr = Hrr::new(8, 1.0).unwrap();
+        let mut st = hrr.empty_state();
+        assert!(hrr.absorb(&mut st, &HrrReport { row: 0, bit: 2 }).is_err());
+        assert!(hrr.absorb(&mut st, &HrrReport { row: 99, bit: 1 }).is_err());
+
+        let oue = Oue::new(8, 1.0).unwrap();
+        let other = Oue::new(16, 1.0).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let wrong_len = Mechanism::randomize(&other, &0, &mut rng).unwrap();
+        let mut st = oue.empty_state();
+        assert!(oue.absorb(&mut st, &wrong_len).is_err());
+    }
+
+    #[test]
+    fn adaptive_rejects_cross_protocol_reports_and_states() {
+        let grr_oracle = AdaptiveOracle::new(4, 1.0).unwrap();
+        assert!(matches!(grr_oracle, AdaptiveOracle::Grr(_)));
+        let mut st = grr_oracle.empty_state();
+        let olh_report = AdaptiveReport::Olh(OlhReport { seed: 0, y: 0 });
+        assert!(grr_oracle.absorb(&mut st, &olh_report).is_err());
+
+        let olh_oracle = AdaptiveOracle::new(1024, 1.0).unwrap();
+        let foreign = olh_oracle.empty_state();
+        assert!(grr_oracle.merge_state(&mut st, &foreign).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_oracles_and_configs() {
+        let a = Mechanism::fingerprint(&Grr::new(8, 1.0).unwrap());
+        let b = Mechanism::fingerprint(&Grr::new(8, 2.0).unwrap());
+        let c = Mechanism::fingerprint(&Grr::new(16, 1.0).unwrap());
+        let d = Mechanism::fingerprint(&Oue::new(8, 1.0).unwrap());
+        assert!(a != b && a != c && a != d);
+        // Same config -> same fingerprint.
+        assert_eq!(a, Mechanism::fingerprint(&Grr::new(8, 1.0).unwrap()));
+    }
+
+    #[test]
+    fn wire_reports_round_trip() {
+        let mut rng = SplitMix64::new(909);
+        let olh = Olh::new(32, 1.0).unwrap();
+        let oue = Oue::new(130, 1.0).unwrap();
+        let hrr = Hrr::new(20, 1.0).unwrap();
+        let adaptive = AdaptiveOracle::new(1024, 1.0).unwrap();
+        for v in 0..20usize {
+            let r = Mechanism::randomize(&olh, &(v % 32), &mut rng).unwrap();
+            let mut s = String::new();
+            r.encode(&mut s);
+            assert_eq!(OlhReport::decode(&s).unwrap(), r);
+
+            let r = Mechanism::randomize(&oue, &(v % 130), &mut rng).unwrap();
+            let mut s = String::new();
+            r.encode(&mut s);
+            assert_eq!(OueReport::decode(&s).unwrap(), r);
+
+            let r = Mechanism::randomize(&hrr, &(v % 20), &mut rng).unwrap();
+            let mut s = String::new();
+            r.encode(&mut s);
+            assert_eq!(HrrReport::decode(&s).unwrap(), r);
+
+            let r = Mechanism::randomize(&adaptive, &(v % 1024), &mut rng).unwrap();
+            let mut s = String::new();
+            r.encode(&mut s);
+            assert_eq!(AdaptiveReport::decode(&s).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_malformed_lines() {
+        assert!(OlhReport::decode("1").is_err());
+        assert!(OlhReport::decode("1 2 3").is_err());
+        assert!(HrrReport::decode("3 0").is_err());
+        assert!(OueReport::decode("64 zz").is_err());
+        assert!(OueReport::decode("64").is_err());
+        // A tampered length field must yield a wire error, never a
+        // length-sized allocation.
+        assert!(OueReport::decode("99999999999999999 0").is_err());
+        assert!(AdaptiveReport::decode("x 3").is_err());
+        assert!(AdaptiveReport::decode("g").is_err());
+    }
+
+    #[test]
+    fn encode_lines_round_trips_mixed_stream() {
+        let grr = Grr::new(6, 1.0).unwrap();
+        let mut rng = SplitMix64::new(31);
+        let client = Client::new(&grr);
+        let reports: Vec<usize> = (0..50)
+            .map(|i| client.randomize(&(i % 6), &mut rng).unwrap())
+            .collect();
+        let text = encode_lines(&reports);
+        let back: Vec<usize> = ldp_core::decode_lines(&text).unwrap();
+        assert_eq!(back, reports);
+        // Identical estimate from the replayed stream.
+        let a = Mechanism::aggregate(&grr, &reports).unwrap();
+        let b = Mechanism::aggregate(&grr, &back).unwrap();
+        assert_eq!(a, b);
+    }
+}

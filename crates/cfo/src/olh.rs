@@ -12,14 +12,16 @@
 //! independence across users is what the estimator needs, and each user
 //! drawing an independent 64-bit seed provides it.
 
-use crate::error::{check_domain, check_epsilon, CfoError};
+use crate::error::CfoError;
 use crate::oracle::{check_value, FrequencyOracle};
+use ldp_core::{Domain, Epsilon};
 use ldp_numeric::rng::mix64;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// A single OLH report: the user's hash seed and the GRR-perturbed hashed
 /// value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OlhReport {
     /// Seed identifying the user's hash function.
     pub seed: u64,
@@ -49,8 +51,8 @@ impl Olh {
     /// Creates an OLH oracle with the variance-optimal hash range
     /// `g = round(eᵉ) + 1`.
     pub fn new(d: usize, eps: f64) -> Result<Self, CfoError> {
-        check_domain(d)?;
-        check_epsilon(eps)?;
+        Domain::new(d)?;
+        Epsilon::new(eps)?;
         let g = ((eps.exp()).round() as usize + 1).max(2);
         Self::with_hash_range(d, eps, g)
     }
@@ -58,8 +60,8 @@ impl Olh {
     /// Creates an OLH oracle with an explicit hash range `g >= 2`
     /// (exposed for the ablation benches).
     pub fn with_hash_range(d: usize, eps: f64, g: usize) -> Result<Self, CfoError> {
-        check_domain(d)?;
-        check_epsilon(eps)?;
+        Domain::new(d)?;
+        Epsilon::new(eps)?;
         if g < 2 {
             return Err(CfoError::InvalidParameter(format!(
                 "hash range g must be at least 2, got {g}"
@@ -81,6 +83,31 @@ impl Olh {
     pub fn theoretical_variance(eps: f64, n: usize) -> f64 {
         let e = eps.exp();
         4.0 * e / ((e - 1.0) * (e - 1.0) * n as f64)
+    }
+
+    /// Adds one report's support pattern to per-value support counts — the
+    /// O(d) inversion step shared by one-shot aggregation and streaming
+    /// absorption.
+    pub(crate) fn add_support(&self, support: &mut [u64], report: &OlhReport) {
+        for (v, s) in support.iter_mut().enumerate() {
+            if olh_hash(report.seed, v, self.g) == report.y {
+                *s += 1;
+            }
+        }
+    }
+
+    /// Debiases support counts into frequency estimates; shared by both
+    /// aggregation paths so they are bit-identical.
+    pub(crate) fn estimate_from_support(&self, support: &[u64], n: u64) -> Vec<f64> {
+        if n == 0 {
+            return vec![0.0; self.d];
+        }
+        let nf = n as f64;
+        let inv_g = 1.0 / self.g as f64;
+        support
+            .iter()
+            .map(|&c| (c as f64 / nf - inv_g) / (self.p - inv_g))
+            .collect()
     }
 }
 
@@ -112,24 +139,11 @@ impl FrequencyOracle for Olh {
     }
 
     fn aggregate(&self, reports: &[OlhReport]) -> Vec<f64> {
-        let n = reports.len();
-        if n == 0 {
-            return vec![0.0; self.d];
-        }
         let mut support = vec![0u64; self.d];
         for r in reports {
-            for (v, s) in support.iter_mut().enumerate() {
-                if olh_hash(r.seed, v, self.g) == r.y {
-                    *s += 1;
-                }
-            }
+            self.add_support(&mut support, r);
         }
-        let nf = n as f64;
-        let inv_g = 1.0 / self.g as f64;
-        support
-            .iter()
-            .map(|&c| (c as f64 / nf - inv_g) / (self.p - inv_g))
-            .collect()
+        self.estimate_from_support(&support, reports.len() as u64)
     }
 
     fn estimate_variance(&self, n: usize) -> f64 {

@@ -7,18 +7,59 @@
 //! probability ½ and every other position flips on with probability
 //! `1/(eᵉ+1)`.
 
-use crate::error::{check_domain, check_epsilon, CfoError};
+use crate::error::CfoError;
 use crate::oracle::{check_value, FrequencyOracle};
+use ldp_core::{Domain, Epsilon};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// One OUE report: a packed bit vector over the domain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OueReport {
     bits: Vec<u64>,
     len: usize,
 }
 
 impl OueReport {
+    /// Reassembles a report from its packed words (the wire format);
+    /// rejects word counts that do not match `len` or stray bits beyond it.
+    pub fn from_words(bits: Vec<u64>, len: usize) -> Result<Self, CfoError> {
+        if bits.len() != len.div_ceil(64) {
+            return Err(CfoError::InvalidParameter(format!(
+                "OUE report needs {} words for {len} bits, got {}",
+                len.div_ceil(64),
+                bits.len()
+            )));
+        }
+        if !len.is_multiple_of(64) {
+            let last = bits[bits.len() - 1];
+            if last >> (len % 64) != 0 {
+                return Err(CfoError::InvalidParameter(
+                    "OUE report has bits set beyond its length".into(),
+                ));
+            }
+        }
+        Ok(OueReport { bits, len })
+    }
+
+    /// Number of bits (the domain size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the report has zero bits (never true for a valid domain).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed 64-bit words backing the report.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Whether bit `i` is set.
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
@@ -45,8 +86,8 @@ pub struct Oue {
 impl Oue {
     /// Creates an OUE oracle over domain size `d`.
     pub fn new(d: usize, eps: f64) -> Result<Self, CfoError> {
-        check_domain(d)?;
-        check_epsilon(eps)?;
+        Domain::new(d)?;
+        Epsilon::new(eps)?;
         Ok(Oue {
             d,
             eps,
@@ -60,6 +101,35 @@ impl Oue {
     pub fn theoretical_variance(eps: f64, n: usize) -> f64 {
         let e = eps.exp();
         4.0 * e / ((e - 1.0) * (e - 1.0) * n as f64)
+    }
+
+    /// Adds one report's set bits to per-position counts; shared by both
+    /// aggregation paths.
+    pub(crate) fn add_counts(&self, counts: &mut [u64], report: &OueReport) {
+        for (w, &word) in report.bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                let idx = w * 64 + tz;
+                if idx < self.d {
+                    counts[idx] += 1;
+                }
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Debiases per-position counts into frequency estimates; shared by
+    /// both aggregation paths so they are bit-identical.
+    pub(crate) fn estimate_from_counts(&self, counts: &[u64], n: u64) -> Vec<f64> {
+        if n == 0 {
+            return vec![0.0; self.d];
+        }
+        let nf = n as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 / nf - self.q) / (self.p - self.q))
+            .collect()
     }
 }
 
@@ -90,29 +160,11 @@ impl FrequencyOracle for Oue {
     }
 
     fn aggregate(&self, reports: &[OueReport]) -> Vec<f64> {
-        let n = reports.len();
-        if n == 0 {
-            return vec![0.0; self.d];
-        }
         let mut counts = vec![0u64; self.d];
         for r in reports {
-            for (w, &word) in r.bits.iter().enumerate() {
-                let mut bits = word;
-                while bits != 0 {
-                    let tz = bits.trailing_zeros() as usize;
-                    let idx = w * 64 + tz;
-                    if idx < self.d {
-                        counts[idx] += 1;
-                    }
-                    bits &= bits - 1;
-                }
-            }
+            self.add_counts(&mut counts, r);
         }
-        let nf = n as f64;
-        counts
-            .iter()
-            .map(|&c| (c as f64 / nf - self.q) / (self.p - self.q))
-            .collect()
+        self.estimate_from_counts(&counts, reports.len() as u64)
     }
 
     fn estimate_variance(&self, n: usize) -> f64 {

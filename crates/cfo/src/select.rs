@@ -6,6 +6,7 @@ use crate::grr::Grr;
 use crate::olh::{Olh, OlhReport};
 use crate::oracle::FrequencyOracle;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Which base oracle the selector picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +30,7 @@ pub fn choose_oracle(d: usize, eps: f64) -> OracleKind {
 }
 
 /// A report from the adaptive oracle, tagged by the underlying protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdaptiveReport {
     /// A GRR report.
     Grr(usize),

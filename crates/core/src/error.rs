@@ -1,0 +1,63 @@
+//! The error type shared by the unified mechanism API.
+
+use std::fmt;
+
+/// Errors produced by the unified mechanism API.
+///
+/// Mechanism crates convert `CoreError` into their native error enums via
+/// `From` impls, so parameter validation lives here exactly once while each
+/// crate keeps its established error surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The privacy parameter ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// A domain must have at least two values/buckets.
+    DomainTooSmall(usize),
+    /// A client-side private input fell outside the mechanism's domain.
+    InvalidInput(String),
+    /// A wire report could not have been produced by the mechanism.
+    InvalidReport(String),
+    /// Two aggregator shards were built for different configurations.
+    ShardMismatch(String),
+    /// Server-side aggregation or estimation failed.
+    Aggregation(String),
+    /// A wire-format line failed to decode.
+    Wire(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidEpsilon(eps) => {
+                write!(f, "epsilon must be positive and finite, got {eps}")
+            }
+            CoreError::DomainTooSmall(d) => {
+                write!(f, "domain must have at least 2 values, got {d}")
+            }
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::InvalidReport(msg) => write!(f, "invalid report: {msg}"),
+            CoreError::ShardMismatch(msg) => write!(f, "shard mismatch: {msg}"),
+            CoreError::Aggregation(msg) => write!(f, "aggregation failed: {msg}"),
+            CoreError::Wire(msg) => write!(f, "wire decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(CoreError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(CoreError::DomainTooSmall(1).to_string().contains('1'));
+        assert!(CoreError::Wire("bad line".into())
+            .to_string()
+            .contains("bad line"));
+        assert!(CoreError::ShardMismatch("8 vs 16".into())
+            .to_string()
+            .contains("8 vs 16"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Exact-round-trip wire encoding for mechanism reports.
+//!
+//! Reports must cross process boundaries: from user devices to collectors,
+//! between collector shards, and into replay logs. This module defines a
+//! line-oriented text format — one report per line, space-separated fields
+//! — chosen so that decoding reproduces the original report **exactly**
+//! (floats are rendered with Rust's shortest-round-trip formatting), which
+//! is what lets a replayed stream finalize to the bit-identical estimate.
+//!
+//! Report structs additionally carry `serde` derives so ecosystem formats
+//! (JSON, bincode, …) work once the real `serde` replaces the vendored
+//! stub; this hand-rolled format is the workspace's own dependency-free
+//! path and the one the round-trip tests exercise.
+
+use crate::error::CoreError;
+use std::fmt::Write;
+
+/// A report type with an exact one-line text encoding.
+pub trait WireReport: Sized {
+    /// Appends the encoded report (no trailing newline) to `out`.
+    fn encode(&self, out: &mut String);
+
+    /// Decodes one line produced by [`WireReport::encode`].
+    fn decode(line: &str) -> Result<Self, CoreError>;
+}
+
+/// Encodes a slice of reports as newline-separated lines (with a trailing
+/// newline when non-empty).
+#[must_use]
+pub fn encode_lines<T: WireReport>(reports: &[T]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        r.encode(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes newline-separated report lines; blank lines are skipped.
+pub fn decode_lines<T: WireReport>(s: &str) -> Result<Vec<T>, CoreError> {
+    let mut reports = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        reports.push(T::decode(line)?);
+    }
+    Ok(reports)
+}
+
+/// Parses one whitespace-separated field with a uniform error message.
+pub fn parse_field<T: std::str::FromStr>(field: &str, what: &str) -> Result<T, CoreError> {
+    field
+        .parse()
+        .map_err(|_| CoreError::Wire(format!("cannot parse {what} from {field:?}")))
+}
+
+impl WireReport for f64 {
+    fn encode(&self, out: &mut String) {
+        // `{}` on f64 is shortest-round-trip: parsing the output recovers
+        // the exact bit pattern (NaN payloads excepted, which no mechanism
+        // emits).
+        let _ = write!(out, "{self}");
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        parse_field(line, "f64 report")
+    }
+}
+
+impl WireReport for usize {
+    fn encode(&self, out: &mut String) {
+        let _ = write!(out, "{self}");
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        parse_field(line, "usize report")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            -4.9e-324,
+            1e308,
+        ];
+        for &v in &values {
+            let mut s = String::new();
+            v.encode(&mut s);
+            let back = f64::decode(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn usize_round_trips() {
+        for v in [0usize, 1, 63, usize::MAX] {
+            let mut s = String::new();
+            v.encode(&mut s);
+            assert_eq!(usize::decode(&s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_and_skip_blanks() {
+        let reports = vec![0.25f64, -3.5, 1.0 / 7.0];
+        let encoded = encode_lines(&reports);
+        assert_eq!(encoded.lines().count(), 3);
+        let with_blanks = format!("\n{encoded}\n  \n");
+        let back: Vec<f64> = decode_lines(&with_blanks).unwrap();
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(decode_lines::<f64>("not-a-number").is_err());
+        assert!(decode_lines::<usize>("-3").is_err());
+        assert!(matches!(f64::decode("x").unwrap_err(), CoreError::Wire(_)));
+    }
+
+    #[test]
+    fn empty_input_decodes_to_empty() {
+        assert_eq!(decode_lines::<f64>("").unwrap(), Vec::<f64>::new());
+        assert_eq!(encode_lines::<f64>(&[]), "");
+    }
+}

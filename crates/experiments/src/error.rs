@@ -14,6 +14,12 @@ impl fmt::Display for ExperimentError {
 
 impl std::error::Error for ExperimentError {}
 
+impl From<ldp_core::CoreError> for ExperimentError {
+    fn from(e: ldp_core::CoreError) -> Self {
+        ExperimentError(e.to_string())
+    }
+}
+
 impl From<ldp_sw::SwError> for ExperimentError {
     fn from(e: ldp_sw::SwError) -> Self {
         ExperimentError(e.to_string())

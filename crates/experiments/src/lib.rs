@@ -1,7 +1,10 @@
 //! Experiment harness regenerating every table and figure of the SIGMOD
 //! 2020 evaluation (paper §6).
 //!
-//! - [`methods`] — a uniform adapter over all eight estimation methods;
+//! - [`methods`] — a uniform adapter over all eight estimation methods
+//!   (a thin constructor table over the unified `ldp-core` mechanism API);
+//! - [`registry`] — the trait-object streaming runner every method
+//!   dispatches through;
 //! - [`runner`] — the multi-threaded (method × ε × trial) grid executor
 //!   with all seven utility metrics evaluated per trial;
 //! - [`figures`] — one function per paper figure (`fig1` … `fig7`) plus
@@ -21,11 +24,13 @@ pub mod config;
 pub mod error;
 pub mod figures;
 pub mod methods;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
 pub use config::ExperimentConfig;
 pub use error::ExperimentError;
 pub use methods::{run_method, Estimate, Method};
+pub use registry::MethodRunner;
 pub use report::{Chart, Figure, Series};
 pub use runner::{evaluate_trial, parallel_jobs, run_grid, GridResults, TrialMetrics};

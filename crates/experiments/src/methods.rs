@@ -1,12 +1,24 @@
 //! A uniform adapter over every estimation method the paper evaluates
 //! (Table 2).
+//!
+//! [`Method`] is a thin constructor table: [`Method::runner`] builds the
+//! mechanism behind each name and wraps it in the registry's generic
+//! streaming runner (see [`crate::registry`]). All client-side
+//! randomization and server-side aggregation flows through the unified
+//! `ldp-core` `Client`/`Aggregator` split — there are no per-mechanism
+//! randomize/aggregate paths here.
 
 use crate::error::ExperimentError;
+use crate::registry::{MeanRunner, MethodRunner, Streaming};
 use ldp_cfo::BinningEstimator;
-use ldp_hierarchy::{hh_admm_histogram, AdmmConfig, HaarHrr, HierarchicalHistogram};
-use ldp_mean::{MeanMechanism, MeanVariance};
+use ldp_hierarchy::{
+    constrained_inference, hh_admm_histogram, AdmmConfig, HaarHrr, HhRaw, HierarchicalHistogram,
+    RootPolicy,
+};
+use ldp_mean::{MeanMechanism, MeanVariance, Pm, Sr};
+use ldp_numeric::histogram::bucket_of;
 use ldp_numeric::{Histogram, SplitMix64};
-use ldp_sw::{Reconstruction, SwPipeline};
+use ldp_sw::SwMechanism;
 
 /// The paper's branching factor for hierarchy methods (§6.1: "similar to
 /// \[18\], we use a branching factor of 4").
@@ -94,6 +106,64 @@ impl Method {
             Method::SwEms | Method::SwEm | Method::HhAdmm | Method::CfoBinning { .. }
         )
     }
+
+    /// Builds the ready-to-run estimation method at granularity `d` and
+    /// budget `eps`: the constructor table behind the trait-object
+    /// registry. Each entry names the mechanism, how dataset values map to
+    /// its input domain, and how its output maps to an [`Estimate`].
+    pub fn runner(&self, d: usize, eps: f64) -> Result<Box<dyn MethodRunner>, ExperimentError> {
+        Ok(match *self {
+            Method::SwEms => Box::new(Streaming {
+                mechanism: SwMechanism::ems(eps, d)?,
+                to_input: |v: f64| v,
+                to_estimate: |h: Histogram| Ok(Estimate::Distribution(h)),
+            }),
+            Method::SwEm => Box::new(Streaming {
+                mechanism: SwMechanism::em(eps, d)?,
+                to_input: |v: f64| v,
+                to_estimate: |h: Histogram| Ok(Estimate::Distribution(h)),
+            }),
+            Method::HhAdmm => Box::new(Streaming {
+                mechanism: HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?,
+                to_input: move |v: f64| bucket_of(v, d),
+                to_estimate: |raw: HhRaw| {
+                    let h = hh_admm_histogram(raw.shape(), &raw, AdmmConfig::default())?;
+                    Ok(Estimate::Distribution(h))
+                },
+            }),
+            Method::CfoBinning { bins } => Box::new(Streaming {
+                mechanism: BinningEstimator::new(bins, d, eps)?,
+                to_input: |v: f64| v,
+                to_estimate: |h: Histogram| Ok(Estimate::Distribution(h)),
+            }),
+            Method::Hh => Box::new(Streaming {
+                mechanism: HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?,
+                to_input: move |v: f64| bucket_of(v, d),
+                to_estimate: |raw: HhRaw| {
+                    let consistent = constrained_inference(
+                        raw.shape(),
+                        &raw.tree,
+                        &raw.level_variances,
+                        RootPolicy::Fixed(1.0),
+                    )?;
+                    Ok(Estimate::SignedLeaves(consistent.leaves().to_vec()))
+                },
+            }),
+            Method::HaarHrr => Box::new(Streaming {
+                mechanism: HaarHrr::new(d, eps)?,
+                to_input: move |v: f64| bucket_of(v, d),
+                to_estimate: |leaves: Vec<f64>| Ok(Estimate::SignedLeaves(leaves)),
+            }),
+            Method::Sr => Box::new(MeanRunner {
+                mechanism: Sr::new(eps)?,
+                protocol: MeanVariance::new(MeanMechanism::Sr, eps)?,
+            }),
+            Method::Pm => Box::new(MeanRunner {
+                mechanism: Pm::new(eps)?,
+                protocol: MeanVariance::new(MeanMechanism::Pm, eps)?,
+            }),
+        })
+    }
 }
 
 /// What a method outputs for one trial.
@@ -116,7 +186,9 @@ pub enum Estimate {
 /// Runs one method on one dataset at granularity `d` and budget `eps`.
 ///
 /// `values` are the users' private values in `[0, 1]`; `seed` makes the
-/// trial reproducible.
+/// trial reproducible. Dispatches through the trait-object registry: build
+/// the runner once, then stream the whole population through the unified
+/// `Client`/`Aggregator` API.
 pub fn run_method(
     method: Method,
     values: &[f64],
@@ -124,81 +196,8 @@ pub fn run_method(
     eps: f64,
     seed: u64,
 ) -> Result<Estimate, ExperimentError> {
-    let mut rng = SplitMix64::new(seed);
-    match method {
-        Method::SwEms | Method::SwEm => {
-            let pipeline = SwPipeline::new(eps, d)?;
-            // Randomize with the trial's sequential RNG stream (so results
-            // are unchanged vs `pipeline.estimate`), bulk-ingesting through
-            // the aggregator in fixed-size blocks — O(d̃ + block) memory —
-            // then reconstruct via the structured operator.
-            let mut agg = ldp_sw::ShardAggregator::for_pipeline(&pipeline);
-            let mut reports = Vec::with_capacity(values.len().min(8 * 1024));
-            for block in values.chunks(8 * 1024) {
-                reports.clear();
-                for &v in block {
-                    reports.push(pipeline.randomize(v, &mut rng)?);
-                }
-                agg.push_slice(&reports)?;
-            }
-            let method = if method == Method::SwEms {
-                Reconstruction::Ems
-            } else {
-                Reconstruction::Em
-            };
-            let h = pipeline.reconstruct(&agg.to_counts(), &method)?.histogram;
-            Ok(Estimate::Distribution(h))
-        }
-        Method::HhAdmm => {
-            let hh = HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?;
-            let buckets: Vec<usize> = values
-                .iter()
-                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
-                .collect();
-            let raw = hh.collect(&buckets, &mut rng)?;
-            let h = hh_admm_histogram(hh.shape(), &raw, AdmmConfig::default())?;
-            Ok(Estimate::Distribution(h))
-        }
-        Method::CfoBinning { bins } => {
-            let est = BinningEstimator::new(bins, d, eps)?;
-            let h = est.estimate(values, &mut rng)?;
-            Ok(Estimate::Distribution(h))
-        }
-        Method::Hh => {
-            let hh = HierarchicalHistogram::new(HIERARCHY_BRANCHING, d, eps)?;
-            let buckets: Vec<usize> = values
-                .iter()
-                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
-                .collect();
-            let leaves = hh.estimate_leaves(&buckets, &mut rng)?;
-            Ok(Estimate::SignedLeaves(leaves))
-        }
-        Method::HaarHrr => {
-            let est = HaarHrr::new(d, eps)?;
-            let buckets: Vec<usize> = values
-                .iter()
-                .map(|&v| ldp_numeric::histogram::bucket_of(v, d))
-                .collect();
-            let leaves = est.estimate_leaves(&buckets, &mut rng)?;
-            Ok(Estimate::SignedLeaves(leaves))
-        }
-        Method::Sr | Method::Pm => {
-            let mech = if method == Method::Sr {
-                MeanMechanism::Sr
-            } else {
-                MeanMechanism::Pm
-            };
-            let proto = MeanVariance::new(mech, eps)?;
-            // Mean uses the full population (the paper's first-row setup);
-            // variance re-runs the two-phase protocol on a fresh stream.
-            let mean = proto.estimate_mean(values, &mut rng)?;
-            let mv = proto.estimate(values, &mut rng)?;
-            Ok(Estimate::Scalar {
-                mean,
-                variance: mv.variance,
-            })
-        }
-    }
+    let runner = method.runner(d, eps)?;
+    runner.run(values, &mut SplitMix64::new(seed))
 }
 
 #[cfg(test)]
@@ -273,6 +272,39 @@ mod tests {
                 assert_eq!(x.probs(), y.probs());
             }
             _ => panic!("expected distributions"),
+        }
+    }
+
+    /// The registry dispatch must preserve the pre-redesign estimates for
+    /// the mechanisms whose RNG consumption order is unchanged: the SW
+    /// paths randomize each value sequentially on the trial stream exactly
+    /// as the old hand-written loop did.
+    #[test]
+    fn sw_dispatch_is_bit_identical_to_legacy_pipeline_path() {
+        let vals = values();
+        let eps = 1.0;
+        let d = 32;
+        for (method, reconstruction) in [
+            (Method::SwEms, ldp_sw::Reconstruction::Ems),
+            (Method::SwEm, ldp_sw::Reconstruction::Em),
+        ] {
+            let est = match run_method(method, &vals, d, eps, 1234).unwrap() {
+                Estimate::Distribution(h) => h,
+                _ => panic!("expected a distribution"),
+            };
+            // The legacy path: sequential randomization on the trial RNG,
+            // ShardAggregator ingestion, EM/EMS reconstruction.
+            let pipeline = ldp_sw::SwPipeline::new(eps, d).unwrap();
+            let mut rng = SplitMix64::new(1234);
+            let mut agg = ldp_sw::ShardAggregator::for_pipeline(&pipeline);
+            for &v in &vals {
+                agg.push(pipeline.randomize(v, &mut rng).unwrap()).unwrap();
+            }
+            let legacy = pipeline
+                .reconstruct(&agg.to_counts(), &reconstruction)
+                .unwrap()
+                .histogram;
+            assert_eq!(est.probs(), legacy.probs(), "{}", method.name());
         }
     }
 }

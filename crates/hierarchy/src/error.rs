@@ -47,6 +47,15 @@ impl From<CfoError> for HierarchyError {
     }
 }
 
+/// Parameter validation is centralized in `ldp-core`
+/// ([`ldp_core::Epsilon`], [`ldp_core::Domain`]); the messages match the
+/// checks this crate used to hand-roll.
+impl From<ldp_core::CoreError> for HierarchyError {
+    fn from(e: ldp_core::CoreError) -> Self {
+        HierarchyError::InvalidParameter(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@
 use crate::error::HierarchyError;
 use crate::tree::TreeShape;
 use ldp_cfo::{FrequencyOracle, Hrr};
+use ldp_core::Mechanism;
 use rand::Rng;
 
 /// Haar coefficients of a length-`2^h` vector.
@@ -91,6 +92,10 @@ pub fn haar_inverse(coeffs: &HaarCoefficients) -> Result<Vec<f64>, HierarchyErro
 pub struct HaarHrr {
     shape: TreeShape,
     eps: f64,
+    /// Per-height HRR oracles over the (coefficient, sign) item domains
+    /// (index `m - 1` for heights 1..=h), built once at construction and
+    /// shared by the batch and streaming collection paths.
+    oracles: Vec<Hrr>,
 }
 
 impl HaarHrr {
@@ -98,18 +103,33 @@ impl HaarHrr {
     /// two) with budget `eps`.
     pub fn new(d: usize, eps: f64) -> Result<Self, HierarchyError> {
         let shape = TreeShape::new(2, d)?;
-        if !(eps > 0.0) || !eps.is_finite() {
-            return Err(HierarchyError::InvalidParameter(format!(
-                "epsilon must be positive and finite, got {eps}"
-            )));
-        }
-        Ok(HaarHrr { shape, eps })
+        ldp_core::Epsilon::new(eps)?;
+        let leaves = shape.leaves();
+        let oracles = (1..=shape.height())
+            .map(|m| Hrr::new(2 * (leaves >> m), eps))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HaarHrr {
+            shape,
+            eps,
+            oracles,
+        })
+    }
+
+    /// The HRR oracle serving coefficient height `m` (1..=h).
+    pub(crate) fn height_oracle(&self, m: usize) -> &Hrr {
+        &self.oracles[m - 1]
     }
 
     /// The tree geometry.
     #[must_use]
     pub fn shape(&self) -> &TreeShape {
         &self.shape
+    }
+
+    /// The privacy budget ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.eps
     }
 
     /// Full pipeline: the population is split uniformly over coefficient
@@ -147,27 +167,20 @@ impl HaarHrr {
             per_level[m].push(2 * k + right);
         }
 
-        let mut details = Vec::with_capacity(h);
-        for m in 1..=h {
-            let coeff_count = d >> m;
-            let item_domain = 2 * coeff_count;
-            let scale = 2f64.powf(m as f64 / 2.0);
-            let group = &per_level[m];
-            let freqs = if group.is_empty() {
-                vec![0.0; item_domain]
-            } else {
-                let oracle = Hrr::new(item_domain, self.eps)?;
-                oracle.run(group, rng)?
-            };
-            let det: Vec<f64> = (0..coeff_count)
-                .map(|k| (freqs[2 * k] - freqs[2 * k + 1]) / scale)
-                .collect();
-            details.push(det);
+        // Randomize each height's group in order (the same RNG stream as
+        // `FrequencyOracle::run`), absorbing reports into the streaming
+        // state; coefficient estimation and the inverse transform are one
+        // routine shared with `ldp_core::Mechanism::finalize`, so the
+        // batch and streaming paths cannot drift.
+        let mut state = Mechanism::empty_state(self);
+        for (m, group) in per_level.iter().enumerate().skip(1) {
+            let oracle = self.height_oracle(m);
+            for &item in group {
+                let report = FrequencyOracle::randomize(oracle, item, rng)?;
+                Mechanism::absorb(oracle, state.level_mut(m), &report)?;
+            }
         }
-        haar_inverse(&HaarCoefficients {
-            total: 1.0,
-            details,
-        })
+        Ok(Mechanism::finalize(self, &state)?)
     }
 }
 

@@ -12,6 +12,7 @@ use crate::consistency::{constrained_inference, RootPolicy};
 use crate::error::HierarchyError;
 use crate::tree::{TreeShape, TreeValues};
 use ldp_cfo::{AdaptiveOracle, FrequencyOracle};
+use ldp_core::Mechanism;
 use rand::Rng;
 
 /// Noisy per-level estimates collected from the population, before
@@ -58,6 +59,10 @@ impl HhRaw {
 pub struct HierarchicalHistogram {
     shape: TreeShape,
     eps: f64,
+    /// Per-level adaptive oracles (index `level - 1` for levels 1..=h),
+    /// built once at construction and shared by the batch and streaming
+    /// collection paths.
+    oracles: Vec<AdaptiveOracle>,
 }
 
 impl HierarchicalHistogram {
@@ -65,18 +70,32 @@ impl HierarchicalHistogram {
     /// `branching` (the paper uses 4) and privacy budget `eps`.
     pub fn new(branching: usize, d: usize, eps: f64) -> Result<Self, HierarchyError> {
         let shape = TreeShape::new(branching, d)?;
-        if !(eps > 0.0) || !eps.is_finite() {
-            return Err(HierarchyError::InvalidParameter(format!(
-                "epsilon must be positive and finite, got {eps}"
-            )));
-        }
-        Ok(HierarchicalHistogram { shape, eps })
+        ldp_core::Epsilon::new(eps)?;
+        let oracles = (1..=shape.height())
+            .map(|level| AdaptiveOracle::new(shape.level_size(level), eps))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HierarchicalHistogram {
+            shape,
+            eps,
+            oracles,
+        })
+    }
+
+    /// The per-level oracle serving tree level `level` (1..=h).
+    pub(crate) fn level_oracle(&self, level: usize) -> &AdaptiveOracle {
+        &self.oracles[level - 1]
     }
 
     /// The tree geometry.
     #[must_use]
     pub fn shape(&self) -> &TreeShape {
         &self.shape
+    }
+
+    /// The privacy budget ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.eps
     }
 
     /// Client + server side: randomizes every user's bucket index and
@@ -111,26 +130,21 @@ impl HierarchicalHistogram {
             per_level[level].push(self.shape.ancestor_at_level(v, level));
         }
 
-        let mut tree = TreeValues::zeros(&self.shape);
-        tree.levels[0][0] = 1.0; // the total is public under LDP
-        let mut level_variances = vec![1e-12; h + 1];
-        for level in 1..=h {
-            let domain = self.shape.level_size(level);
-            let oracle = AdaptiveOracle::new(domain, self.eps)?;
-            let group = &per_level[level];
-            let est = if group.is_empty() {
-                vec![1.0 / domain as f64; domain]
-            } else {
-                oracle.run(group, rng)?
-            };
-            tree.levels[level] = est;
-            level_variances[level] = oracle.estimate_variance(group.len().max(1));
+        // Randomize each level's group in order (the same RNG stream as
+        // `FrequencyOracle::run`), absorbing reports into the streaming
+        // state; the estimation itself — per-level debiasing, empty-level
+        // uniform fallback, variance bookkeeping — is one routine shared
+        // with `ldp_core::Mechanism::finalize`, so the batch and streaming
+        // paths cannot drift.
+        let mut state = Mechanism::empty_state(self);
+        for (level, group) in per_level.iter().enumerate().skip(1) {
+            let oracle = self.level_oracle(level);
+            for &v in group {
+                let report = FrequencyOracle::randomize(oracle, v, rng)?;
+                Mechanism::absorb(oracle, state.level_mut(level), &report)?;
+            }
         }
-        Ok(HhRaw {
-            tree,
-            level_variances,
-            shape: self.shape,
-        })
+        Ok(Mechanism::finalize(self, &state)?)
     }
 
     /// Applies constrained inference (root fixed to 1) to raw estimates,

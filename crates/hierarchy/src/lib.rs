@@ -28,6 +28,7 @@ pub mod consistency;
 pub mod error;
 pub mod haar;
 pub mod hh;
+pub mod mechanism;
 pub mod range;
 pub mod tree;
 
@@ -36,4 +37,5 @@ pub use consistency::{constrained_inference, project_consistent, RootPolicy};
 pub use error::HierarchyError;
 pub use haar::{haar_forward, haar_inverse, HaarCoefficients, HaarHrr};
 pub use hh::{HhRaw, HierarchicalHistogram};
+pub use mechanism::{HaarReport, HaarState, HhReport, HhState};
 pub use tree::{TreeShape, TreeValues};

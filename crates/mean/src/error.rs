@@ -1,5 +1,6 @@
 //! Error type for mean/variance estimation mechanisms.
 
+use ldp_core::CoreError;
 use std::fmt;
 
 /// Errors produced by the mean-estimation mechanisms.
@@ -34,11 +35,16 @@ impl fmt::Display for MeanError {
 
 impl std::error::Error for MeanError {}
 
-pub(crate) fn check_epsilon(eps: f64) -> Result<(), MeanError> {
-    if !(eps > 0.0) || !eps.is_finite() {
-        return Err(MeanError::InvalidEpsilon(eps));
+/// Parameter validation is centralized in `ldp-core`
+/// ([`ldp_core::Epsilon`]); this impl folds its errors back into the
+/// crate's established variants.
+impl From<CoreError> for MeanError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::InvalidEpsilon(eps) => MeanError::InvalidEpsilon(eps),
+            other => MeanError::InvalidParameter(other.to_string()),
+        }
     }
-    Ok(())
 }
 
 pub(crate) fn check_signed(v: f64) -> Result<(), MeanError> {
@@ -57,8 +63,14 @@ mod tests {
 
     #[test]
     fn validators() {
-        assert!(check_epsilon(1.0).is_ok());
-        assert!(check_epsilon(-1.0).is_err());
+        assert_eq!(
+            MeanError::from(ldp_core::Epsilon::new(-1.0).unwrap_err()),
+            MeanError::InvalidEpsilon(-1.0)
+        );
+        assert!(matches!(
+            MeanError::from(CoreError::Wire("x".into())),
+            MeanError::InvalidParameter(_)
+        ));
         assert!(check_signed(0.5).is_ok());
         assert!(check_signed(-1.0).is_ok());
         assert!(check_signed(1.1).is_err());

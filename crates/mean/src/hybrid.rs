@@ -9,10 +9,12 @@
 //! Included as an extension — the paper evaluates SR and PM separately, and
 //! Hybrid is the natural deployment choice.
 
-use crate::error::{check_epsilon, check_signed, MeanError};
+use crate::error::{check_signed, MeanError};
 use crate::pm::Pm;
 use crate::sr::Sr;
+use ldp_core::Epsilon;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// The ε threshold above which the PM arm is used at all
 /// (`ε* = ln((−5 + 2·(6353 − 405·√241)^{1/3} + 2·(6353 + 405·√241)^{1/3})/27)`
@@ -21,7 +23,7 @@ use rand::Rng;
 pub const HYBRID_EPS_STAR: f64 = 0.61;
 
 /// One Hybrid report: which arm produced it and the perturbed value.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum HybridReport {
     /// Produced by the Piecewise Mechanism.
     Pm(f64),
@@ -41,7 +43,7 @@ pub struct Hybrid {
 impl Hybrid {
     /// Creates a Hybrid mechanism with budget `eps`.
     pub fn new(eps: f64) -> Result<Self, MeanError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         let beta = if eps > HYBRID_EPS_STAR {
             1.0 - (-eps / 2.0).exp()
         } else {
@@ -58,6 +60,17 @@ impl Hybrid {
     #[must_use]
     pub fn beta(&self) -> f64 {
         self.beta
+    }
+
+    /// The privacy budget ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.sr.epsilon()
+    }
+
+    /// The PM arm (shared with the `Mechanism` impl).
+    pub(crate) fn pm(&self) -> &Pm {
+        &self.pm
     }
 
     /// Client side: randomizes `v ∈ [-1, 1]`.

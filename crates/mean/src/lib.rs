@@ -21,12 +21,14 @@
 
 pub mod error;
 pub mod hybrid;
+pub mod mechanism;
 pub mod pm;
 pub mod sr;
 pub mod variance;
 
 pub use error::MeanError;
 pub use hybrid::{Hybrid, HybridReport};
+pub use mechanism::MeanState;
 pub use pm::Pm;
 pub use sr::{from_signed, to_signed, Sr};
 pub use variance::{MeanMechanism, MeanVariance, MeanVarianceEstimate};

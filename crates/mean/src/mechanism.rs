@@ -1,0 +1,369 @@
+//! [`Mechanism`] implementations for the mean-estimation protocols.
+//!
+//! SR, PM, and Hybrid all aggregate by averaging (debiased) reports, so
+//! their streaming state is a running sum plus a count. The sum is held in
+//! an [`ExactSum`] — an exact, order-independent accumulator — so merging
+//! shard aggregators equals aggregating the concatenated report stream
+//! *bit for bit*, which plain `f64 +=` cannot provide (float addition is
+//! not associative). The state stays O(1) regardless of the population.
+
+use crate::hybrid::{Hybrid, HybridReport};
+use crate::pm::Pm;
+use crate::sr::Sr;
+use ldp_core::params::fingerprint_fields;
+use ldp_core::wire::parse_field;
+use ldp_core::{CoreError, Epsilon, Mechanism, WireReport};
+use ldp_numeric::ExactSum;
+use rand::Rng;
+use std::fmt::Write;
+
+mod tag {
+    pub const SR: u64 = 0x11;
+    pub const PM: u64 = 0x12;
+    pub const HYBRID: u64 = 0x13;
+}
+
+/// Streaming state of the mean mechanisms: an exact running sum of
+/// (debiased) reports plus the report count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeanState {
+    sum: ExactSum,
+    n: u64,
+}
+
+impl MeanState {
+    /// Number of reports absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+
+    /// The current (exactly accumulated) report sum.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum.value()
+    }
+
+    fn absorb(&mut self, debiased: f64) {
+        self.sum.add(debiased);
+        self.n += 1;
+    }
+
+    fn merge(&mut self, other: &MeanState) {
+        self.sum.merge(&other.sum);
+        self.n += other.n;
+    }
+
+    /// The mean estimate: `0` when empty (matching the legacy
+    /// `estimate_mean` behavior on an empty report set).
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum.value() / self.n as f64
+    }
+}
+
+impl Mechanism for Sr {
+    type Input = f64;
+    type Report = f64;
+    type State = MeanState;
+    type Output = f64;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(Sr::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(tag::SR, &[Sr::epsilon(self).to_bits()])
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64, CoreError> {
+        Sr::randomize(self, *input, rng).map_err(|e| CoreError::InvalidInput(e.to_string()))
+    }
+
+    fn empty_state(&self) -> MeanState {
+        MeanState::default()
+    }
+
+    fn absorb(&self, state: &mut MeanState, report: &f64) -> Result<(), CoreError> {
+        if *report != 1.0 && *report != -1.0 {
+            return Err(CoreError::InvalidReport(format!(
+                "SR reports are ±1, got {report}"
+            )));
+        }
+        state.absorb(self.debias(*report));
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut MeanState, other: &MeanState) -> Result<(), CoreError> {
+        state.merge(other);
+        Ok(())
+    }
+
+    fn finalize(&self, state: &MeanState) -> Result<f64, CoreError> {
+        Ok(state.mean())
+    }
+}
+
+impl Mechanism for Pm {
+    type Input = f64;
+    type Report = f64;
+    type State = MeanState;
+    type Output = f64;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(Pm::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(tag::PM, &[Pm::epsilon(self).to_bits()])
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64, CoreError> {
+        Pm::randomize(self, *input, rng).map_err(|e| CoreError::InvalidInput(e.to_string()))
+    }
+
+    fn empty_state(&self) -> MeanState {
+        MeanState::default()
+    }
+
+    fn absorb(&self, state: &mut MeanState, report: &f64) -> Result<(), CoreError> {
+        if !report.is_finite() || report.abs() > self.output_bound() + 1e-9 {
+            return Err(CoreError::InvalidReport(format!(
+                "PM report {report} outside the output domain [±{}]",
+                self.output_bound()
+            )));
+        }
+        // PM reports are already unbiased.
+        state.absorb(*report);
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut MeanState, other: &MeanState) -> Result<(), CoreError> {
+        state.merge(other);
+        Ok(())
+    }
+
+    fn finalize(&self, state: &MeanState) -> Result<f64, CoreError> {
+        Ok(state.mean())
+    }
+}
+
+impl Mechanism for Hybrid {
+    type Input = f64;
+    type Report = HybridReport;
+    type State = MeanState;
+    type Output = f64;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(Hybrid::epsilon(self)).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_fields(
+            tag::HYBRID,
+            &[Hybrid::epsilon(self).to_bits(), self.beta().to_bits()],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(
+        &self,
+        input: &f64,
+        rng: &mut R,
+    ) -> Result<HybridReport, CoreError> {
+        Hybrid::randomize(self, *input, rng).map_err(|e| CoreError::InvalidInput(e.to_string()))
+    }
+
+    fn empty_state(&self) -> MeanState {
+        MeanState::default()
+    }
+
+    fn absorb(&self, state: &mut MeanState, report: &HybridReport) -> Result<(), CoreError> {
+        match report {
+            HybridReport::Pm(v) => {
+                if !v.is_finite() || v.abs() > self.pm().output_bound() + 1e-9 {
+                    return Err(CoreError::InvalidReport(format!(
+                        "Hybrid PM-arm report {v} outside the output domain"
+                    )));
+                }
+                if self.beta() == 0.0 {
+                    return Err(CoreError::InvalidReport(
+                        "PM-arm report but the PM arm is disabled at this ε".into(),
+                    ));
+                }
+            }
+            HybridReport::Sr(v) => {
+                if *v != 1.0 && *v != -1.0 {
+                    return Err(CoreError::InvalidReport(format!(
+                        "Hybrid SR-arm reports are ±1, got {v}"
+                    )));
+                }
+            }
+        }
+        state.absorb(self.debias(*report));
+        Ok(())
+    }
+
+    fn merge_state(&self, state: &mut MeanState, other: &MeanState) -> Result<(), CoreError> {
+        state.merge(other);
+        Ok(())
+    }
+
+    fn finalize(&self, state: &MeanState) -> Result<f64, CoreError> {
+        Ok(state.mean())
+    }
+}
+
+impl WireReport for HybridReport {
+    fn encode(&self, out: &mut String) {
+        match self {
+            HybridReport::Pm(v) => {
+                let _ = write!(out, "p {v}");
+            }
+            HybridReport::Sr(v) => {
+                let _ = write!(out, "s {v}");
+            }
+        }
+    }
+
+    fn decode(line: &str) -> Result<Self, CoreError> {
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| CoreError::Wire(format!("hybrid report needs a tag: {line:?}")))?;
+        match kind {
+            "p" => Ok(HybridReport::Pm(parse_field(rest.trim(), "PM value")?)),
+            "s" => Ok(HybridReport::Sr(parse_field(rest.trim(), "SR value")?)),
+            other => Err(CoreError::Wire(format!("unknown hybrid tag {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::{Aggregator, Client};
+    use ldp_numeric::SplitMix64;
+
+    fn signed_values(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 29) % 201) as f64 / 100.0 - 1.0)
+            .collect()
+    }
+
+    /// Streaming through the unified API must agree with the legacy `run`
+    /// protocols to within exact-summation rounding (the legacy path uses
+    /// naive accumulation; the streaming state is exactly rounded).
+    #[test]
+    fn streaming_agrees_with_legacy_run() {
+        let values = signed_values(4_000);
+
+        macro_rules! check {
+            ($mech:expr) => {{
+                let mech = $mech;
+                let legacy = {
+                    let mut rng = SplitMix64::new(88);
+                    mech.run(&values, &mut rng).unwrap()
+                };
+                let streamed = {
+                    let mut rng = SplitMix64::new(88);
+                    let client = Client::new(&mech);
+                    let mut agg = Aggregator::new(&mech);
+                    for v in &values {
+                        agg.push(&client.randomize(v, &mut rng).unwrap()).unwrap();
+                    }
+                    agg.finalize().unwrap()
+                };
+                assert!(
+                    (legacy - streamed).abs() <= 1e-12 * legacy.abs().max(1.0),
+                    "legacy {legacy} vs streamed {streamed}"
+                );
+            }};
+        }
+
+        check!(Sr::new(1.0).unwrap());
+        check!(Pm::new(1.0).unwrap());
+        check!(Hybrid::new(2.0).unwrap());
+    }
+
+    #[test]
+    fn merged_shards_match_one_shot_bit_for_bit() {
+        // PM reports are continuous, the hard case for exact merging.
+        let pm = Pm::new(0.7).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let client = Client::new(&pm);
+        let reports: Vec<f64> = signed_values(3_001)
+            .iter()
+            .map(|v| client.randomize(v, &mut rng).unwrap())
+            .collect();
+        let one_shot = Mechanism::aggregate(&pm, &reports).unwrap();
+        for split in [0, 1, 1000, 3000, 3001] {
+            let mut a = Aggregator::new(&pm);
+            a.push_slice(&reports[..split]).unwrap();
+            let mut b = Aggregator::new(&pm);
+            b.push_slice(&reports[split..]).unwrap();
+            a.merge(&b).unwrap();
+            assert_eq!(
+                a.finalize().unwrap().to_bits(),
+                one_shot.to_bits(),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_reports() {
+        let sr = Sr::new(1.0).unwrap();
+        let mut st = sr.empty_state();
+        assert!(sr.absorb(&mut st, &0.5).is_err());
+        assert!(sr.absorb(&mut st, &f64::NAN).is_err());
+        assert!(sr.absorb(&mut st, &1.0).is_ok());
+
+        let pm = Pm::new(1.0).unwrap();
+        let mut st = pm.empty_state();
+        assert!(pm.absorb(&mut st, &(pm.output_bound() + 1.0)).is_err());
+        assert!(pm.absorb(&mut st, &f64::INFINITY).is_err());
+        assert!(pm.absorb(&mut st, &0.0).is_ok());
+
+        let low = Hybrid::new(0.5).unwrap();
+        let mut st = low.empty_state();
+        // PM arm is disabled below ε*: a PM-tagged report is malformed.
+        assert!(low.absorb(&mut st, &HybridReport::Pm(0.0)).is_err());
+        assert!(low.absorb(&mut st, &HybridReport::Sr(3.0)).is_err());
+        assert!(low.absorb(&mut st, &HybridReport::Sr(-1.0)).is_ok());
+    }
+
+    #[test]
+    fn empty_state_finalizes_to_zero_like_legacy() {
+        let sr = Sr::new(1.0).unwrap();
+        assert_eq!(sr.finalize(&sr.empty_state()).unwrap(), 0.0);
+        assert_eq!(sr.estimate_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn hybrid_wire_round_trips() {
+        let hybrid = Hybrid::new(2.0).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for v in signed_values(100) {
+            let r = Mechanism::randomize(&hybrid, &v, &mut rng).unwrap();
+            let mut s = String::new();
+            r.encode(&mut s);
+            let back = HybridReport::decode(&s).unwrap();
+            match (r, back) {
+                (HybridReport::Pm(a), HybridReport::Pm(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (HybridReport::Sr(a), HybridReport::Sr(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => panic!("arm changed across the wire"),
+            }
+        }
+        assert!(HybridReport::decode("q 1.0").is_err());
+        assert!(HybridReport::decode("p").is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_mechanisms() {
+        let a = Mechanism::fingerprint(&Sr::new(1.0).unwrap());
+        let b = Mechanism::fingerprint(&Pm::new(1.0).unwrap());
+        let c = Mechanism::fingerprint(&Sr::new(2.0).unwrap());
+        assert!(a != b && a != c);
+    }
+}

@@ -7,7 +7,8 @@
 //! density `e^ε` times smaller. The construction is unbiased, and has lower
 //! variance than SR once ε is large (the Figure 4 crossover).
 
-use crate::error::{check_epsilon, check_signed, MeanError};
+use crate::error::{check_signed, MeanError};
+use ldp_core::Epsilon;
 use rand::Rng;
 
 /// The Piecewise Mechanism over the signed domain `[-1, 1]`.
@@ -23,7 +24,7 @@ pub struct Pm {
 impl Pm {
     /// Creates a PM mechanism with budget `eps`.
     pub fn new(eps: f64) -> Result<Self, MeanError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         let e_half = (eps / 2.0).exp();
         Ok(Pm {
             eps,

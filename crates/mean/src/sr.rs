@@ -7,7 +7,8 @@
 //! Debiasing by `1/(p-q)` makes the per-user report an unbiased estimate of
 //! `v`, so the average estimates the population mean.
 
-use crate::error::{check_epsilon, check_signed, MeanError};
+use crate::error::{check_signed, MeanError};
+use ldp_core::Epsilon;
 use rand::Rng;
 
 /// The Stochastic Rounding mechanism over the signed domain `[-1, 1]`.
@@ -20,7 +21,7 @@ pub struct Sr {
 impl Sr {
     /// Creates an SR mechanism with budget `eps`.
     pub fn new(eps: f64) -> Result<Self, MeanError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         Ok(Sr {
             eps,
             p: eps.exp() / (eps.exp() + 1.0),

@@ -1,0 +1,268 @@
+//! Exact, order-independent floating-point accumulation.
+//!
+//! Mechanisms whose aggregation state is a running sum of continuous
+//! reports (PM, SR, Hybrid) need a summation that is **associative**: the
+//! unified-API contract requires merging two shard accumulators to equal
+//! aggregating the concatenated stream bit for bit, and plain `f64 +=`
+//! rounds differently depending on grouping. [`ExactSum`] maintains the
+//! running total as a Shewchuk expansion — a list of non-overlapping
+//! doubles whose mathematical sum is the *exact* real-number total — so
+//! adds and merges commute exactly, and [`ExactSum::value`] renders the
+//! correctly rounded `f64` regardless of how the stream was sharded.
+//!
+//! The expansion length is bounded by the number of distinct 53-bit
+//! mantissa windows in the accumulated magnitudes (≈ 40 in the absolute
+//! worst case, 2–4 in practice), so the state stays O(1) for any stream
+//! length. Algorithms follow Shewchuk, *Adaptive Precision Floating-Point
+//! Arithmetic* (1997): `TWO-SUM`, `GROW-EXPANSION`, `COMPRESS`.
+
+/// Error-free transformation: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bv = s - a;
+    let av = s - bv;
+    (s, (a - av) + (b - bv))
+}
+
+/// Like [`two_sum`] but requires `|a| >= |b|` (or `a == 0`).
+#[inline]
+fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    (s, b - (s - a))
+}
+
+/// An exact accumulator for `f64` streams: adds and merges are exact, so
+/// the rendered total is independent of summation order and sharding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactSum {
+    /// Non-overlapping expansion, ordered by increasing magnitude.
+    parts: Vec<f64>,
+}
+
+impl ExactSum {
+    /// An empty (zero) accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactSum { parts: Vec::new() }
+    }
+
+    /// Number of expansion components currently held (diagnostic).
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether nothing non-zero has been accumulated.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Adds one finite value exactly (Shewchuk `GROW-EXPANSION` with zero
+    /// elimination). Runs in place over the component buffer — the
+    /// write cursor never passes the read cursor — so the per-report hot
+    /// path allocates only when the expansion genuinely grows.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "ExactSum::add requires finite input");
+        if x == 0.0 {
+            return;
+        }
+        let mut q = x;
+        let mut write = 0;
+        for read in 0..self.parts.len() {
+            let (s, e) = two_sum(q, self.parts[read]);
+            if e != 0.0 {
+                self.parts[write] = e;
+                write += 1;
+            }
+            q = s;
+        }
+        self.parts.truncate(write);
+        if q != 0.0 {
+            self.parts.push(q);
+        }
+    }
+
+    /// Folds another accumulator in exactly. Equivalent to having added the
+    /// other accumulator's entire stream to this one, in any order.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.parts {
+            self.add(p);
+        }
+    }
+
+    /// The exact total, correctly rounded to the nearest `f64`
+    /// (Shewchuk `COMPRESS`; the largest output component approximates the
+    /// exact sum to within half an ulp, making the rendered value
+    /// independent of the expansion's internal representation).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        let m = self.parts.len();
+        if m == 0 {
+            return 0.0;
+        }
+        // Downward pass: absorb components from largest to smallest,
+        // keeping the significant partials in `g` (largest first).
+        let mut g = Vec::with_capacity(m);
+        let mut q = self.parts[m - 1];
+        for i in (0..m - 1).rev() {
+            let (s, e) = fast_two_sum(q, self.parts[i]);
+            if e != 0.0 {
+                g.push(s);
+                q = e;
+            } else {
+                q = s;
+            }
+        }
+        // Upward pass: re-accumulate from smallest partial to largest; the
+        // final sum is the compressed expansion's top component.
+        for &gi in g.iter().rev() {
+            let (s, _) = fast_two_sum(gi, q);
+            q = s;
+        }
+        q
+    }
+
+    /// Resets to zero.
+    pub fn clear(&mut self) {
+        self.parts.clear();
+    }
+}
+
+impl From<f64> for ExactSum {
+    fn from(x: f64) -> Self {
+        let mut s = ExactSum::new();
+        s.add(x);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use rand::Rng;
+
+    fn random_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                // Wildly varying magnitudes to stress cancellation.
+                let mag = rng.gen_range(-30.0..30.0f64);
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                sign * rng.gen::<f64>() * 2f64.powf(mag)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_sum_on_benign_input() {
+        let mut s = ExactSum::new();
+        for i in 1..=100 {
+            s.add(i as f64);
+        }
+        assert_eq!(s.value(), 5050.0);
+    }
+
+    #[test]
+    fn exact_under_catastrophic_cancellation() {
+        let mut s = ExactSum::new();
+        s.add(1e16);
+        s.add(1.0);
+        s.add(-1e16);
+        // Naive summation loses the 1.0 entirely.
+        assert_eq!(s.value(), 1.0);
+        s.add(-1.0);
+        assert_eq!(s.value(), 0.0);
+        assert!(s.is_zero() || s.value() == 0.0);
+    }
+
+    #[test]
+    fn order_independent_to_the_bit() {
+        let values = random_values(500, 11);
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut backward = ExactSum::new();
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        let mut strided = ExactSum::new();
+        for k in 0..7 {
+            for v in values.iter().skip(k).step_by(7) {
+                strided.add(*v);
+            }
+        }
+        let expect = forward.value();
+        assert_eq!(backward.value().to_bits(), expect.to_bits());
+        assert_eq!(strided.value().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn merge_equals_concatenation_for_any_split() {
+        let values = random_values(401, 12);
+        let mut whole = ExactSum::new();
+        for &v in &values {
+            whole.add(v);
+        }
+        for split in [0, 1, 57, 200, 400, 401] {
+            let mut a = ExactSum::new();
+            for &v in &values[..split] {
+                a.add(v);
+            }
+            let mut b = ExactSum::new();
+            for &v in &values[split..] {
+                b.add(v);
+            }
+            a.merge(&b);
+            assert_eq!(
+                a.value().to_bits(),
+                whole.value().to_bits(),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_stays_small() {
+        let values = random_values(10_000, 13);
+        let mut s = ExactSum::new();
+        for &v in &values {
+            s.add(v);
+        }
+        // The theoretical bound for doubles is ~40 components; typical
+        // streams stay far below it. This pins the O(1)-state claim.
+        assert!(s.components() <= 40, "{} components", s.components());
+    }
+
+    #[test]
+    fn value_is_correctly_rounded_against_integer_reference() {
+        // Dyadic values exactly representable in i128 fixed point (scale
+        // 2^-20): the exact total is computable independently.
+        let mut rng = SplitMix64::new(14);
+        let mut s = ExactSum::new();
+        let mut reference: i128 = 0;
+        for _ in 0..5_000 {
+            let q: i64 = rng.gen_range(-1_000_000_000..1_000_000_000i64);
+            reference += i128::from(q);
+            s.add(q as f64 / 1048576.0);
+        }
+        let expect = reference as f64 / 1048576.0;
+        assert_eq!(s.value().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn zero_and_clear_behave() {
+        let mut s = ExactSum::new();
+        assert_eq!(s.value(), 0.0);
+        s.add(0.0);
+        assert!(s.is_zero());
+        s.add(3.5);
+        assert_eq!(ExactSum::from(3.5), s);
+        s.clear();
+        assert_eq!(s.value(), 0.0);
+    }
+}

@@ -20,6 +20,8 @@
 //! - [`quad`]: exact integration of the piecewise-linear/quadratic overlap
 //!   functions that arise when building Square Wave transition matrices.
 //! - [`stats`]: streaming and batch summary statistics.
+//! - [`exact`]: [`exact::ExactSum`], exact order-independent float
+//!   accumulation so sharded aggregation merges bit-identically.
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
@@ -29,6 +31,7 @@
 
 pub mod dist;
 pub mod error;
+pub mod exact;
 pub mod histogram;
 pub mod matrix;
 pub mod operator;
@@ -37,6 +40,7 @@ pub mod rng;
 pub mod stats;
 
 pub use error::NumericError;
+pub use exact::ExactSum;
 pub use histogram::Histogram;
 pub use matrix::Matrix;
 pub use operator::LinearOperator;

@@ -6,7 +6,7 @@
 //! structured implementations (for example the banded-plus-baseline form of
 //! Square Wave transition matrices in `ldp-sw`) replace the dense O(d·d̃)
 //! matvec with an O(d + d̃) one without changing any solver code. The
-//! dense [`Matrix`](crate::Matrix) implements the trait by delegating to
+//! dense [`Matrix`] implements the trait by delegating to
 //! its existing kernels, so every call site accepts either representation.
 
 use crate::error::NumericError;

@@ -12,7 +12,8 @@
 //! waves carry more signal); as ε → 0, b* → ½ (the output domain doubles
 //! the input domain).
 
-use crate::error::{check_epsilon, SwError};
+use crate::error::SwError;
+use ldp_core::Epsilon;
 
 /// The mutual-information upper bound the paper maximizes (as a function of
 /// `b` for fixed ε). Exposed so the optimality of [`optimal_b`] can be
@@ -28,7 +29,7 @@ pub fn mi_upper_bound(b: f64, eps: f64) -> f64 {
 /// For very small ε the closed form suffers catastrophic cancellation, so a
 /// second-order series (`b ≈ ½ − ε/3`) takes over below `ε = 1e-3`.
 pub fn optimal_b(eps: f64) -> Result<f64, SwError> {
-    check_epsilon(eps)?;
+    Epsilon::new(eps)?;
     if eps < 1e-3 {
         return Ok(0.5 - eps / 3.0);
     }

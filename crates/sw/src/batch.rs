@@ -130,7 +130,7 @@ impl SwPipeline {
         let chunk = chunk_len(values.len(), shards);
         let chunks: Vec<&[f64]> = values.chunks(chunk).collect();
         let results = ldp_pool::global()
-            .run(chunks.len(), |shard| {
+            .run(chunks.len(), |shard| -> Result<ShardAggregator, SwError> {
                 let mut rng = shard_rng(seed, shard as u64);
                 let mut agg = ShardAggregator::for_pipeline(self);
                 // Perturb into a fixed-size buffer and bulk-ingest per

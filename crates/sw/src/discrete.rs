@@ -9,9 +9,10 @@
 //! outputs with `q = 1/((2b+1)eᵉ + d - 1)`.
 
 use crate::bandwidth::optimal_b_discrete;
-use crate::error::{check_epsilon, SwError};
+use crate::error::SwError;
 use crate::operator::BandedBaselineOperator;
 use crate::transition::discrete_transition_matrix;
+use ldp_core::Epsilon;
 use ldp_numeric::Matrix;
 use rand::Rng;
 
@@ -35,7 +36,7 @@ impl DiscreteSw {
 
     /// Creates a discrete SW with an explicit integer bandwidth.
     pub fn with_bandwidth(d: usize, b: usize, eps: f64) -> Result<Self, SwError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         if d < 2 {
             return Err(SwError::InvalidParameter(format!(
                 "discrete domain needs at least 2 buckets, got {d}"

@@ -1,5 +1,6 @@
 //! Error type for the Square Wave / EMS crate.
 
+use ldp_core::CoreError;
 use std::fmt;
 
 /// Errors produced by wave mechanisms and reconstruction algorithms.
@@ -37,11 +38,17 @@ impl fmt::Display for SwError {
 
 impl std::error::Error for SwError {}
 
-pub(crate) fn check_epsilon(eps: f64) -> Result<(), SwError> {
-    if !(eps > 0.0) || !eps.is_finite() {
-        return Err(SwError::InvalidEpsilon(eps));
+/// Parameter validation is centralized in `ldp-core`
+/// ([`ldp_core::Epsilon`]); this impl folds its errors back into the
+/// crate's established variants.
+impl From<CoreError> for SwError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::InvalidEpsilon(eps) => SwError::InvalidEpsilon(eps),
+            CoreError::Aggregation(msg) => SwError::Reconstruction(msg),
+            other => SwError::InvalidParameter(other.to_string()),
+        }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -52,7 +59,21 @@ mod tests {
     fn display_is_informative() {
         assert!(SwError::InvalidEpsilon(-2.0).to_string().contains("-2"));
         assert!(SwError::ValueOutOfDomain(1.5).to_string().contains("1.5"));
-        assert!(check_epsilon(1.0).is_ok());
-        assert!(check_epsilon(-1.0).is_err());
+    }
+
+    #[test]
+    fn core_validation_maps_to_crate_variants() {
+        assert_eq!(
+            SwError::from(ldp_core::Epsilon::new(-1.0).unwrap_err()),
+            SwError::InvalidEpsilon(-1.0)
+        );
+        assert!(matches!(
+            SwError::from(CoreError::Aggregation("no reports".into())),
+            SwError::Reconstruction(_)
+        ));
+        assert!(matches!(
+            SwError::from(CoreError::DomainTooSmall(1)),
+            SwError::InvalidParameter(_)
+        ));
     }
 }

@@ -16,7 +16,10 @@
 //! - [`operator`] — the structured `baseline + band` form of the
 //!   transition matrix, giving `O(d)` EM iterations;
 //! - [`pipeline`] — the end-to-end client/aggregator API, including the
-//!   multi-threaded `randomize_batch` / `aggregate_batch` client path.
+//!   multi-threaded `randomize_batch` / `aggregate_batch` client path;
+//! - [`mechanism`] — [`SwMechanism`], the pipeline exposed through the
+//!   workspace-wide [`ldp_core::Mechanism`] trait (streaming
+//!   `Client`/`Aggregator` split with exact shard merges).
 //!
 //! # Quick example
 //!
@@ -48,6 +51,7 @@ pub mod discrete;
 pub mod em;
 pub mod error;
 pub mod inversion;
+pub mod mechanism;
 pub mod operator;
 pub mod pipeline;
 pub mod smoothing;
@@ -62,6 +66,7 @@ pub use discrete::DiscreteSw;
 pub use em::{reconstruct, EmConfig, EmResult};
 pub use error::SwError;
 pub use inversion::{invert_signed, reconstruct_inversion};
+pub use mechanism::SwMechanism;
 pub use operator::BandedBaselineOperator;
 pub use pipeline::{pipeline_with_shape, Reconstruction, SwPipeline};
 pub use smoothing::SmoothingKernel;

@@ -1,0 +1,378 @@
+//! [`Mechanism`] implementation for the Square Wave pipeline.
+//!
+//! [`SwMechanism`] couples an [`SwPipeline`] with the reconstruction the
+//! aggregator runs, which is all the unified API needs: the client side is
+//! wave perturbation, the streaming state is the existing
+//! [`ShardAggregator`] (a d̃-bucket report histogram — O(d̃) regardless of
+//! the population), and `finalize` runs EM/EMS through the structured
+//! operator. The batched collection paths (`randomize_batch` /
+//! `aggregate_batch` on the shared `ldp-pool`) bridge into the same
+//! [`Aggregator`] type, so pooled shards and hand-pushed streams merge
+//! freely.
+
+use crate::aggregator::ShardAggregator;
+use crate::bootstrap::{bootstrap, BootstrapConfig, BootstrapResult};
+use crate::em::EmConfig;
+use crate::error::SwError;
+use crate::pipeline::{Reconstruction, SwPipeline};
+use crate::wave::WaveShape;
+use ldp_core::params::fingerprint_fields;
+use ldp_core::{Aggregator, CoreError, Domain, Epsilon, Mechanism};
+use ldp_numeric::Histogram;
+use rand::Rng;
+
+const TAG_SW: u64 = 0x21;
+
+/// The Square Wave mechanism under the unified `ldp-core` API: wave
+/// perturbation on the client, streaming report histograms on the server,
+/// EM/EMS reconstruction at finalize.
+#[derive(Debug, Clone)]
+pub struct SwMechanism {
+    pipeline: SwPipeline,
+    reconstruction: Reconstruction,
+}
+
+impl SwMechanism {
+    /// The paper's recommended estimator: square wave, MI-optimal `b`,
+    /// EMS reconstruction at granularity `d`.
+    pub fn ems(eps: f64, d: usize) -> Result<Self, SwError> {
+        Ok(SwMechanism {
+            pipeline: SwPipeline::new(eps, d)?,
+            reconstruction: Reconstruction::Ems,
+        })
+    }
+
+    /// Square wave with plain EM reconstruction.
+    pub fn em(eps: f64, d: usize) -> Result<Self, SwError> {
+        Ok(SwMechanism {
+            pipeline: SwPipeline::new(eps, d)?,
+            reconstruction: Reconstruction::Em,
+        })
+    }
+
+    /// Fully typed constructor over pre-validated parameters.
+    pub fn new(eps: Epsilon, d: Domain, reconstruction: Reconstruction) -> Result<Self, SwError> {
+        Ok(SwMechanism {
+            pipeline: SwPipeline::new(eps.get(), d.get())?,
+            reconstruction,
+        })
+    }
+
+    /// Wraps an explicit pipeline (custom wave shape, `d̃ ≠ d`, …) — the
+    /// low-level escape hatch.
+    #[must_use]
+    pub fn with_pipeline(pipeline: SwPipeline, reconstruction: Reconstruction) -> Self {
+        SwMechanism {
+            pipeline,
+            reconstruction,
+        }
+    }
+
+    /// The underlying pipeline.
+    #[must_use]
+    pub fn pipeline(&self) -> &SwPipeline {
+        &self.pipeline
+    }
+
+    /// The reconstruction the aggregator runs at finalize.
+    #[must_use]
+    pub fn reconstruction(&self) -> &Reconstruction {
+        &self.reconstruction
+    }
+
+    /// Batched client path: perturbs `values` across `shards` deterministic
+    /// RNG streams on the shared worker pool and returns a ready-to-merge
+    /// [`Aggregator`] (see [`SwPipeline::aggregate_batch`]).
+    pub fn batch_aggregator(
+        &self,
+        values: &[f64],
+        shards: usize,
+        seed: u64,
+    ) -> Result<Aggregator<&SwMechanism>, SwError> {
+        let state = self.pipeline.aggregate_batch(values, shards, seed)?;
+        let count = state.total();
+        Ok(Aggregator::from_parts(self, state, count))
+    }
+
+    /// Poisson bootstrap over an aggregator's report histogram, running
+    /// replicates on the shared worker pool through the structured
+    /// operator.
+    pub fn bootstrap<R: Rng + ?Sized>(
+        &self,
+        state: &ShardAggregator,
+        config: &BootstrapConfig,
+        rng: &mut R,
+    ) -> Result<BootstrapResult, SwError> {
+        bootstrap(self.pipeline.operator(), &state.to_counts(), config, rng)
+    }
+
+    fn reconstruction_fields(&self) -> [u64; 5] {
+        match &self.reconstruction {
+            Reconstruction::Em => [1, 0, 0, 0, 0],
+            Reconstruction::Ems => [2, 0, 0, 0, 0],
+            Reconstruction::Custom(EmConfig {
+                ll_threshold,
+                max_iterations,
+                min_iterations,
+                smoothing,
+            }) => [
+                3,
+                ll_threshold.to_bits(),
+                *max_iterations as u64,
+                *min_iterations as u64,
+                // Fold the full kernel weights in: two kernels of equal
+                // radius but different weights finalize differently, so
+                // their shards must not merge.
+                smoothing.as_ref().map_or(0, |k| {
+                    let bits: Vec<u64> = k.weights().iter().map(|w| w.to_bits()).collect();
+                    fingerprint_fields(0x22, &bits) | 1
+                }),
+            ],
+        }
+    }
+}
+
+impl Mechanism for SwMechanism {
+    type Input = f64;
+    type Report = f64;
+    type State = ShardAggregator;
+    type Output = Histogram;
+
+    fn epsilon(&self) -> Epsilon {
+        Epsilon::new(self.pipeline.wave().epsilon()).expect("validated at construction")
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let wave = self.pipeline.wave();
+        let shape = match wave.shape() {
+            WaveShape::Square => 1,
+            WaveShape::Triangle => 2,
+            WaveShape::Trapezoid { ratio } => 0x100 | ratio.to_bits(),
+        };
+        let r = self.reconstruction_fields();
+        fingerprint_fields(
+            TAG_SW,
+            &[
+                wave.epsilon().to_bits(),
+                wave.b().to_bits(),
+                shape,
+                self.pipeline.input_buckets() as u64,
+                self.pipeline.output_buckets() as u64,
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+            ],
+        )
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, input: &f64, rng: &mut R) -> Result<f64, CoreError> {
+        self.pipeline
+            .randomize(*input, rng)
+            .map_err(|e| CoreError::InvalidInput(e.to_string()))
+    }
+
+    fn empty_state(&self) -> ShardAggregator {
+        ShardAggregator::for_pipeline(&self.pipeline)
+    }
+
+    fn absorb(&self, state: &mut ShardAggregator, report: &f64) -> Result<(), CoreError> {
+        state
+            .push(*report)
+            .map_err(|e| CoreError::InvalidReport(e.to_string()))
+    }
+
+    fn absorb_slice(&self, state: &mut ShardAggregator, reports: &[f64]) -> Result<(), CoreError> {
+        // Vectorized all-or-nothing bulk ingest: one validation pass, then
+        // a branch-free counting pass (the batched-collection hot path).
+        state
+            .push_slice(reports)
+            .map_err(|e| CoreError::InvalidReport(e.to_string()))
+    }
+
+    fn merge_state(
+        &self,
+        state: &mut ShardAggregator,
+        other: &ShardAggregator,
+    ) -> Result<(), CoreError> {
+        state
+            .merge(other)
+            .map_err(|e| CoreError::ShardMismatch(e.to_string()))
+    }
+
+    fn finalize(&self, state: &ShardAggregator) -> Result<Histogram, CoreError> {
+        if state.total() == 0 {
+            return Err(CoreError::Aggregation(
+                "need at least one report to reconstruct a distribution".into(),
+            ));
+        }
+        self.pipeline
+            .reconstruct(&state.to_counts(), &self.reconstruction)
+            .map(|r| r.histogram)
+            .map_err(|e| CoreError::Aggregation(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::Client;
+    use ldp_numeric::SplitMix64;
+
+    fn values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 173) as f64 / 173.0).collect()
+    }
+
+    /// The unified streaming path must reproduce the legacy
+    /// `SwPipeline::estimate` bit for bit when fed the same RNG stream.
+    #[test]
+    fn streaming_matches_legacy_pipeline_estimate() {
+        for reconstruction in [Reconstruction::Em, Reconstruction::Ems] {
+            let pipeline = SwPipeline::new(1.0, 48).unwrap();
+            let mech = SwMechanism::with_pipeline(pipeline.clone(), reconstruction.clone());
+            let vals = values(8_000);
+            let legacy = {
+                let mut rng = SplitMix64::new(2020);
+                pipeline.estimate(&vals, &reconstruction, &mut rng).unwrap()
+            };
+            let streamed = {
+                let mut rng = SplitMix64::new(2020);
+                let client = Client::new(&mech);
+                let mut agg = Aggregator::new(&mech);
+                for v in &vals {
+                    agg.push(&client.randomize(v, &mut rng).unwrap()).unwrap();
+                }
+                agg.finalize().unwrap()
+            };
+            assert_eq!(legacy.probs(), streamed.probs());
+        }
+    }
+
+    #[test]
+    fn batch_aggregator_matches_batched_pipeline() {
+        let mech = SwMechanism::ems(1.0, 32).unwrap();
+        let vals = values(20_000);
+        let agg = mech.batch_aggregator(&vals, 4, 99).unwrap();
+        assert_eq!(agg.count(), vals.len() as u64);
+        let unified = agg.finalize().unwrap();
+        let legacy = mech
+            .pipeline()
+            .estimate_batch(&vals, &Reconstruction::Ems, 4, 99)
+            .unwrap();
+        assert_eq!(unified.probs(), legacy.probs());
+    }
+
+    #[test]
+    fn pooled_shards_merge_with_hand_pushed_streams() {
+        let mech = SwMechanism::ems(1.0, 32).unwrap();
+        let vals = values(6_000);
+        // First half collected through the pooled batch path...
+        let mut pooled = mech.batch_aggregator(&vals[..3_000], 2, 7).unwrap();
+        // ...second half pushed by hand on another "collector".
+        let client = Client::new(&mech);
+        let mut rng = SplitMix64::new(8);
+        let mut manual = Aggregator::new(&mech);
+        for v in &vals[3_000..] {
+            manual
+                .push(&client.randomize(v, &mut rng).unwrap())
+                .unwrap();
+        }
+        pooled.merge(&manual).unwrap();
+        assert_eq!(pooled.count(), 6_000);
+        let h = pooled.finalize().unwrap();
+        assert_eq!(h.len(), 32);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimation_path_never_builds_the_dense_matrix() {
+        let mech = SwMechanism::ems(1.0, 32).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let client = Client::new(&mech);
+        let mut agg = Aggregator::new(&mech);
+        for v in values(2_000) {
+            agg.push(&client.randomize(&v, &mut rng).unwrap()).unwrap();
+        }
+        agg.finalize().unwrap();
+        assert!(!mech.pipeline().dense_transition_built());
+    }
+
+    #[test]
+    fn bootstrap_runs_over_aggregator_state() {
+        let mech = SwMechanism::ems(1.0, 16).unwrap();
+        let agg = mech.batch_aggregator(&values(10_000), 2, 3).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let config = BootstrapConfig {
+            replicates: 5,
+            ..BootstrapConfig::default()
+        };
+        let result = mech.bootstrap(agg.state(), &config, &mut rng).unwrap();
+        assert_eq!(result.point.len(), 16);
+    }
+
+    #[test]
+    fn empty_aggregator_refuses_to_finalize() {
+        let mech = SwMechanism::ems(1.0, 16).unwrap();
+        let agg = Aggregator::new(&mech);
+        assert!(matches!(agg.finalize(), Err(CoreError::Aggregation(_))));
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        let mech = SwMechanism::ems(1.0, 16).unwrap();
+        let mut agg = Aggregator::new(&mech);
+        assert!(agg.push(&f64::NAN).is_err());
+        assert!(agg.push(&-100.0).is_err());
+        assert_eq!(agg.count(), 0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_reconstruction_and_granularity() {
+        let a = SwMechanism::ems(1.0, 32).unwrap().fingerprint();
+        let b = SwMechanism::em(1.0, 32).unwrap().fingerprint();
+        let c = SwMechanism::ems(1.0, 64).unwrap().fingerprint();
+        let d = SwMechanism::ems(2.0, 32).unwrap().fingerprint();
+        assert!(a != b && a != c && a != d);
+        assert_eq!(a, SwMechanism::ems(1.0, 32).unwrap().fingerprint());
+        // Mismatched configurations refuse to merge.
+        let m1 = SwMechanism::ems(1.0, 32).unwrap();
+        let m2 = SwMechanism::em(1.0, 32).unwrap();
+        let mut agg1 = Aggregator::new(&m1);
+        let agg2 = Aggregator::new(&m2);
+        assert!(agg1.merge(&agg2).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_equal_radius_kernels() {
+        use crate::smoothing::SmoothingKernel;
+        let config = |kernel| {
+            Reconstruction::Custom(EmConfig {
+                ll_threshold: 0.0,
+                max_iterations: 5,
+                min_iterations: 1,
+                smoothing: Some(kernel),
+            })
+        };
+        let pipeline = SwPipeline::new(1.0, 16).unwrap();
+        let a = SwMechanism::with_pipeline(pipeline.clone(), config(SmoothingKernel::binomial3()));
+        let b = SwMechanism::with_pipeline(
+            pipeline,
+            config(SmoothingKernel::custom(vec![1.0, 1.0, 1.0]).unwrap()),
+        );
+        // Same radius, different weights -> different finalize behavior ->
+        // shards must not merge.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut agg = Aggregator::new(&a);
+        assert!(agg.merge(&Aggregator::new(&b)).is_err());
+    }
+
+    #[test]
+    fn typed_constructor_accepts_validated_parameters() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let d = Domain::new(64).unwrap();
+        let mech = SwMechanism::new(eps, d, Reconstruction::Ems).unwrap();
+        assert_eq!(Mechanism::epsilon(&mech).get(), 1.0);
+        assert_eq!(mech.pipeline().input_buckets(), 64);
+    }
+}

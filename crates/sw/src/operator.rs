@@ -26,8 +26,9 @@
 //! matches the dense matrix to within a few ulps (the dense path's final
 //! column normalization only erases quadrature residue of that order).
 
-use crate::error::{check_epsilon, SwError};
+use crate::error::SwError;
 use crate::wave::{Wave, WaveShape};
+use ldp_core::Epsilon;
 use ldp_numeric::operator::{check_matvec_dims, LinearOperator};
 use ldp_numeric::quad::{integral_of_interval_overlap, integrate_with_breakpoints};
 use ldp_numeric::{Matrix, NumericError};
@@ -311,7 +312,7 @@ impl BandedBaselineOperator {
     /// plateau (`p` near, `q` far, no fractional edges), so both matvecs
     /// are strictly `O(d)`.
     pub fn from_discrete(d: usize, b: usize, eps: f64) -> Result<Self, SwError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         if d < 2 {
             return Err(SwError::InvalidParameter(format!(
                 "discrete domain needs at least 2 buckets, got {d}"

@@ -59,6 +59,12 @@ impl SmoothingKernel {
         self.weights.len() / 2
     }
 
+    /// The raw (unnormalized) kernel weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// Applies the kernel, renormalizing truncated windows at the
     /// boundaries so mass is preserved per-entry before the EM
     /// renormalization.

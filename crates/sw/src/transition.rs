@@ -84,7 +84,7 @@ pub fn transition_matrix(wave: &Wave, d: usize, d_tilde: usize) -> Result<Matrix
 /// corresponds to input position `j - b`, reported with probability `p` when
 /// `|v - (j - b)| ≤ b` and `q` otherwise.
 pub fn discrete_transition_matrix(d: usize, b: usize, eps: f64) -> Result<Matrix, SwError> {
-    crate::error::check_epsilon(eps)?;
+    ldp_core::Epsilon::new(eps)?;
     if d < 2 {
         return Err(SwError::InvalidParameter(format!(
             "discrete domain needs at least 2 buckets, got {d}"

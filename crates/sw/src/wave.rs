@@ -8,7 +8,8 @@
 //! distributions; this module also implements the trapezoid and triangle
 //! shapes the paper compares against in Figure 5.
 
-use crate::error::{check_epsilon, SwError};
+use crate::error::SwError;
+use ldp_core::Epsilon;
 use rand::Rng;
 
 /// The profile of a wave inside `[-b, b]`.
@@ -53,7 +54,7 @@ impl Wave {
     /// Creates a wave. `b` must be in `(0, ∞)`; for shapes other than
     /// square the trapezoid ratio must lie in `[0, 1]`.
     pub fn new(shape: WaveShape, b: f64, eps: f64) -> Result<Self, SwError> {
-        check_epsilon(eps)?;
+        Epsilon::new(eps)?;
         if !(b > 0.0) || !b.is_finite() {
             return Err(SwError::InvalidBandwidth(b));
         }

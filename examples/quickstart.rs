@@ -1,5 +1,6 @@
 //! Quickstart: collect a numerical distribution under ε-LDP with the
-//! Square Wave mechanism and EMS reconstruction.
+//! Square Wave mechanism and EMS reconstruction, through the unified
+//! `Client`/`Aggregator` API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -19,39 +20,48 @@ fn main() {
     .generate();
     println!("users: {}", dataset.n());
 
-    // --- Client side ----------------------------------------------------
-    // Each user perturbs its own value locally; only the noisy report ever
-    // leaves the device. ε = 1 with the paper's defaults: square wave,
-    // mutual-information-optimal bandwidth b*, output domain [-b, 1+b].
+    // --- The mechanism --------------------------------------------------
+    // One configuration object describes the whole protocol: ε = 1 with
+    // the paper's defaults (square wave, mutual-information-optimal
+    // bandwidth b*, EMS reconstruction at granularity d). Every other
+    // mechanism in the workspace (GRR, OLH, OUE, Hadamard, PM, SR, Hybrid,
+    // hierarchies) is driven through this same `Mechanism` API.
     let epsilon = 1.0;
     let d = 256; // histogram granularity
-    let pipeline = SwPipeline::new(epsilon, d).expect("valid parameters");
+    let mechanism = SwMechanism::ems(epsilon, d).expect("valid parameters");
     println!(
         "square wave: b = {:.3}, p = {:.3}, q = {:.3}",
-        pipeline.wave().b(),
-        pipeline.wave().peak(),
-        pipeline.wave().q()
+        mechanism.pipeline().wave().b(),
+        mechanism.pipeline().wave().peak(),
+        mechanism.pipeline().wave().q()
     );
 
+    // --- Client side ----------------------------------------------------
+    // Each user perturbs its own value locally; only the noisy wire report
+    // ever leaves the device.
+    let client = Client::new(&mechanism);
     let mut rng = SplitMix64::new(2024);
-    let reports: Vec<f64> = dataset
-        .values
-        .iter()
-        .map(|&v| pipeline.randomize(v, &mut rng).expect("value in [0,1]"))
-        .collect();
+    let reports = client
+        .randomize_batch(&dataset.values, &mut rng)
+        .expect("values in [0, 1]");
 
     // --- Server side ----------------------------------------------------
-    // The aggregator histograms the reports and runs EMS through the exact
-    // transition matrix.
-    let counts = pipeline.aggregate(&reports);
-    let result = pipeline
-        .reconstruct(&counts, &Reconstruction::Ems)
-        .expect("reconstruction succeeds");
-    let estimate = result.histogram;
-    println!(
-        "EMS converged after {} iterations (log-likelihood {:.1})",
-        result.iterations, result.log_likelihood
-    );
+    // The aggregator is a streaming accumulator: O(d̃) state no matter how
+    // many reports flow through, shards merge exactly. A deployment would
+    // run one aggregator per collector and `merge` them; here we stream
+    // the reports through two shards to show the split.
+    let mut shard_a = Aggregator::new(&mechanism);
+    let mut shard_b = Aggregator::new(&mechanism);
+    let (left, right) = reports.split_at(reports.len() / 2);
+    shard_a.push_slice(left).expect("reports are in range");
+    shard_b.push_slice(right).expect("reports are in range");
+    shard_a
+        .merge(&shard_b)
+        .expect("same mechanism configuration");
+    println!("reports aggregated: {}", shard_a.count());
+
+    // Finalize runs EMS through the structured transition operator.
+    let estimate = shard_a.finalize().expect("reconstruction succeeds");
 
     // --- How good is it? -------------------------------------------------
     let truth = dataset.histogram(d).expect("non-empty dataset");
@@ -77,5 +87,18 @@ fn main() {
         "median:   true {:.4}  estimated {:.4}",
         truth.quantile(0.5),
         estimate.quantile(0.5)
+    );
+
+    // --- Low-level escape hatch ------------------------------------------
+    // The raw pipeline remains available when you need custom waves,
+    // d̃ ≠ d, or direct control over the reconstruction:
+    let pipeline = SwPipeline::new(epsilon, d).expect("valid parameters");
+    let counts = pipeline.aggregate(&reports);
+    let low_level = pipeline
+        .reconstruct(&counts, &Reconstruction::Ems)
+        .expect("reconstruction succeeds");
+    println!(
+        "low-level SwPipeline path agrees: {}",
+        low_level.histogram.probs() == estimate.probs()
     );
 }

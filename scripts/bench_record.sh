@@ -36,6 +36,7 @@ GATED = [
     ("em_iteration_ns", "ns/EM-iteration"),
     ("grid_ns_per_trial", "ns/grid-trial"),
     ("bootstrap_ns_per_replicate", "ns/bootstrap-replicate"),
+    ("streaming_agg_ns_per_report", "ns/report"),
 ]
 failed = False
 for section, unit in GATED:
@@ -102,6 +103,7 @@ snapshot = {
     "randomize_reports_per_sec": {},
     "grid_ns_per_trial": {},
     "bootstrap_ns_per_replicate": {},
+    "streaming_agg_ns_per_report": {},
 }
 
 for name, v in sorted(ns.items()):
@@ -121,6 +123,10 @@ for name, v in sorted(ns.items()):
     if m:
         reps, d = int(m.group(1)), m.group(2)
         snapshot["bootstrap_ns_per_replicate"][f"d{d}"] = round(v / reps, 1)
+    m = re.fullmatch(r"streaming/(\w+?)_n(\d+)_d(\d+)", name)
+    if m:
+        path, n, d = m.group(1), int(m.group(2)), m.group(3)
+        snapshot["streaming_agg_ns_per_report"][f"{path}_d{d}"] = round(v / n, 2)
 
 per_iter = snapshot["em_iteration_ns"]
 for key, value in per_iter.items():

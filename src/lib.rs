@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub use ldp_cfo as cfo;
+pub use ldp_core as core_api;
 pub use ldp_datasets as datasets;
 pub use ldp_experiments as experiments;
 pub use ldp_hierarchy as hierarchy;
@@ -41,16 +42,17 @@ pub use ldp_sw as sw;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use ldp_cfo::{BinningEstimator, FrequencyOracle, Grr, Hrr, Olh, Oue};
+    pub use ldp_core::{Aggregator, Client, CoreError, Domain, Epsilon, Mechanism, WireReport};
     pub use ldp_datasets::{Dataset, DatasetKind, DatasetSpec};
-    pub use ldp_experiments::{ExperimentConfig, Method};
+    pub use ldp_experiments::{ExperimentConfig, Method, MethodRunner};
     pub use ldp_hierarchy::{
         hh_admm_histogram, AdmmConfig, HaarHrr, HierarchicalHistogram, TreeShape,
     };
-    pub use ldp_mean::{MeanMechanism, MeanVariance, Pm, Sr};
+    pub use ldp_mean::{Hybrid, MeanMechanism, MeanVariance, Pm, Sr};
     pub use ldp_metrics::{ks_distance, quantile_mae, range_query_mae, wasserstein};
-    pub use ldp_numeric::{Histogram, LinearOperator, SplitMix64};
+    pub use ldp_numeric::{ExactSum, Histogram, LinearOperator, SplitMix64};
     pub use ldp_sw::{
         optimal_b, BandedBaselineOperator, DiscreteSw, EmConfig, Reconstruction, SmoothingKernel,
-        SwPipeline, Wave, WaveShape,
+        SwMechanism, SwPipeline, Wave, WaveShape,
     };
 }

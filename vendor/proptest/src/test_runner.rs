@@ -1,5 +1,5 @@
 //! Test configuration, case-level errors, the deterministic RNG, and the
-//! [`proptest!`] assertion macros.
+//! `proptest!` assertion macros.
 
 /// Per-test configuration, mirroring `proptest::test_runner::Config`.
 #[derive(Debug, Clone)]
@@ -178,7 +178,7 @@ macro_rules! proptest {
     };
 }
 
-/// Asserts a condition inside a [`proptest!`] body, mirroring
+/// Asserts a condition inside a `proptest!` body, mirroring
 /// `proptest::prop_assert!`.
 #[macro_export]
 macro_rules! prop_assert {
@@ -194,7 +194,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// Asserts equality inside a [`proptest!`] body, mirroring
+/// Asserts equality inside a `proptest!` body, mirroring
 /// `proptest::prop_assert_eq!`.
 #[macro_export]
 macro_rules! prop_assert_eq {
