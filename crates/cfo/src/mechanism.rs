@@ -18,11 +18,15 @@ use crate::oue::{Oue, OueReport};
 use crate::postprocess::norm_sub;
 use crate::select::{AdaptiveOracle, AdaptiveReport};
 use ldp_core::params::fingerprint_fields;
+use ldp_core::snapshot::{
+    expect_tag, next_line, parse_fields, parse_snapshot_field, SnapshotState,
+};
 use ldp_core::wire::parse_field;
 use ldp_core::{CoreError, Epsilon, Mechanism, WireReport};
 use ldp_numeric::histogram::bucket_of;
 use ldp_numeric::Histogram;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write;
 
 /// Fingerprint tags, one per mechanism family (kept distinct so two
@@ -40,7 +44,7 @@ fn input_err(e: CfoError) -> CoreError {
 }
 
 /// Per-value report counts: the streaming state of GRR and OUE.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CountState {
     counts: Vec<u64>,
     n: u64,
@@ -83,7 +87,7 @@ impl CountState {
 }
 
 /// Per-value support counts: the streaming state of OLH.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SupportState {
     support: Vec<u64>,
     n: u64,
@@ -104,7 +108,7 @@ impl SupportState {
 }
 
 /// Integer Walsh–Hadamard spectrum sums: the streaming state of HRR.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpectrumState {
     spectrum: Vec<i64>,
     n: u64,
@@ -371,7 +375,7 @@ impl Mechanism for Hrr {
 
 /// The streaming state of the GRR/OLH adaptive oracle, tagged like its
 /// reports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdaptiveState {
     /// GRR was selected: per-value counts.
     Grr(CountState),
@@ -386,6 +390,116 @@ impl AdaptiveState {
         match self {
             AdaptiveState::Grr(s) => s.total(),
             AdaptiveState::Olh(s) => s.total(),
+        }
+    }
+}
+
+/// One line: `counts <n> <d> <count…>`.
+impl SnapshotState for CountState {
+    fn encode_state(&self, out: &mut String) {
+        let _ = write!(out, "counts {} {}", self.n, self.counts.len());
+        for c in &self.counts {
+            let _ = write!(out, " {c}");
+        }
+        out.push('\n');
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "count state")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "counts")?;
+        let n: u64 = parse_snapshot_field(it.next(), "count state total")?;
+        let d: usize = parse_snapshot_field(it.next(), "count state domain")?;
+        let counts: Vec<u64> = parse_fields(it, d, "count state entry")?;
+        // No mass-vs-total invariant holds here: GRR adds one count per
+        // report but OUE adds one per set bit, so only field arity is
+        // structural. Integrity is the snapshot container's checksum.
+        Ok(CountState { counts, n })
+    }
+}
+
+/// One line: `support <n> <d> <count…>`.
+impl SnapshotState for SupportState {
+    fn encode_state(&self, out: &mut String) {
+        let _ = write!(out, "support {} {}", self.n, self.support.len());
+        for c in &self.support {
+            let _ = write!(out, " {c}");
+        }
+        out.push('\n');
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "support state")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "support")?;
+        let n: u64 = parse_snapshot_field(it.next(), "support state total")?;
+        let d: usize = parse_snapshot_field(it.next(), "support state domain")?;
+        let support: Vec<u64> = parse_fields(it, d, "support state entry")?;
+        Ok(SupportState { support, n })
+    }
+}
+
+/// One line: `spectrum <n> <rows> <sum…>`.
+impl SnapshotState for SpectrumState {
+    fn encode_state(&self, out: &mut String) {
+        let _ = write!(out, "spectrum {} {}", self.n, self.spectrum.len());
+        for s in &self.spectrum {
+            let _ = write!(out, " {s}");
+        }
+        out.push('\n');
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "spectrum state")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "spectrum")?;
+        let n: u64 = parse_snapshot_field(it.next(), "spectrum state total")?;
+        let rows: usize = parse_snapshot_field(it.next(), "spectrum state rows")?;
+        let spectrum: Vec<i64> = parse_fields(it, rows, "spectrum state entry")?;
+        // Each report contributes ±1 to exactly one row.
+        if spectrum.iter().map(|s| s.unsigned_abs()).sum::<u64>() > n {
+            return Err(CoreError::Snapshot(format!(
+                "spectrum state magnitude exceeds its total {n}"
+            )));
+        }
+        Ok(SpectrumState { spectrum, n })
+    }
+}
+
+/// Two lines: `adaptive g|o` naming the selected protocol, then the inner
+/// count/support state line.
+impl SnapshotState for AdaptiveState {
+    fn encode_state(&self, out: &mut String) {
+        match self {
+            AdaptiveState::Grr(s) => {
+                out.push_str("adaptive g\n");
+                s.encode_state(out);
+            }
+            AdaptiveState::Olh(s) => {
+                out.push_str("adaptive o\n");
+                s.encode_state(out);
+            }
+        }
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "adaptive state tag")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "adaptive")?;
+        let kind = it
+            .next()
+            .ok_or_else(|| CoreError::Snapshot("adaptive state tag missing protocol".into()))?;
+        if it.next().is_some() {
+            return Err(CoreError::Snapshot(format!(
+                "trailing fields on adaptive tag line {line:?}"
+            )));
+        }
+        match kind {
+            "g" => Ok(AdaptiveState::Grr(CountState::decode_state(lines)?)),
+            "o" => Ok(AdaptiveState::Olh(SupportState::decode_state(lines)?)),
+            other => Err(CoreError::Snapshot(format!(
+                "unknown adaptive protocol tag {other:?}"
+            ))),
         }
     }
 }
@@ -783,6 +897,61 @@ mod tests {
         assert!(OueReport::decode("99999999999999999 0").is_err());
         assert!(AdaptiveReport::decode("x 3").is_err());
         assert!(AdaptiveReport::decode("g").is_err());
+    }
+
+    #[test]
+    fn snapshot_states_round_trip_for_every_oracle() {
+        let values: Vec<usize> = (0..500).map(|i| (i * 13) % 8).collect();
+        let mut rng = SplitMix64::new(606);
+
+        macro_rules! check {
+            ($oracle:expr) => {{
+                let oracle = $oracle;
+                let mut state = oracle.empty_state();
+                for v in &values {
+                    let r = Mechanism::randomize(&oracle, v, &mut rng).unwrap();
+                    oracle.absorb(&mut state, &r).unwrap();
+                }
+                let mut text = String::new();
+                state.encode_state(&mut text);
+                let mut lines = text.lines();
+                let restored = SnapshotState::decode_state(&mut lines).unwrap();
+                assert!(lines.next().is_none(), "decoder must consume its lines");
+                assert_eq!(state, restored);
+                let a = oracle.finalize(&state).unwrap();
+                let b = oracle.finalize(&restored).unwrap();
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }};
+        }
+
+        check!(Grr::new(8, 1.0).unwrap());
+        check!(Oue::new(8, 1.0).unwrap());
+        check!(Olh::new(8, 1.0).unwrap());
+        check!(Hrr::new(8, 1.0).unwrap());
+        check!(AdaptiveOracle::new(8, 1.0).unwrap());
+        check!(AdaptiveOracle::new(4096, 1.0).unwrap()); // OLH arm
+    }
+
+    #[test]
+    fn snapshot_states_reject_malformed_lines() {
+        let mut it = "counts 5 3 1 2".lines();
+        assert!(CountState::decode_state(&mut it).is_err(), "short fields");
+        let mut it = "counts 5 2 1 2 3".lines();
+        assert!(CountState::decode_state(&mut it).is_err(), "long fields");
+        let mut it = "support x 2 1 2".lines();
+        assert!(SupportState::decode_state(&mut it).is_err(), "bad total");
+        // A spectrum claiming more ±1 mass than reports absorbed.
+        let mut it = "spectrum 2 4 3 0 0 0".lines();
+        assert!(SpectrumState::decode_state(&mut it).is_err());
+        let mut it = "adaptive q\ncounts 0 2 0 0".lines();
+        assert!(AdaptiveState::decode_state(&mut it).is_err(), "bad tag");
+        let mut it = "adaptive g".lines();
+        assert!(
+            AdaptiveState::decode_state(&mut it).is_err(),
+            "missing inner state"
+        );
     }
 
     #[test]

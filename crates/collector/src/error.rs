@@ -1,0 +1,60 @@
+//! The collector's error surface.
+
+use ldp_core::CoreError;
+use std::fmt;
+
+/// Errors produced by the collection service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectorError {
+    /// A mechanism spec string could not be parsed or named unknown
+    /// parameters.
+    Spec(String),
+    /// The unified mechanism API rejected an operation (malformed report,
+    /// shard mismatch, snapshot rejection, …).
+    Core(CoreError),
+    /// Filesystem I/O failed (message carries the path and OS error).
+    Io(String),
+    /// The socket framing protocol was violated.
+    Protocol(String),
+    /// The resume invariant was violated (e.g. the replay log is shorter
+    /// than the snapshot's absorbed count).
+    Resume(String),
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::Spec(msg) => write!(f, "invalid mechanism spec: {msg}"),
+            CollectorError::Core(e) => write!(f, "{e}"),
+            CollectorError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CollectorError::Protocol(msg) => write!(f, "framing protocol violation: {msg}"),
+            CollectorError::Resume(msg) => write!(f, "cannot resume: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {}
+
+impl From<CoreError> for CollectorError {
+    fn from(e: CoreError) -> Self {
+        CollectorError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(CollectorError::Spec("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(CollectorError::Core(CoreError::Wire("x".into()))
+            .to_string()
+            .contains("wire"));
+        assert!(CollectorError::Resume("short log".into())
+            .to_string()
+            .contains("short log"));
+    }
+}

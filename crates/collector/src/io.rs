@@ -1,0 +1,74 @@
+//! Snapshot files on disk: atomic writes, plain reads.
+//!
+//! A snapshot that is being written when the collector dies must never be
+//! mistaken for the current recovery point. The discipline here is the
+//! classic one: write the complete file to `<path>.tmp`, fsync it, then
+//! `rename` over the destination — on POSIX the rename is atomic, so the
+//! destination always holds either the previous complete snapshot or the
+//! new complete snapshot, never a torn mixture. (Even without the rename,
+//! the container's `body-lines` count and trailing checksum make a torn
+//! file *detectable*; the rename makes it *impossible to observe*.)
+
+use crate::error::CollectorError;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `text` via the sibling `<path>.tmp`.
+pub fn write_snapshot_atomic(path: &Path, text: &str) -> Result<(), CollectorError> {
+    let tmp = tmp_path(path);
+    let io = |what: &str, e: std::io::Error| {
+        CollectorError::Io(format!("{what} {}: {e}", tmp.display()))
+    };
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io("create", e))?;
+        f.write_all(text.as_bytes()).map_err(|e| io("write", e))?;
+        f.sync_all().map_err(|e| io("sync", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        CollectorError::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+/// The sibling temp path the atomic write goes through.
+#[must_use]
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Reads a snapshot (or report) file to a string.
+pub fn read_to_string(path: &Path) -> Result<String, CollectorError> {
+    fs::read_to_string(path)
+        .map_err(|e| CollectorError::Io(format!("read {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_round_trips_and_replaces() {
+        let dir = std::env::temp_dir().join("ldp-collector-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.snap");
+        write_snapshot_atomic(&path, "first\n").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "first\n");
+        write_snapshot_atomic(&path, "second\n").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "second\n");
+        // The temp sibling never lingers.
+        assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_of_missing_file_names_the_path() {
+        let err = read_to_string(Path::new("/nonexistent/x.snap")).unwrap_err();
+        assert!(err.to_string().contains("x.snap"));
+    }
+}

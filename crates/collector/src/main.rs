@@ -1,0 +1,317 @@
+//! The `ldp-collector` binary: a collection window as a process.
+//!
+//! ```text
+//! ldp-collector gen      --mechanism SPEC --n N [--seed S] [--out FILE]
+//! ldp-collector ingest   --mechanism SPEC [--input FILE] [--snapshot FILE]
+//!                        [--snapshot-every N] [--resume] [--max-reports K]
+//!                        [--finalize]
+//! ldp-collector merge    --mechanism SPEC --out FILE SNAP [SNAP…]
+//! ldp-collector finalize --mechanism SPEC --snapshot FILE
+//! ldp-collector inspect  SNAP [SNAP…]
+//! ldp-collector serve    --mechanism SPEC --listen ADDR [--snapshot FILE]
+//!                        [--snapshot-every N] [--finalize]
+//! ```
+//!
+//! See `docs/OPERATIONS.md` for the operator's guide and worked examples
+//! of every subcommand.
+
+use ldp_collector::io::{read_to_string, write_snapshot_atomic};
+use ldp_collector::registry::{build_session, MECHANISMS};
+use ldp_collector::server::{serve_once, SnapshotPolicy};
+use ldp_collector::session::{ingest_lines, CollectorSession};
+use ldp_collector::CollectorError;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ldp-collector: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CollectorError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        print_help();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "ingest" => cmd_ingest(rest),
+        "merge" => cmd_merge(rest),
+        "finalize" => cmd_finalize(rest),
+        "inspect" => cmd_inspect(rest),
+        "serve" => cmd_serve(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(CollectorError::Spec(format!(
+            "unknown subcommand {other:?} (run `ldp-collector help`)"
+        ))),
+    }
+}
+
+fn print_help() {
+    println!("ldp-collector — crash-recoverable LDP collection over the wire format");
+    println!();
+    println!("subcommands:");
+    println!("  gen      --mechanism SPEC --n N [--seed S] [--out FILE]");
+    println!("           simulate N clients; write one wire-report line each");
+    println!("  ingest   --mechanism SPEC [--input FILE] [--snapshot FILE]");
+    println!("           [--snapshot-every N] [--resume] [--max-reports K] [--finalize]");
+    println!("           absorb report lines (stdin when --input is absent)");
+    println!("  merge    --mechanism SPEC --out FILE SNAP [SNAP...]");
+    println!("           exact multi-shard merge of parallel collectors' snapshots");
+    println!("  finalize --mechanism SPEC --snapshot FILE");
+    println!("           print the estimate for a snapshotted window");
+    println!("  inspect  SNAP [SNAP...]");
+    println!("           print snapshot headers (no mechanism needed)");
+    println!("  serve    --mechanism SPEC --listen ADDR [--snapshot FILE]");
+    println!("           [--snapshot-every N] [--finalize]");
+    println!("           one length-delimited TCP ingestion session");
+    println!();
+    println!("mechanism specs (name:key=value,...):");
+    for (name, params) in MECHANISMS {
+        println!("  {name:<12} {params}");
+    }
+    println!();
+    println!("Paper legends (SW-EMS, CFO-binning-16, ...) are accepted as names.");
+    println!("Docs: docs/OPERATIONS.md, docs/WIRE_FORMAT.md, docs/ARCHITECTURE.md.");
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    bools: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], bool_flags: &[&str]) -> Result<Flags, CollectorError> {
+        let mut pairs = Vec::new();
+        let mut bools = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    bools.push(name.to_string());
+                } else {
+                    let value = it.next().ok_or_else(|| {
+                        CollectorError::Spec(format!("--{name} requires a value"))
+                    })?;
+                    pairs.push((name.to_string(), value.clone()));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags {
+            pairs,
+            bools,
+            positional,
+        })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CollectorError> {
+        self.get(name)
+            .ok_or_else(|| CollectorError::Spec(format!("missing required flag --{name}")))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, CollectorError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CollectorError::Spec(format!("cannot parse --{name} {raw:?} as an integer"))
+            }),
+        }
+    }
+}
+
+fn session_for(flags: &Flags) -> Result<Box<dyn CollectorSession>, CollectorError> {
+    build_session(flags.require("mechanism")?)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &[])?;
+    let session = session_for(&flags)?;
+    let n = flags.u64_or("n", 0)?;
+    if n == 0 {
+        return Err(CollectorError::Spec("gen requires --n <reports>".into()));
+    }
+    let seed = flags.u64_or("seed", 1)?;
+    let lines = session.gen_reports(n, seed)?;
+    match flags.get("out") {
+        Some(path) => write_snapshot_atomic(&PathBuf::from(path), &lines)?,
+        None => print!("{lines}"),
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &["resume", "finalize"])?;
+    let mut session = session_for(&flags)?;
+    let snapshot_path = flags.get("snapshot").map(PathBuf::from);
+    let every = flags.u64_or("snapshot-every", 0)?;
+    let max_reports = flags.u64_or("max-reports", u64::MAX)?;
+
+    // Recovery: load the snapshot if asked to resume and one exists.
+    let resuming = flags.has("resume");
+    if resuming {
+        let path = snapshot_path
+            .as_ref()
+            .ok_or_else(|| CollectorError::Spec("--resume requires --snapshot <file>".into()))?;
+        if path.exists() {
+            session.restore(&read_to_string(path)?)?;
+            eprintln!(
+                "resumed from {} at {} reports",
+                path.display(),
+                session.count()
+            );
+        }
+    }
+
+    // Stream the replay log (never materialize it: a window can be far
+    // larger than RAM) through the library's one resume implementation,
+    // in blocks so the snapshot cadence and the --max-reports crash
+    // point apply mid-stream, exactly as against a live feed.
+    let reader: Box<dyn BufRead> = match flags.get("input") {
+        Some(path) if path != "-" => {
+            let file =
+                File::open(path).map_err(|e| CollectorError::Io(format!("open {path}: {e}")))?;
+            Box::new(BufReader::new(file))
+        }
+        _ => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let skip = if resuming { session.count() } else { 0 };
+    let block = if every > 0 { every } else { 8_192 };
+    let policy = SnapshotPolicy {
+        path: snapshot_path.clone(),
+        every,
+    };
+    ingest_lines(
+        session.as_mut(),
+        reader.lines(),
+        skip,
+        max_reports,
+        block,
+        |s, before| policy.apply(s, before, false),
+    )?;
+    if let Some(path) = &snapshot_path {
+        write_snapshot_atomic(path, &session.snapshot_text())?;
+    }
+    eprintln!("ingested to {} reports total", session.count());
+    if flags.has("finalize") {
+        print!("{}", session.finalize_text()?);
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &["finalize"])?;
+    let mut session = session_for(&flags)?;
+    let out = PathBuf::from(flags.require("out")?);
+    if flags.positional.is_empty() {
+        return Err(CollectorError::Spec(
+            "merge requires at least one snapshot file".into(),
+        ));
+    }
+    for path in &flags.positional {
+        session.merge_snapshot(&read_to_string(&PathBuf::from(path))?)?;
+        eprintln!("merged {path} -> {} reports", session.count());
+    }
+    write_snapshot_atomic(&out, &session.snapshot_text())?;
+    if flags.has("finalize") {
+        print!("{}", session.finalize_text()?);
+    }
+    Ok(())
+}
+
+fn cmd_finalize(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &[])?;
+    let mut session = session_for(&flags)?;
+    session.restore(&read_to_string(&PathBuf::from(flags.require("snapshot")?))?)?;
+    print!("{}", session.finalize_text()?);
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &[])?;
+    if flags.positional.is_empty() {
+        return Err(CollectorError::Spec(
+            "inspect requires at least one snapshot file".into(),
+        ));
+    }
+    for path in &flags.positional {
+        let text = read_to_string(&PathBuf::from(path))?;
+        let (header, _body) = ldp_core::snapshot::parse_snapshot(&text)?;
+        println!("{path}:");
+        println!("  version     v{}", header.version);
+        println!("  mechanism   {}", header.mechanism);
+        println!("  fingerprint {:016x}", header.fingerprint);
+        println!("  reports     {}", header.count);
+        println!("  body lines  {}", header.body_lines);
+        println!("  checksum    ok");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
+    let flags = Flags::parse(args, &["finalize", "resume"])?;
+    let mut session = session_for(&flags)?;
+    let snapshot_path = flags.get("snapshot").map(PathBuf::from);
+    if flags.has("resume") {
+        let path = snapshot_path
+            .as_ref()
+            .ok_or_else(|| CollectorError::Spec("--resume requires --snapshot <file>".into()))?;
+        if path.exists() {
+            session.restore(&read_to_string(path)?)?;
+            eprintln!(
+                "resumed from {} at {} reports",
+                path.display(),
+                session.count()
+            );
+        }
+    }
+    let policy = SnapshotPolicy {
+        path: snapshot_path,
+        every: flags.u64_or("snapshot-every", 0)?,
+    };
+    let addr = flags.require("listen")?;
+    let listener =
+        TcpListener::bind(addr).map_err(|e| CollectorError::Io(format!("bind {addr}: {e}")))?;
+    eprintln!(
+        "listening on {} for {}",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string()),
+        session.mechanism_id()
+    );
+    let total = serve_once(&listener, session.as_mut(), &policy)?;
+    eprintln!("stream ended at {total} reports");
+    if flags.has("finalize") {
+        print!("{}", session.finalize_text()?);
+    }
+    Ok(())
+}

@@ -1,0 +1,486 @@
+//! Mechanism-by-name construction: the spec grammar and the constructor
+//! table behind `--mechanism`.
+//!
+//! A spec is `<name>:<key>=<value>,…` — e.g. `sw-ems:eps=1,d=64` or
+//! `pm:eps=0.5`. [`build_session`] parses one and instantiates the
+//! matching [`Session`] with the family's input adapter and output
+//! renderer. The name may also be one of the paper's method legends
+//! (`SW-EMS`, `CFO-binning-16`, …), resolved through
+//! [`ldp_experiments::Method::from_name`] — the same registry the
+//! experiment grid dispatches through.
+//!
+//! The canonical id a session reports (and stamps into snapshot headers)
+//! names the *mechanism* configuration, not the estimation choice:
+//! `hh` and `hh-admm` share the id of their common randomizer, so a
+//! window collected once can be finalized under either post-processing —
+//! exactly the paper's separation of collection from server-side
+//! estimation.
+
+use crate::error::CollectorError;
+use crate::session::{CollectorSession, Session};
+use ldp_cfo::{AdaptiveOracle, BinningEstimator, Grr, Hrr, Olh, Oue};
+use ldp_experiments::Method;
+use ldp_hierarchy::{
+    constrained_inference, hh_admm_histogram, AdmmConfig, HaarHrr, HhRaw, HierarchicalHistogram,
+    RootPolicy,
+};
+use ldp_mean::{Hybrid, Pm, Sr};
+use ldp_numeric::histogram::bucket_of;
+use ldp_numeric::Histogram;
+use ldp_sw::SwMechanism;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// The paper's branching factor default for hierarchy mechanisms.
+const DEFAULT_BRANCHING: usize = 4;
+
+/// Every native mechanism name the collector can run, with its required
+/// parameters (for `--help` and error messages).
+pub const MECHANISMS: &[(&str, &str)] = &[
+    (
+        "sw-ems",
+        "eps, d — Square Wave, EMS reconstruction (the paper's estimator)",
+    ),
+    ("sw-em", "eps, d — Square Wave, plain EM reconstruction"),
+    ("grr", "eps, d — generalized randomized response"),
+    ("olh", "eps, d — optimized local hashing"),
+    ("oue", "eps, d — optimized unary encoding"),
+    ("hrr", "eps, d — Hadamard randomized response"),
+    ("adaptive", "eps, d — GRR/OLH selected by variance"),
+    (
+        "cfo-binning",
+        "eps, d, bins — binned frequency oracle + Norm-Sub",
+    ),
+    ("pm", "eps — piecewise mechanism (mean)"),
+    ("sr", "eps — stochastic rounding (mean)"),
+    ("hybrid", "eps — PM/SR hybrid (mean)"),
+    (
+        "hh",
+        "eps, d[, branching] — hierarchical histogram, constrained inference",
+    ),
+    (
+        "hh-admm",
+        "eps, d[, branching] — hierarchical histogram, ADMM estimate",
+    ),
+    ("haar-hrr", "eps, d — Haar wavelet transform over HRR"),
+];
+
+/// One parsed `name:key=value,…` spec.
+#[derive(Debug, Clone)]
+struct Spec {
+    name: String,
+    params: BTreeMap<String, String>,
+}
+
+impl Spec {
+    fn parse(spec: &str) -> Result<Self, CollectorError> {
+        let (name, rest) = match spec.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (spec, None),
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(CollectorError::Spec("empty mechanism name".into()));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair.split_once('=').ok_or_else(|| {
+                    CollectorError::Spec(format!("parameter {pair:?} is not key=value"))
+                })?;
+                if params
+                    .insert(k.trim().to_string(), v.trim().to_string())
+                    .is_some()
+                {
+                    return Err(CollectorError::Spec(format!("duplicate parameter {k:?}")));
+                }
+            }
+        }
+        Ok(Spec {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, CollectorError> {
+        let raw = self
+            .params
+            .get(key)
+            .ok_or_else(|| CollectorError::Spec(format!("{} requires {key}=<value>", self.name)))?;
+        raw.parse()
+            .map_err(|_| CollectorError::Spec(format!("cannot parse {key}={raw:?} as a number")))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, CollectorError> {
+        let raw = self
+            .params
+            .get(key)
+            .ok_or_else(|| CollectorError::Spec(format!("{} requires {key}=<value>", self.name)))?;
+        raw.parse()
+            .map_err(|_| CollectorError::Spec(format!("cannot parse {key}={raw:?} as an integer")))
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, CollectorError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CollectorError::Spec(format!("cannot parse {key}={raw:?} as an integer"))
+            }),
+        }
+    }
+
+    /// Rejects parameters no constructor consumed — a typo like `epd=1`
+    /// must fail loudly, not silently collect under defaults.
+    fn check_known(&self, known: &[&str]) -> Result<(), CollectorError> {
+        for key in self.params.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(CollectorError::Spec(format!(
+                    "unknown parameter {key:?} for {} (accepted: {})",
+                    self.name,
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maps a paper method legend (via the experiment registry's
+/// [`Method::from_name`]) onto the collector's native spec name, carrying
+/// implied parameters along (`CFO-binning-16` implies `bins=16`).
+fn resolve_alias(spec: &mut Spec) -> Result<(), CollectorError> {
+    if MECHANISMS.iter().any(|(n, _)| *n == spec.name) {
+        return Ok(());
+    }
+    let method = Method::from_name(&spec.name).ok_or_else(|| {
+        CollectorError::Spec(format!(
+            "unknown mechanism {:?} (native names: {}; paper legends like \"SW-EMS\" also work)",
+            spec.name,
+            MECHANISMS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    spec.name = match method {
+        Method::SwEms => "sw-ems".into(),
+        Method::SwEm => "sw-em".into(),
+        Method::HhAdmm => "hh-admm".into(),
+        Method::Hh => "hh".into(),
+        Method::HaarHrr => "haar-hrr".into(),
+        Method::Sr => "sr".into(),
+        Method::Pm => "pm".into(),
+        Method::CfoBinning { bins } => {
+            spec.params
+                .entry("bins".into())
+                .or_insert_with(|| bins.to_string());
+            "cfo-binning".into()
+        }
+    };
+    Ok(())
+}
+
+fn render_histogram(h: &Histogram) -> Result<String, CollectorError> {
+    let mut out = String::new();
+    for p in h.probs() {
+        let _ = writeln!(out, "{p}");
+    }
+    Ok(out)
+}
+
+fn render_frequencies(f: &[f64]) -> Result<String, CollectorError> {
+    let mut out = String::new();
+    for p in f {
+        let _ = writeln!(out, "{p}");
+    }
+    Ok(out)
+}
+
+fn render_scalar(v: &f64) -> Result<String, CollectorError> {
+    Ok(format!("{v}\n"))
+}
+
+/// Canonical ids, one format per parameter arity; fixed key order makes
+/// equal configurations produce byte-equal ids (which snapshot headers
+/// compare).
+fn id_eps(name: &str, eps: f64) -> String {
+    format!("{name}:eps={eps}")
+}
+
+fn id_eps_d(name: &str, eps: f64, d: usize) -> String {
+    format!("{name}:eps={eps},d={d}")
+}
+
+/// Builds a ready-to-run collection session from a mechanism spec.
+pub fn build_session(spec: &str) -> Result<Box<dyn CollectorSession>, CollectorError> {
+    let mut spec = Spec::parse(spec)?;
+    resolve_alias(&mut spec)?;
+    let name = spec.name.clone();
+    Ok(match name.as_str() {
+        "sw-ems" | "sw-em" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = if name == "sw-ems" {
+                SwMechanism::ems(eps, d)
+            } else {
+                SwMechanism::em(eps, d)
+            }
+            .map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(|v| v),
+                Box::new(|h: &Histogram| render_histogram(h)),
+            ))
+        }
+        "grr" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = Grr::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        "olh" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = Olh::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        "oue" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = Oue::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        "hrr" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = Hrr::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        "adaptive" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech =
+                AdaptiveOracle::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        "cfo-binning" => {
+            spec.check_known(&["eps", "d", "bins"])?;
+            let (eps, d, bins) = (spec.f64("eps")?, spec.usize("d")?, spec.usize("bins")?);
+            let mech = BinningEstimator::new(bins, d, eps)
+                .map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                format!("cfo-binning:eps={eps},d={d},bins={bins}"),
+                Box::new(|v| v),
+                Box::new(|h: &Histogram| render_histogram(h)),
+            ))
+        }
+        "pm" => {
+            spec.check_known(&["eps"])?;
+            let eps = spec.f64("eps")?;
+            let mech = Pm::new(eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps(&name, eps),
+                Box::new(ldp_mean::to_signed),
+                Box::new(|m: &f64| render_scalar(m)),
+            ))
+        }
+        "sr" => {
+            spec.check_known(&["eps"])?;
+            let eps = spec.f64("eps")?;
+            let mech = Sr::new(eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps(&name, eps),
+                Box::new(ldp_mean::to_signed),
+                Box::new(|m: &f64| render_scalar(m)),
+            ))
+        }
+        "hybrid" => {
+            spec.check_known(&["eps"])?;
+            let eps = spec.f64("eps")?;
+            let mech = Hybrid::new(eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps(&name, eps),
+                Box::new(ldp_mean::to_signed),
+                Box::new(|m: &f64| render_scalar(m)),
+            ))
+        }
+        "hh" | "hh-admm" => {
+            spec.check_known(&["eps", "d", "branching"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let branching = spec.usize_or("branching", DEFAULT_BRANCHING)?;
+            let mech = HierarchicalHistogram::new(branching, d, eps)
+                .map_err(|e| CollectorError::Spec(e.to_string()))?;
+            // Both estimation choices share the randomizer, the wire
+            // format, and the snapshot id: a window collected once can be
+            // finalized under either post-processing.
+            let id = format!("hh:eps={eps},d={d},branching={branching}");
+            let render: crate::session::OutputRenderer<HhRaw> = if name == "hh-admm" {
+                Box::new(|raw: &HhRaw| {
+                    let h = hh_admm_histogram(raw.shape(), raw, AdmmConfig::default())
+                        .map_err(|e| CollectorError::Io(e.to_string()))?;
+                    render_histogram(&h)
+                })
+            } else {
+                Box::new(|raw: &HhRaw| {
+                    let consistent = constrained_inference(
+                        raw.shape(),
+                        &raw.tree,
+                        &raw.level_variances,
+                        RootPolicy::Fixed(1.0),
+                    )
+                    .map_err(|e| CollectorError::Io(e.to_string()))?;
+                    render_frequencies(consistent.leaves())
+                })
+            };
+            Box::new(Session::new(
+                mech,
+                id,
+                Box::new(move |v| bucket_of(v, d)),
+                render,
+            ))
+        }
+        "haar-hrr" => {
+            spec.check_known(&["eps", "d"])?;
+            let (eps, d) = (spec.f64("eps")?, spec.usize("d")?);
+            let mech = HaarHrr::new(d, eps).map_err(|e| CollectorError::Spec(e.to_string()))?;
+            Box::new(Session::new(
+                mech,
+                id_eps_d(&name, eps, d),
+                Box::new(move |v| bucket_of(v, d)),
+                Box::new(|f: &Vec<f64>| render_frequencies(f)),
+            ))
+        }
+        other => return Err(CollectorError::Spec(format!("unknown mechanism {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_mechanism_builds_and_round_trips() {
+        for spec in [
+            "sw-ems:eps=1,d=32",
+            "sw-em:eps=1,d=32",
+            "grr:eps=1,d=8",
+            "olh:eps=1,d=8",
+            "oue:eps=1,d=8",
+            "hrr:eps=1,d=8",
+            "adaptive:eps=1,d=8",
+            "adaptive:eps=1,d=4096",
+            "cfo-binning:eps=1,d=64,bins=16",
+            "pm:eps=1",
+            "sr:eps=1",
+            "hybrid:eps=2",
+            "hh:eps=1,d=64",
+            "hh-admm:eps=1,d=64",
+            "haar-hrr:eps=1,d=64",
+        ] {
+            let mut session = build_session(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let reports = session.gen_reports(400, 7).unwrap();
+            assert_eq!(session.ingest_text(&reports).unwrap(), 400, "{spec}");
+            assert_eq!(session.count(), 400);
+            let estimate = session.finalize_text().unwrap();
+            assert!(!estimate.is_empty(), "{spec}");
+            // Snapshot -> fresh session -> identical estimate.
+            let snap = session.snapshot_text();
+            let mut fresh = build_session(spec).unwrap();
+            fresh.restore(&snap).unwrap();
+            assert_eq!(fresh.count(), 400);
+            assert_eq!(fresh.finalize_text().unwrap(), estimate, "{spec}");
+        }
+    }
+
+    #[test]
+    fn hh_and_hh_admm_share_a_window() {
+        let mut hh = build_session("hh:eps=1,d=16").unwrap();
+        let reports = hh.gen_reports(2_000, 9).unwrap();
+        hh.ingest_text(&reports).unwrap();
+        let snap = hh.snapshot_text();
+        // The same collected window finalizes under ADMM post-processing.
+        let mut admm = build_session("hh-admm:eps=1,d=16").unwrap();
+        admm.restore(&snap).unwrap();
+        let text = admm.finalize_text().unwrap();
+        let probs: Vec<f64> = text.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(probs.len(), 16);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_method_legends_resolve_through_the_experiment_registry() {
+        for (legend, native) in [
+            ("SW-EMS:eps=1,d=32", "sw-ems:eps=1,d=32"),
+            (
+                "CFO-binning-16:eps=1,d=64",
+                "cfo-binning:eps=1,d=64,bins=16",
+            ),
+            ("HH:eps=1,d=64", "hh:eps=1,d=64"),
+            ("PM:eps=1", "pm:eps=1"),
+        ] {
+            let a = build_session(legend).unwrap_or_else(|e| panic!("{legend}: {e}"));
+            let b = build_session(native).unwrap();
+            assert_eq!(a.mechanism_id(), b.mechanism_id(), "{legend}");
+            assert_eq!(a.fingerprint(), b.fingerprint(), "{legend}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(build_session("").is_err());
+        assert!(build_session("warp-drive:eps=1").is_err());
+        assert!(build_session("sw-ems").is_err(), "missing params");
+        assert!(build_session("sw-ems:eps=1").is_err(), "missing d");
+        assert!(build_session("sw-ems:eps=0,d=64").is_err(), "bad eps");
+        assert!(
+            build_session("sw-ems:eps=1,d=64,flux=3").is_err(),
+            "typo key"
+        );
+        assert!(build_session("sw-ems:eps=1,eps=2,d=4").is_err(), "dup key");
+        assert!(build_session("pm:eps=1,d=64").is_err(), "foreign key");
+        assert!(build_session("grr:eps=x,d=4").is_err());
+    }
+
+    #[test]
+    fn canonical_ids_are_stable_across_equivalent_spellings() {
+        let a = build_session("sw-ems:eps=1,d=64").unwrap();
+        let b = build_session("sw-ems: d=64 , eps=1").unwrap();
+        assert_eq!(a.mechanism_id(), b.mechanism_id());
+        assert_eq!(a.mechanism_id(), "sw-ems:eps=1,d=64");
+    }
+}

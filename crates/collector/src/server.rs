@@ -1,0 +1,249 @@
+//! The length-delimited socket ingestion loop.
+//!
+//! The wire between a report forwarder and the collector is deliberately
+//! minimal — one TCP connection carrying framed batches of wire-report
+//! lines:
+//!
+//! ```text
+//! frame     = length payload
+//! length    = u32, big endian, number of payload bytes
+//! payload   = UTF-8 text, newline-separated WireReport lines
+//! ```
+//!
+//! A frame with `length = 0` ends the stream. After every frame the
+//! collector answers one status byte: `+` (batch absorbed, snapshot
+//! policy applied) or `-` (batch rejected — the connection closes and
+//! **none** of the frame's reports were absorbed, so the forwarder can
+//! retry or quarantine the batch without double-count risk). The
+//! normative spec lives in `docs/WIRE_FORMAT.md`; retry semantics are
+//! discussed in `docs/OPERATIONS.md`.
+
+use crate::error::CollectorError;
+use crate::io::write_snapshot_atomic;
+use crate::session::CollectorSession;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+/// Refuse absurd frames instead of attempting a pathological allocation
+/// (a 64 MiB frame at ~20 bytes/report is ≈3M reports, far beyond any
+/// sane batch).
+const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// When (and where) the ingestion loop persists the window.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotPolicy {
+    /// Snapshot file path; `None` disables persistence.
+    pub path: Option<PathBuf>,
+    /// Snapshot after every `every` absorbed reports (0 = only at
+    /// end-of-stream).
+    pub every: u64,
+}
+
+impl SnapshotPolicy {
+    /// Applies the policy after a batch: persists when the absorbed count
+    /// crossed an `every` boundary (or unconditionally at `force`).
+    /// `before` is the session's count when the batch started. The one
+    /// cadence implementation — the socket loop and the `ingest`
+    /// subcommand both call it.
+    pub fn apply(
+        &self,
+        session: &dyn CollectorSession,
+        before: u64,
+        force: bool,
+    ) -> Result<(), CollectorError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let crossed = self.every > 0 && session.count() / self.every > before / self.every;
+        if crossed || force {
+            write_snapshot_atomic(path, &session.snapshot_text())?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one frame (length prefix + payload) to `stream`.
+pub fn write_frame(stream: &mut TcpStream, payload: &str) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload.as_bytes())
+}
+
+/// Reads one frame; `Ok(None)` is the end-of-stream frame (`length = 0`).
+pub fn read_frame(stream: &mut TcpStream) -> Result<Option<String>, CollectorError> {
+    let mut len_bytes = [0u8; 4];
+    stream
+        .read_exact(&mut len_bytes)
+        .map_err(|e| CollectorError::Protocol(format!("reading frame length: {e}")))?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(CollectorError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| CollectorError::Protocol(format!("reading {len}-byte frame: {e}")))?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| CollectorError::Protocol(format!("frame is not UTF-8: {e}")))
+}
+
+/// Runs the ingestion loop over one accepted connection: absorb each
+/// frame (acking `+`/`-`), snapshot on the policy's cadence, and on the
+/// end-of-stream frame write a final snapshot and return the total
+/// absorbed-report count.
+///
+/// A rejected frame (`-` ack) absorbs nothing — [`CollectorSession::ingest_text`]
+/// is all-or-nothing — and ends the connection with the window intact, so
+/// a subsequent connection (or file replay) can continue it.
+pub fn serve_connection(
+    stream: &mut TcpStream,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+) -> Result<u64, CollectorError> {
+    loop {
+        match read_frame(stream) {
+            Ok(Some(payload)) => {
+                let before = session.count();
+                match session.ingest_text(&payload) {
+                    Ok(_) => {
+                        policy.apply(session, before, false)?;
+                        let _ = stream.write_all(b"+");
+                    }
+                    Err(e) => {
+                        let _ = stream.write_all(b"-");
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(None) => {
+                policy.apply(session, session.count(), true)?;
+                let _ = stream.write_all(b"+");
+                return Ok(session.count());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Accepts one connection on `listener` and runs [`serve_connection`] —
+/// the `serve` subcommand's engine, split out so tests drive it with an
+/// in-process client.
+pub fn serve_once(
+    listener: &TcpListener,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+) -> Result<u64, CollectorError> {
+    let (mut stream, _addr) = listener
+        .accept()
+        .map_err(|e| CollectorError::Io(format!("accept: {e}")))?;
+    serve_connection(&mut stream, session, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::build_session;
+
+    /// A forwarder thread streaming frames; returns the acks it saw.
+    fn forward(addr: std::net::SocketAddr, frames: Vec<String>, fin: bool) -> Vec<u8> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut acks = Vec::new();
+        for f in frames {
+            write_frame(&mut stream, &f).unwrap();
+            let mut ack = [0u8; 1];
+            stream.read_exact(&mut ack).unwrap();
+            acks.push(ack[0]);
+            if ack[0] == b'-' {
+                return acks;
+            }
+        }
+        if fin {
+            stream.write_all(&0u32.to_be_bytes()).unwrap();
+            let mut ack = [0u8; 1];
+            stream.read_exact(&mut ack).unwrap();
+            acks.push(ack[0]);
+        }
+        acks
+    }
+
+    #[test]
+    fn framed_stream_equals_direct_ingestion() {
+        let spec = "grr:eps=1,d=8";
+        let mut session = build_session(spec).unwrap();
+        let reports = session.gen_reports(900, 3).unwrap();
+        // Expected: direct one-shot ingestion.
+        let mut direct = build_session(spec).unwrap();
+        direct.ingest_text(&reports).unwrap();
+        let expected = direct.finalize_text().unwrap();
+        // Framed: three batches over a socket.
+        let lines: Vec<&str> = reports.lines().collect();
+        let frames: Vec<String> = lines.chunks(300).map(|c| c.join("\n")).collect();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || forward(addr, frames, true));
+        let policy = SnapshotPolicy::default();
+        let n = serve_once(&listener, session.as_mut(), &policy).unwrap();
+        assert_eq!(n, 900);
+        assert_eq!(client.join().unwrap(), vec![b'+', b'+', b'+', b'+']);
+        assert_eq!(session.finalize_text().unwrap(), expected);
+    }
+
+    #[test]
+    fn bad_frame_is_rejected_without_absorbing_and_window_survives() {
+        let spec = "grr:eps=1,d=8";
+        let mut session = build_session(spec).unwrap();
+        let good = session.gen_reports(100, 5).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frames = vec![good.clone(), format!("{good}not-a-report\n")];
+        let client = std::thread::spawn(move || forward(addr, frames, false));
+        let policy = SnapshotPolicy::default();
+        let err = serve_once(&listener, session.as_mut(), &policy).unwrap_err();
+        assert!(matches!(err, CollectorError::Core(_)));
+        assert_eq!(client.join().unwrap(), vec![b'+', b'-']);
+        // Only the good frame was absorbed; the window remains usable.
+        assert_eq!(session.count(), 100);
+        assert!(session.finalize_text().is_ok());
+    }
+
+    #[test]
+    fn snapshot_cadence_persists_during_the_stream() {
+        let dir = std::env::temp_dir().join("ldp-collector-server-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.snap");
+        let _ = std::fs::remove_file(&path);
+        let spec = "pm:eps=1";
+        let mut session = build_session(spec).unwrap();
+        let reports = session.gen_reports(600, 11).unwrap();
+        let lines: Vec<&str> = reports.lines().collect();
+        let frames: Vec<String> = lines.chunks(200).map(|c| c.join("\n")).collect();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || forward(addr, frames, true));
+        let policy = SnapshotPolicy {
+            path: Some(path.clone()),
+            every: 250,
+        };
+        serve_once(&listener, session.as_mut(), &policy).unwrap();
+        client.join().unwrap();
+        // The final snapshot recovers the full window.
+        let mut recovered = build_session(spec).unwrap();
+        recovered
+            .restore(&crate::io::read_to_string(&path).unwrap())
+            .unwrap();
+        assert_eq!(recovered.count(), 600);
+        assert_eq!(
+            recovered.finalize_text().unwrap(),
+            session.finalize_text().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! The type-erased collection session: one mechanism configuration, one
+//! streaming aggregation state, driven entirely through text.
+//!
+//! [`CollectorSession`] erases the mechanism's associated types behind an
+//! object-safe surface whose currency is the two `ldp-core` text formats:
+//! wire-report lines in, snapshot files out. The generic [`Session`] is
+//! the single implementation — the registry instantiates it once per
+//! mechanism family, supplying the input adapter (how a synthetic client
+//! value in `[0, 1]` maps to the mechanism's input domain) and the output
+//! renderer (how the finalized estimate prints).
+
+use crate::error::CollectorError;
+use ldp_core::snapshot::SnapshotState;
+use ldp_core::{decode_snapshot, encode_snapshot, Mechanism, WireReport};
+use ldp_numeric::SplitMix64;
+use rand::Rng;
+
+/// Below this many lines a bulk ingest stays on the calling thread; the
+/// pool's per-batch bookkeeping only pays for itself on real batches.
+const SHARD_MIN_LINES: usize = 4096;
+
+/// One collection window over one mechanism configuration, driven through
+/// text: wire-report lines in, snapshot text and rendered estimates out.
+///
+/// All mutating entry points are all-or-nothing: on any error the session
+/// state is exactly what it was before the call, so a collector can log
+/// the offending input and keep its window.
+pub trait CollectorSession: Send {
+    /// The canonical mechanism id (also the snapshot header id). Two
+    /// sessions with equal ids accept each other's snapshots.
+    fn mechanism_id(&self) -> &str;
+
+    /// The mechanism's 64-bit configuration fingerprint.
+    fn fingerprint(&self) -> u64;
+
+    /// Reports absorbed so far.
+    fn count(&self) -> u64;
+
+    /// Decodes and absorbs one wire-report line.
+    fn ingest_line(&mut self, line: &str) -> Result<(), CollectorError>;
+
+    /// Decodes and absorbs every non-blank line of `text`, sharding the
+    /// decode+absorb across the shared worker pool for large batches.
+    /// Returns the number of reports absorbed. All-or-nothing.
+    fn ingest_text(&mut self, text: &str) -> Result<u64, CollectorError>;
+
+    /// Renders the current state as a complete snapshot file.
+    fn snapshot_text(&self) -> String;
+
+    /// Replaces the session state with a snapshot's (crash recovery).
+    /// Rejects snapshots from other configurations, truncated files, and
+    /// corrupted files; on rejection the state is unchanged.
+    fn restore(&mut self, snapshot: &str) -> Result<(), CollectorError>;
+
+    /// Folds a parallel collector's snapshot into this session
+    /// (multi-shard merge). Same rejection rules as [`CollectorSession::restore`].
+    fn merge_snapshot(&mut self, snapshot: &str) -> Result<(), CollectorError>;
+
+    /// Finalizes the estimate over everything absorbed and renders it as
+    /// text (one value per line; see `docs/OPERATIONS.md` for the layout
+    /// per mechanism family). Does not consume the window.
+    fn finalize_text(&self) -> Result<String, CollectorError>;
+
+    /// Simulates `n` clients with a deterministic synthetic population
+    /// (uniform values in `[0, 1)` on a seed-derived stream) and returns
+    /// their wire-report lines — the client side of the zero-to-estimate
+    /// walkthrough in `docs/OPERATIONS.md` and of the test harness.
+    fn gen_reports(&self, n: u64, seed: u64) -> Result<String, CollectorError>;
+}
+
+/// The input adapter a registry entry supplies: how a synthetic client
+/// value in `[0, 1)` maps into the mechanism's input domain (identity,
+/// bucketization, or the signed transform).
+pub type InputAdapter<I> = Box<dyn Fn(f64) -> I + Send + Sync>;
+
+/// The output renderer a registry entry supplies: how a finalized
+/// estimate prints (one value per line; see `docs/OPERATIONS.md`).
+pub type OutputRenderer<O> = Box<dyn Fn(&O) -> Result<String, CollectorError> + Send + Sync>;
+
+/// The one generic [`CollectorSession`] implementation.
+pub struct Session<M: Mechanism> {
+    mechanism: M,
+    state: M::State,
+    count: u64,
+    id: String,
+    to_input: InputAdapter<M::Input>,
+    render: OutputRenderer<M::Output>,
+}
+
+impl<M> Session<M>
+where
+    M: Mechanism + Send + Sync,
+    M::Input: Sized,
+    M::Report: WireReport + Send,
+    M::State: SnapshotState + Clone + Send + Sync,
+{
+    /// A fresh session for `mechanism` under the canonical id `id`.
+    pub fn new(
+        mechanism: M,
+        id: String,
+        to_input: InputAdapter<M::Input>,
+        render: OutputRenderer<M::Output>,
+    ) -> Self {
+        let state = mechanism.empty_state();
+        Session {
+            mechanism,
+            state,
+            count: 0,
+            id,
+            to_input,
+            render,
+        }
+    }
+
+    /// Decodes a block of lines into reports (no state change).
+    fn decode_block(&self, lines: &[&str]) -> Result<Vec<M::Report>, CollectorError> {
+        let mut reports = Vec::with_capacity(lines.len());
+        for line in lines {
+            reports.push(M::Report::decode(line)?);
+        }
+        Ok(reports)
+    }
+
+    /// Decode + absorb a block into a fresh state (the per-shard job).
+    fn absorb_block(&self, lines: &[&str]) -> Result<(M::State, u64), CollectorError> {
+        let reports = self.decode_block(lines)?;
+        let mut state = self.mechanism.empty_state();
+        self.mechanism.absorb_slice(&mut state, &reports)?;
+        Ok((state, reports.len() as u64))
+    }
+}
+
+impl<M> CollectorSession for Session<M>
+where
+    M: Mechanism + Send + Sync,
+    M::Input: Sized,
+    M::Report: WireReport + Send,
+    M::State: SnapshotState + Clone + Send + Sync,
+{
+    fn mechanism_id(&self) -> &str {
+        &self.id
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.mechanism.fingerprint()
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn ingest_line(&mut self, line: &str) -> Result<(), CollectorError> {
+        let report = M::Report::decode(line.trim())?;
+        self.mechanism.absorb(&mut self.state, &report)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn ingest_text(&mut self, text: &str) -> Result<u64, CollectorError> {
+        let lines: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        if lines.is_empty() {
+            return Ok(0);
+        }
+        let threads = ldp_pool::configured_threads();
+        let shards = threads.min(lines.len() / (SHARD_MIN_LINES / 2)).max(1);
+        if shards <= 1 {
+            // Sequential path with an explicit checkpoint for the
+            // all-or-nothing contract (state is O(d̃), cheap to clone).
+            let (shard_state, absorbed) = self.absorb_block(&lines)?;
+            self.mechanism.merge_state(&mut self.state, &shard_state)?;
+            self.count += absorbed;
+            return Ok(absorbed);
+        }
+        // Sharded path: each pool job decodes and absorbs its chunk into
+        // a private state; shard states merge in index order, so the
+        // result is identical to sequential ingestion by the
+        // merge-equals-concatenation contract.
+        let chunk = lines.len().div_ceil(shards);
+        let chunks: Vec<&[&str]> = lines.chunks(chunk).collect();
+        let results = ldp_pool::global()
+            .run(chunks.len(), |i| self.absorb_block(chunks[i]))
+            .map_err(|e| CollectorError::Io(format!("worker pool failure: {e}")))?;
+        let mut absorbed = 0;
+        let mut shard_states = Vec::with_capacity(results.len());
+        for r in results {
+            let (state, n) = r?;
+            absorbed += n;
+            shard_states.push(state);
+        }
+        for shard in &shard_states {
+            self.mechanism.merge_state(&mut self.state, shard)?;
+        }
+        self.count += absorbed;
+        Ok(absorbed)
+    }
+
+    fn snapshot_text(&self) -> String {
+        encode_snapshot(&self.mechanism, &self.id, &self.state, self.count)
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Result<(), CollectorError> {
+        let (state, count) = decode_snapshot(&self.mechanism, &self.id, snapshot)?;
+        self.state = state;
+        self.count = count;
+        Ok(())
+    }
+
+    fn merge_snapshot(&mut self, snapshot: &str) -> Result<(), CollectorError> {
+        let (state, count) = decode_snapshot(&self.mechanism, &self.id, snapshot)?;
+        self.mechanism.merge_state(&mut self.state, &state)?;
+        self.count += count;
+        Ok(())
+    }
+
+    fn finalize_text(&self) -> Result<String, CollectorError> {
+        let output = self.mechanism.finalize(&self.state)?;
+        (self.render)(&output)
+    }
+
+    fn gen_reports(&self, n: u64, seed: u64) -> Result<String, CollectorError> {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = String::new();
+        for _ in 0..n {
+            let value: f64 = rng.gen_range(0.0..1.0);
+            let input = (self.to_input)(value);
+            let report = self.mechanism.randomize(&input, &mut rng)?;
+            report.encode(&mut out);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+/// Streams a replay log into the session in bounded blocks — the one
+/// implementation of the resume invariant, shared by the `ingest`
+/// subcommand and [`ingest_resuming`].
+///
+/// Skips the first `skip` non-blank lines (the reports a restored
+/// snapshot already accounts for), absorbs at most `max_reports` more,
+/// and calls `on_block` after every absorbed block with the session and
+/// the count *before* the block — the snapshot-cadence hook. Peak memory
+/// is O(`block`), never O(log). Returns the newly absorbed count.
+///
+/// Refuses a log holding fewer than `skip` reports (unless the
+/// `max_reports` ceiling stopped ingestion first): a shorter log means
+/// the snapshot and the stream have diverged, and resuming would
+/// silently drop the difference.
+pub fn ingest_lines<S, E>(
+    session: &mut dyn CollectorSession,
+    lines: impl Iterator<Item = Result<S, E>>,
+    skip: u64,
+    max_reports: u64,
+    block: u64,
+    mut on_block: impl FnMut(&mut dyn CollectorSession, u64) -> Result<(), CollectorError>,
+) -> Result<u64, CollectorError>
+where
+    S: AsRef<str>,
+    E: std::fmt::Display,
+{
+    let start = session.count();
+    let ceiling = start.saturating_add(max_reports);
+    let block = block.max(1) as usize;
+    let mut pending: Vec<S> = Vec::with_capacity(block.min(8_192));
+    let mut skipped = 0u64;
+    let mut stopped_early = false;
+    fn flush<S: AsRef<str>>(
+        session: &mut dyn CollectorSession,
+        pending: &mut Vec<S>,
+        on_block: &mut impl FnMut(&mut dyn CollectorSession, u64) -> Result<(), CollectorError>,
+    ) -> Result<(), CollectorError> {
+        let before = session.count();
+        let joined = pending
+            .iter()
+            .map(AsRef::as_ref)
+            .collect::<Vec<_>>()
+            .join("\n");
+        session.ingest_text(&joined)?;
+        pending.clear();
+        on_block(session, before)
+    }
+    for line in lines {
+        let line = line.map_err(|e| CollectorError::Io(format!("reading input: {e}")))?;
+        if line.as_ref().trim().is_empty() {
+            continue;
+        }
+        if skipped < skip {
+            skipped += 1;
+            continue;
+        }
+        if session.count() + pending.len() as u64 >= ceiling {
+            stopped_early = true;
+            break;
+        }
+        pending.push(line);
+        if pending.len() >= block {
+            flush(session, &mut pending, &mut on_block)?;
+        }
+    }
+    if !stopped_early && skipped < skip {
+        return Err(CollectorError::Resume(format!(
+            "snapshot has absorbed {skip} reports but the input stream holds only {skipped} \
+             — resuming would silently drop the difference"
+        )));
+    }
+    if !pending.is_empty() {
+        flush(session, &mut pending, &mut on_block)?;
+    }
+    Ok(session.count() - start)
+}
+
+/// Resumes a replay log after a crash: skips the `session.count()`
+/// non-blank lines the restored snapshot already accounts for, then
+/// ingests the remainder (via [`ingest_lines`]). Returns the number of
+/// newly absorbed reports.
+///
+/// This is the exactly-once recovery path for ordered, append-only replay
+/// logs (the duplicate-free case); socket ingestion without a replay log
+/// is at-least-once — see `docs/OPERATIONS.md`.
+pub fn ingest_resuming(
+    session: &mut dyn CollectorSession,
+    text: &str,
+) -> Result<u64, CollectorError> {
+    let skip = session.count();
+    ingest_lines(
+        session,
+        text.lines().map(Ok::<_, std::convert::Infallible>),
+        skip,
+        u64::MAX,
+        8_192,
+        |_, _| Ok(()),
+    )
+}

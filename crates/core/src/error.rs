@@ -23,6 +23,8 @@ pub enum CoreError {
     Aggregation(String),
     /// A wire-format line failed to decode.
     Wire(String),
+    /// A snapshot file was malformed, truncated, or corrupted.
+    Snapshot(String),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::ShardMismatch(msg) => write!(f, "shard mismatch: {msg}"),
             CoreError::Aggregation(msg) => write!(f, "aggregation failed: {msg}"),
             CoreError::Wire(msg) => write!(f, "wire decode failed: {msg}"),
+            CoreError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
         }
     }
 }

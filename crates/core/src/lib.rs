@@ -17,7 +17,12 @@
 //! - [`wire`] — a line-oriented, exact-round-trip text encoding for report
 //!   types ([`WireReport`]), so reports can cross process boundaries and be
 //!   replayed byte-identically. Report structs additionally carry `serde`
-//!   derives for integration with the ecosystem formats.
+//!   derives for integration with the ecosystem formats;
+//! - [`snapshot`] — durable aggregator state: the [`SnapshotState`]
+//!   persistence contract every mechanism state implements, plus the
+//!   versioned, fingerprint-checked snapshot container that collection
+//!   services write for crash recovery and multi-shard merge (see the
+//!   `ldp-collector` crate and `docs/OPERATIONS.md`).
 //!
 //! # Contract
 //!
@@ -100,9 +105,11 @@
 pub mod error;
 pub mod mechanism;
 pub mod params;
+pub mod snapshot;
 pub mod wire;
 
 pub use error::CoreError;
 pub use mechanism::{Aggregator, Client, Mechanism};
 pub use params::{Domain, Epsilon};
+pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotHeader, SnapshotState};
 pub use wire::{decode_lines, encode_lines, WireReport};

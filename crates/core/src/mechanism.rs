@@ -143,6 +143,49 @@ impl<M: Mechanism + ?Sized> Mechanism for &M {
 /// The client side of a deployment: borrows a mechanism configuration and
 /// perturbs private inputs on the user's device. Only the reports it
 /// returns ever leave the device.
+///
+/// # Examples
+///
+/// ```
+/// # use ldp_core::{Client, CoreError, Epsilon, Mechanism};
+/// # use ldp_numeric::SplitMix64;
+/// # #[derive(Clone)]
+/// # struct Coin;
+/// # impl Mechanism for Coin {
+/// #     type Input = bool;
+/// #     type Report = bool;
+/// #     type State = [u64; 2];
+/// #     type Output = f64;
+/// #     fn epsilon(&self) -> Epsilon { Epsilon::new(1.0).unwrap() }
+/// #     fn fingerprint(&self) -> u64 { 0xC0 }
+/// #     fn randomize<R: rand::Rng + ?Sized>(&self, b: &bool, rng: &mut R)
+/// #         -> Result<bool, CoreError> {
+/// #         Ok(if rng.gen::<bool>() { *b } else { rng.gen() })
+/// #     }
+/// #     fn empty_state(&self) -> [u64; 2] { [0, 0] }
+/// #     fn absorb(&self, s: &mut [u64; 2], r: &bool) -> Result<(), CoreError> {
+/// #         s[usize::from(*r)] += 1;
+/// #         Ok(())
+/// #     }
+/// #     fn merge_state(&self, s: &mut [u64; 2], o: &[u64; 2]) -> Result<(), CoreError> {
+/// #         s[0] += o[0]; s[1] += o[1];
+/// #         Ok(())
+/// #     }
+/// #     fn finalize(&self, s: &[u64; 2]) -> Result<f64, CoreError> {
+/// #         Ok(s[1] as f64 / (s[0] + s[1]).max(1) as f64)
+/// #     }
+/// # }
+/// let mechanism = Coin; // any Mechanism impl
+/// let client = Client::new(&mechanism);
+/// let mut rng = SplitMix64::new(7);
+///
+/// // One value in, one wire report out — deterministic given the RNG
+/// // stream, and the only thing that ever leaves the device.
+/// let report = client.randomize(&true, &mut rng).unwrap();
+/// let batch = client.randomize_batch(&[true, false, true], &mut rng).unwrap();
+/// assert_eq!(batch.len(), 3);
+/// # let _ = report;
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Client<'a, M: Mechanism> {
     mechanism: &'a M,
@@ -194,6 +237,63 @@ impl<'a, M: Mechanism> Client<'a, M> {
 /// reports as they arrive, periodically [`Aggregator::merge`] shard
 /// aggregators (e.g. one per `ldp-pool` worker), and
 /// [`Aggregator::finalize`] once at the end of the collection window.
+///
+/// # Examples
+///
+/// Streaming ingestion on two shards, merged, equals one pass:
+///
+/// ```
+/// # use ldp_core::{Aggregator, Client, CoreError, Epsilon, Mechanism};
+/// # use ldp_numeric::SplitMix64;
+/// # #[derive(Clone)]
+/// # struct Coin;
+/// # impl Mechanism for Coin {
+/// #     type Input = bool;
+/// #     type Report = bool;
+/// #     type State = [u64; 2];
+/// #     type Output = f64;
+/// #     fn epsilon(&self) -> Epsilon { Epsilon::new(1.0).unwrap() }
+/// #     fn fingerprint(&self) -> u64 { 0xC0 }
+/// #     fn randomize<R: rand::Rng + ?Sized>(&self, b: &bool, rng: &mut R)
+/// #         -> Result<bool, CoreError> {
+/// #         Ok(if rng.gen::<bool>() { *b } else { rng.gen() })
+/// #     }
+/// #     fn empty_state(&self) -> [u64; 2] { [0, 0] }
+/// #     fn absorb(&self, s: &mut [u64; 2], r: &bool) -> Result<(), CoreError> {
+/// #         s[usize::from(*r)] += 1;
+/// #         Ok(())
+/// #     }
+/// #     fn merge_state(&self, s: &mut [u64; 2], o: &[u64; 2]) -> Result<(), CoreError> {
+/// #         s[0] += o[0]; s[1] += o[1];
+/// #         Ok(())
+/// #     }
+/// #     fn finalize(&self, s: &[u64; 2]) -> Result<f64, CoreError> {
+/// #         Ok(s[1] as f64 / (s[0] + s[1]).max(1) as f64)
+/// #     }
+/// # }
+/// let mechanism = Coin; // any Mechanism impl
+/// let client = Client::new(&mechanism);
+/// let mut rng = SplitMix64::new(7);
+/// let reports = client
+///     .randomize_batch(&[true, false, true, true], &mut rng)
+///     .unwrap();
+///
+/// // Two collectors each hold O(state), not O(reports)…
+/// let mut shard_a = Aggregator::new(&mechanism);
+/// let mut shard_b = Aggregator::new(&mechanism);
+/// shard_a.push_slice(&reports[..2]).unwrap();
+/// shard_b.push_slice(&reports[2..]).unwrap();
+///
+/// // …and merge exactly: same estimate as one aggregator over all four.
+/// shard_a.merge(&shard_b).unwrap();
+/// assert_eq!(shard_a.count(), 4);
+/// let mut single = Aggregator::new(&mechanism);
+/// single.push_slice(&reports).unwrap();
+/// assert_eq!(
+///     shard_a.finalize().unwrap().to_bits(),
+///     single.finalize().unwrap().to_bits(),
+/// );
+/// ```
 #[derive(Debug, Clone)]
 pub struct Aggregator<M: Mechanism> {
     mechanism: M,

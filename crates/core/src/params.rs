@@ -12,6 +12,19 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated privacy budget: positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::Epsilon;
+///
+/// let eps = Epsilon::new(1.0).unwrap();
+/// assert_eq!(eps.get(), 1.0);
+/// assert!((eps.exp() - 1f64.exp()).abs() < 1e-15);
+/// // Non-positive, infinite, and NaN budgets never construct.
+/// assert!(Epsilon::new(0.0).is_err());
+/// assert!(Epsilon::new(f64::NAN).is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
 pub struct Epsilon(f64);
 
@@ -58,6 +71,18 @@ impl fmt::Display for Epsilon {
 }
 
 /// A validated categorical/bucketized domain size: at least two values.
+///
+/// # Examples
+///
+/// ```
+/// use ldp_core::Domain;
+///
+/// let d = Domain::new(64).unwrap();
+/// assert_eq!(d.get(), 64);
+/// assert!(d.contains(63));
+/// assert!(d.check(64).is_err()); // out of range
+/// assert!(Domain::new(1).is_err()); // a 1-value domain carries no signal
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Domain(usize);
 

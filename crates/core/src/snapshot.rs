@@ -1,0 +1,594 @@
+//! Durable aggregator state: the [`SnapshotState`] persistence contract
+//! and the versioned snapshot container format.
+//!
+//! A collection window in a real deployment runs for hours or days; the
+//! collector must be able to crash at any point and resume without losing
+//! the window or changing the final estimate. This module provides the two
+//! halves of that guarantee:
+//!
+//! - [`SnapshotState`] — a text encoding for [`Mechanism::State`] types,
+//!   in the same exact-round-trip spirit as [`crate::wire::WireReport`]:
+//!   decoding an encoded state reproduces the accumulator such that every
+//!   later `absorb`/`merge_state`/`finalize` yields bit-identical results;
+//! - the **snapshot container** ([`encode_snapshot`]/[`decode_snapshot`])
+//!   — a self-describing file format with a version line, the mechanism's
+//!   configuration identity (a human-readable id plus the 64-bit
+//!   [`Mechanism::fingerprint`]), the absorbed-report count, a body-line
+//!   count, and a trailing checksum line, so that truncated, corrupted,
+//!   and cross-configuration snapshot files are *rejected* instead of
+//!   silently skewing a window.
+//!
+//! The normative container specification lives in `docs/WIRE_FORMAT.md`;
+//! the operator's guide for snapshot cadence and recovery lives in
+//! `docs/OPERATIONS.md`.
+//!
+//! # Examples
+//!
+//! Round-trip an aggregator state through the container format (using the
+//! `Vec<u64>` state impl that backs count-style accumulators):
+//!
+//! ```
+//! use ldp_core::snapshot::{encode_snapshot, decode_snapshot};
+//! use ldp_core::{Epsilon, Mechanism};
+//!
+//! #[derive(Clone)]
+//! struct Tally;
+//! impl Mechanism for Tally {
+//!     type Input = usize;
+//!     type Report = usize;
+//!     type State = Vec<u64>;
+//!     type Output = Vec<u64>;
+//!     fn epsilon(&self) -> Epsilon { Epsilon::new(1.0).unwrap() }
+//!     fn fingerprint(&self) -> u64 { 0xfeed }
+//!     fn randomize<R: rand::Rng + ?Sized>(&self, v: &usize, _: &mut R)
+//!         -> Result<usize, ldp_core::CoreError> { Ok(*v) }
+//!     fn empty_state(&self) -> Vec<u64> { vec![0; 4] }
+//!     fn absorb(&self, s: &mut Vec<u64>, r: &usize) -> Result<(), ldp_core::CoreError> {
+//!         s[*r % 4] += 1;
+//!         Ok(())
+//!     }
+//!     fn merge_state(&self, s: &mut Vec<u64>, o: &Vec<u64>) -> Result<(), ldp_core::CoreError> {
+//!         for (a, b) in s.iter_mut().zip(o) { *a += b; }
+//!         Ok(())
+//!     }
+//!     fn finalize(&self, s: &Vec<u64>) -> Result<Vec<u64>, ldp_core::CoreError> {
+//!         Ok(s.clone())
+//!     }
+//! }
+//!
+//! let mech = Tally;
+//! let state = vec![3, 1, 4, 1];
+//! let text = encode_snapshot(&mech, "tally:d=4", &state, 9);
+//! let (restored, count) = decode_snapshot(&mech, "tally:d=4", &text).unwrap();
+//! assert_eq!(restored, state);
+//! assert_eq!(count, 9);
+//! // A flipped byte is rejected, never silently absorbed.
+//! assert!(decode_snapshot(&mech, "tally:d=4", &text.replace("3 1 4 1", "3 1 5 1")).is_err());
+//! ```
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use std::fmt::Write;
+
+/// The container format version this build writes and the only version it
+/// reads. Bump on any incompatible change to the header or body layout.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic first token of every snapshot file.
+const MAGIC: &str = "ldp-snapshot";
+
+/// A mechanism state with an exact text encoding for persistence.
+///
+/// The contract mirrors [`crate::wire::WireReport`], lifted from single
+/// reports to whole accumulators:
+///
+/// - [`SnapshotState::encode_state`] appends zero or more complete
+///   newline-terminated lines to `out`;
+/// - [`SnapshotState::decode_state`] consumes exactly the lines its
+///   encoder wrote from the iterator and reconstructs the state;
+/// - the reconstructed state is *operationally identical*: finalizing it,
+///   absorbing further reports into it, or merging it produces results
+///   bit-identical to the original accumulator.
+///
+/// Implementations must validate structurally (counts, tags, field
+/// arity) and reject anything their encoder could not have produced;
+/// configuration-level validation (does this state belong to *this*
+/// mechanism?) is the container's job via the fingerprint line.
+pub trait SnapshotState: Sized {
+    /// Appends the encoded state as complete `\n`-terminated lines.
+    fn encode_state(&self, out: &mut String);
+
+    /// Decodes the lines produced by [`SnapshotState::encode_state`],
+    /// consuming exactly as many items from `lines` as the encoder wrote.
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError>;
+}
+
+/// `Vec<u64>` is the simplest useful accumulator (per-bucket counts); its
+/// encoding doubles as the reference single-line layout: a length prefix
+/// followed by that many fields.
+impl SnapshotState for Vec<u64> {
+    fn encode_state(&self, out: &mut String) {
+        let _ = write!(out, "u64 {}", self.len());
+        for v in self {
+            let _ = write!(out, " {v}");
+        }
+        out.push('\n');
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "u64 state")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "u64")?;
+        let len: usize = parse_snapshot_field(it.next(), "u64 state length")?;
+        let vals: Vec<u64> = parse_fields(it, len, "u64 state entry")?;
+        Ok(vals)
+    }
+}
+
+/// Pulls the next line or reports what was missing — the uniform
+/// truncation error every decoder uses.
+pub fn next_line<'a>(
+    lines: &mut dyn Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<&'a str, CoreError> {
+    lines.next().ok_or_else(|| {
+        CoreError::Snapshot(format!("unexpected end of snapshot body: missing {what}"))
+    })
+}
+
+/// Checks a state line's leading tag.
+pub fn expect_tag(field: Option<&str>, tag: &str) -> Result<(), CoreError> {
+    match field {
+        Some(f) if f == tag => Ok(()),
+        other => Err(CoreError::Snapshot(format!(
+            "expected state tag {tag:?}, found {other:?}"
+        ))),
+    }
+}
+
+/// Parses one mandatory whitespace-separated field.
+pub fn parse_snapshot_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+) -> Result<T, CoreError> {
+    let field = field.ok_or_else(|| CoreError::Snapshot(format!("missing field: {what}")))?;
+    field
+        .parse()
+        .map_err(|_| CoreError::Snapshot(format!("cannot parse {what} from {field:?}")))
+}
+
+/// Parses exactly `len` fields from `it` and rejects both shortfall and
+/// trailing surplus — a tampered length prefix must fail, not misparse.
+pub fn parse_fields<'a, T: std::str::FromStr>(
+    mut it: impl Iterator<Item = &'a str>,
+    len: usize,
+    what: &str,
+) -> Result<Vec<T>, CoreError> {
+    let mut out = Vec::new();
+    for i in 0..len {
+        let field = it.next().ok_or_else(|| {
+            CoreError::Snapshot(format!("expected {len} x {what}, found only {i}"))
+        })?;
+        out.push(
+            field
+                .parse()
+                .map_err(|_| CoreError::Snapshot(format!("cannot parse {what} from {field:?}")))?,
+        );
+    }
+    if let Some(extra) = it.next() {
+        return Err(CoreError::Snapshot(format!(
+            "trailing field {extra:?} after {len} x {what}"
+        )));
+    }
+    Ok(out)
+}
+
+/// The parsed header of a snapshot file — everything a tool can know
+/// without the mechanism in hand (see the `inspect` collector subcommand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Container format version.
+    pub version: u32,
+    /// Human-readable mechanism configuration id (the collector's
+    /// canonical spec string).
+    pub mechanism: String,
+    /// The mechanism's 64-bit configuration fingerprint.
+    pub fingerprint: u64,
+    /// Reports absorbed into the snapshotted state.
+    pub count: u64,
+    /// Number of state body lines that follow the header.
+    pub body_lines: u64,
+}
+
+/// FNV-1a 64-bit over the header-and-body text: cheap, dependency-free,
+/// and plenty to catch torn writes and bit rot (snapshots are not an
+/// integrity boundary against adversaries — see `docs/OPERATIONS.md`).
+#[must_use]
+pub fn snapshot_checksum(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a complete snapshot file for `state` as collected by `mech`
+/// under the configuration id `mechanism_id`.
+///
+/// Layout (one header field per line, then the body, then the checksum —
+/// normative spec in `docs/WIRE_FORMAT.md`):
+///
+/// ```text
+/// ldp-snapshot v1
+/// mechanism <id>
+/// fingerprint <16 hex digits>
+/// count <u64>
+/// body-lines <u64>
+/// <body ...>
+/// checksum <16 hex digits>
+/// ```
+#[must_use]
+pub fn encode_snapshot<M>(mech: &M, mechanism_id: &str, state: &M::State, count: u64) -> String
+where
+    M: Mechanism,
+    M::State: SnapshotState,
+{
+    debug_assert!(
+        !mechanism_id.contains('\n'),
+        "mechanism ids are single-line"
+    );
+    let mut body = String::new();
+    state.encode_state(&mut body);
+    let body_lines = body.lines().count() as u64;
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC} v{SNAPSHOT_VERSION}");
+    let _ = writeln!(out, "mechanism {mechanism_id}");
+    let _ = writeln!(out, "fingerprint {:016x}", mech.fingerprint());
+    let _ = writeln!(out, "count {count}");
+    let _ = writeln!(out, "body-lines {body_lines}");
+    out.push_str(&body);
+    let _ = writeln!(out, "checksum {:016x}", snapshot_checksum(&out));
+    out
+}
+
+/// Parses and validates the header and checksum of a snapshot file
+/// without needing the mechanism. Returns the header and the body lines.
+///
+/// Rejects: a missing/foreign magic line, an unsupported version, a
+/// malformed header field, a body shorter than `body-lines` claims
+/// (truncated mid-write), a missing or mismatched checksum line, and
+/// trailing content after the checksum.
+pub fn parse_snapshot(text: &str) -> Result<(SnapshotHeader, Vec<&str>), CoreError> {
+    let mut lines = text.lines();
+    let magic = lines
+        .next()
+        .ok_or_else(|| CoreError::Snapshot("empty snapshot file".into()))?;
+    let version = match magic.strip_prefix(MAGIC) {
+        Some(rest) => {
+            let rest = rest.trim();
+            let v = rest
+                .strip_prefix('v')
+                .ok_or_else(|| CoreError::Snapshot(format!("malformed version token {rest:?}")))?;
+            v.parse::<u32>()
+                .map_err(|_| CoreError::Snapshot(format!("malformed version token {rest:?}")))?
+        }
+        None => {
+            return Err(CoreError::Snapshot(format!(
+                "not a snapshot file (first line {magic:?})"
+            )))
+        }
+    };
+    if version != SNAPSHOT_VERSION {
+        return Err(CoreError::Snapshot(format!(
+            "unsupported snapshot version {version} (this build reads v{SNAPSHOT_VERSION})"
+        )));
+    }
+    let header_field = |lines: &mut std::str::Lines<'_>, key: &str| -> Result<String, CoreError> {
+        let line = lines.next().ok_or_else(|| {
+            CoreError::Snapshot(format!("truncated snapshot: missing {key} header line"))
+        })?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                CoreError::Snapshot(format!("expected {key:?} header line, found {line:?}"))
+            })
+    };
+    let mechanism = header_field(&mut lines, "mechanism")?;
+    let fingerprint = u64::from_str_radix(&header_field(&mut lines, "fingerprint")?, 16)
+        .map_err(|_| CoreError::Snapshot("malformed fingerprint header".into()))?;
+    let count: u64 = header_field(&mut lines, "count")?
+        .parse()
+        .map_err(|_| CoreError::Snapshot("malformed count header".into()))?;
+    let body_lines: u64 = header_field(&mut lines, "body-lines")?
+        .parse()
+        .map_err(|_| CoreError::Snapshot("malformed body-lines header".into()))?;
+    // The header is untrusted until the checksum verifies: never size an
+    // allocation from it (a hostile `body-lines` must produce a clean
+    // truncation error, not a capacity-overflow panic). The vector grows
+    // as real lines are actually read.
+    let mut body = Vec::with_capacity((body_lines as usize).min(1024));
+    for i in 0..body_lines {
+        body.push(lines.next().ok_or_else(|| {
+            CoreError::Snapshot(format!(
+                "truncated snapshot: {i} of {body_lines} body lines present"
+            ))
+        })?);
+    }
+    let checksum_line = lines
+        .next()
+        .ok_or_else(|| CoreError::Snapshot("truncated snapshot: missing checksum line".into()))?;
+    let recorded = checksum_line
+        .strip_prefix("checksum ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| CoreError::Snapshot(format!("malformed checksum line {checksum_line:?}")))?;
+    if lines.next().is_some() {
+        return Err(CoreError::Snapshot(
+            "trailing content after the checksum line".into(),
+        ));
+    }
+    // The checksum covers everything up to and including the last body
+    // line. The checksum line is the final line (verified above), so
+    // strip it — plus its trailing newline if present — positionally
+    // rather than by substring search, which a body line could spoof.
+    let tail = if text.ends_with('\n') {
+        checksum_line.len() + 1
+    } else {
+        checksum_line.len()
+    };
+    let covered = &text[..text.len() - tail];
+    let actual = snapshot_checksum(covered);
+    if actual != recorded {
+        return Err(CoreError::Snapshot(format!(
+            "checksum mismatch: recorded {recorded:016x}, computed {actual:016x} (corrupted snapshot)"
+        )));
+    }
+    Ok((
+        SnapshotHeader {
+            version,
+            mechanism,
+            fingerprint,
+            count,
+            body_lines,
+        },
+        body,
+    ))
+}
+
+/// Decodes a snapshot produced by [`encode_snapshot`], validating it
+/// against the receiving mechanism. Returns the restored state and the
+/// absorbed-report count.
+///
+/// On top of [`parse_snapshot`]'s structural checks this rejects snapshots
+/// whose mechanism id or configuration fingerprint differ from the
+/// receiver's — a snapshot from a different ε, domain, or protocol must
+/// never merge into this window. The decoded state is additionally folded
+/// through [`Mechanism::merge_state`] into a fresh empty state, so the
+/// mechanism's own dimension checks run before anything is trusted.
+pub fn decode_snapshot<M>(
+    mech: &M,
+    mechanism_id: &str,
+    text: &str,
+) -> Result<(M::State, u64), CoreError>
+where
+    M: Mechanism,
+    M::State: SnapshotState,
+{
+    let (header, body) = parse_snapshot(text)?;
+    if header.mechanism != mechanism_id {
+        return Err(CoreError::ShardMismatch(format!(
+            "snapshot was collected for mechanism {:?}, this collector runs {mechanism_id:?}",
+            header.mechanism
+        )));
+    }
+    let expected = mech.fingerprint();
+    if header.fingerprint != expected {
+        return Err(CoreError::ShardMismatch(format!(
+            "snapshot fingerprint {:016x} does not match this configuration ({expected:016x})",
+            header.fingerprint
+        )));
+    }
+    let mut lines = body.into_iter();
+    let decoded = M::State::decode_state(&mut lines)?;
+    if let Some(extra) = lines.next() {
+        return Err(CoreError::Snapshot(format!(
+            "trailing body line {extra:?} after the state"
+        )));
+    }
+    // Fold through merge_state so the mechanism's structural validation
+    // (bucket counts, level counts, …) runs on the decoded state.
+    let mut state = mech.empty_state();
+    mech.merge_state(&mut state, &decoded)?;
+    Ok((state, header.count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Epsilon;
+
+    #[derive(Clone)]
+    struct Tally {
+        buckets: usize,
+    }
+
+    impl Mechanism for Tally {
+        type Input = usize;
+        type Report = usize;
+        type State = Vec<u64>;
+        type Output = Vec<u64>;
+
+        fn epsilon(&self) -> Epsilon {
+            Epsilon::new(1.0).unwrap()
+        }
+
+        fn fingerprint(&self) -> u64 {
+            0xbeef ^ self.buckets as u64
+        }
+
+        fn randomize<R: rand::Rng + ?Sized>(
+            &self,
+            v: &usize,
+            _rng: &mut R,
+        ) -> Result<usize, CoreError> {
+            Ok(*v)
+        }
+
+        fn empty_state(&self) -> Vec<u64> {
+            vec![0; self.buckets]
+        }
+
+        fn absorb(&self, s: &mut Vec<u64>, r: &usize) -> Result<(), CoreError> {
+            s[*r] += 1;
+            Ok(())
+        }
+
+        fn merge_state(&self, s: &mut Vec<u64>, o: &Vec<u64>) -> Result<(), CoreError> {
+            if s.len() != o.len() {
+                return Err(CoreError::ShardMismatch("bucket counts differ".into()));
+            }
+            for (a, b) in s.iter_mut().zip(o) {
+                *a += b;
+            }
+            Ok(())
+        }
+
+        fn finalize(&self, s: &Vec<u64>) -> Result<Vec<u64>, CoreError> {
+            Ok(s.clone())
+        }
+    }
+
+    fn snapshot() -> (Tally, String) {
+        let mech = Tally { buckets: 4 };
+        let state = vec![5, 0, 2, 9];
+        (
+            mech.clone(),
+            encode_snapshot(&mech, "tally:d=4", &state, 16),
+        )
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let (mech, text) = snapshot();
+        let (state, count) = decode_snapshot(&mech, "tally:d=4", &text).unwrap();
+        assert_eq!(state, vec![5, 0, 2, 9]);
+        assert_eq!(count, 16);
+        let header = parse_snapshot(&text).unwrap().0;
+        assert_eq!(header.version, SNAPSHOT_VERSION);
+        assert_eq!(header.mechanism, "tally:d=4");
+        assert_eq!(header.count, 16);
+    }
+
+    #[test]
+    fn truncation_at_every_point_is_rejected() {
+        let (mech, text) = snapshot();
+        // Cut the file after every prefix length that ends at a line
+        // boundary (a torn write without the atomic rename discipline).
+        let mut offset = 0;
+        for line in text.lines() {
+            offset += line.len() + 1;
+            if offset >= text.len() {
+                break;
+            }
+            let truncated = &text[..offset];
+            assert!(
+                decode_snapshot(&mech, "tally:d=4", truncated).is_err(),
+                "prefix of {offset} bytes must be rejected"
+            );
+        }
+        // Mid-line truncation too.
+        assert!(decode_snapshot(&mech, "tally:d=4", &text[..text.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let (mech, text) = snapshot();
+        let corrupted = text.replace("5 0 2 9", "5 0 3 9");
+        assert!(matches!(
+            decode_snapshot(&mech, "tally:d=4", &corrupted),
+            Err(CoreError::Snapshot(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn cross_configuration_is_rejected() {
+        let (_, text) = snapshot();
+        let other = Tally { buckets: 8 };
+        // Same id, different fingerprint.
+        assert!(matches!(
+            decode_snapshot(&other, "tally:d=4", &text),
+            Err(CoreError::ShardMismatch(_))
+        ));
+        // Different id entirely.
+        let mech = Tally { buckets: 4 };
+        assert!(matches!(
+            decode_snapshot(&mech, "tally:d=8", &text),
+            Err(CoreError::ShardMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_rejected() {
+        let mech = Tally { buckets: 4 };
+        assert!(decode_snapshot(&mech, "x", "").is_err());
+        assert!(decode_snapshot(&mech, "x", "not a snapshot\n").is_err());
+        let (_, text) = snapshot();
+        let future = text.replacen("ldp-snapshot v1", "ldp-snapshot v2", 1);
+        assert!(matches!(
+            decode_snapshot(&mech, "tally:d=4", &future),
+            Err(CoreError::Snapshot(msg)) if msg.contains("version")
+        ));
+    }
+
+    #[test]
+    fn trailing_content_is_rejected() {
+        let (mech, text) = snapshot();
+        let padded = format!("{text}stray line\n");
+        assert!(decode_snapshot(&mech, "tally:d=4", &padded).is_err());
+    }
+
+    #[test]
+    fn tampered_length_prefix_is_rejected() {
+        let mut s = String::new();
+        vec![1u64, 2, 3].encode_state(&mut s);
+        // Claim more fields than present.
+        let long = s.replacen("u64 3", "u64 4", 1);
+        let mut it = long.lines();
+        assert!(Vec::<u64>::decode_state(&mut it).is_err());
+        // Claim fewer fields than present.
+        let short = s.replacen("u64 3", "u64 2", 1);
+        let mut it = short.lines();
+        assert!(Vec::<u64>::decode_state(&mut it).is_err());
+    }
+
+    #[test]
+    fn hostile_body_lines_header_errors_without_allocating() {
+        // A tampered body-lines count must produce a truncation error —
+        // never a capacity-overflow panic or a multi-GB allocation.
+        let (mech, text) = snapshot();
+        for huge in ["18446744073709551615", "9999999999"] {
+            let hostile = text.replacen("body-lines 1", &format!("body-lines {huge}"), 1);
+            match decode_snapshot(&mech, "tally:d=4", &hostile) {
+                Err(CoreError::Snapshot(msg)) => {
+                    assert!(msg.contains("truncated"), "{msg}")
+                }
+                other => panic!("expected truncation error, got {other:?}"),
+            }
+        }
+        assert!(decode_snapshot(
+            &mech,
+            "tally:d=4",
+            &text.replacen("body-lines 1", "body-lines -1", 1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let a = snapshot_checksum("hello snapshot");
+        assert_eq!(a, snapshot_checksum("hello snapshot"));
+        assert_ne!(a, snapshot_checksum("hello snapshos"));
+        assert_ne!(snapshot_checksum(""), snapshot_checksum("\n"));
+    }
+}

@@ -16,6 +16,23 @@ use crate::error::CoreError;
 use std::fmt::Write;
 
 /// A report type with an exact one-line text encoding.
+///
+/// # Examples
+///
+/// `f64` reports (SW, PM, SR) round-trip to the exact bit pattern:
+///
+/// ```
+/// use ldp_core::{decode_lines, encode_lines, WireReport};
+///
+/// let reports = vec![0.1 + 0.2, -0.75, 1.0 / 3.0];
+/// let text = encode_lines(&reports);
+/// let replayed: Vec<f64> = decode_lines(&text).unwrap();
+/// for (a, b) in reports.iter().zip(&replayed) {
+///     assert_eq!(a.to_bits(), b.to_bits());
+/// }
+/// // Malformed lines are rejected, never silently dropped.
+/// assert!(decode_lines::<f64>("0.5\noops\n").is_err());
+/// ```
 pub trait WireReport: Sized {
     /// Appends the encoded report (no trailing newline) to `out`.
     fn encode(&self, out: &mut String);

@@ -66,6 +66,31 @@ impl Method {
         }
     }
 
+    /// The inverse of [`Method::name`]: resolves a paper legend back to
+    /// the method, case-insensitively (`"SW-EMS"`, `"sw-ems"`,
+    /// `"CFO-binning-32"`, …). This is how external front ends — the
+    /// `ldp-collector` binary's `--mechanism` aliases in particular —
+    /// reuse the experiment registry's naming instead of growing a
+    /// second name table.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Method> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "sw-ems" => Some(Method::SwEms),
+            "sw-em" => Some(Method::SwEm),
+            "hh-admm" => Some(Method::HhAdmm),
+            "hh" => Some(Method::Hh),
+            "haarhrr" | "haar-hrr" => Some(Method::HaarHrr),
+            "sr" => Some(Method::Sr),
+            "pm" => Some(Method::Pm),
+            _ => lower
+                .strip_prefix("cfo-binning-")
+                .and_then(|b| b.parse().ok())
+                .filter(|&bins| bins > 0)
+                .map(|bins| Method::CfoBinning { bins }),
+        }
+    }
+
     /// The methods evaluated on full-distribution metrics
     /// (Figure 2, Figure 4 rows 1–3 minus SR/PM).
     #[must_use]
@@ -218,6 +243,28 @@ mod tests {
         assert!(Method::SwEms.yields_distribution());
         assert!(!Method::Hh.yields_distribution());
         assert_eq!(Method::CfoBinning { bins: 32 }.name(), "CFO-binning-32");
+    }
+
+    #[test]
+    fn from_name_inverts_name_for_every_method() {
+        for method in Method::moment_methods()
+            .into_iter()
+            .chain([Method::Hh, Method::HaarHrr])
+        {
+            assert_eq!(Method::from_name(&method.name()), Some(method));
+            assert_eq!(
+                Method::from_name(&method.name().to_lowercase()),
+                Some(method)
+            );
+        }
+        assert_eq!(Method::from_name("HH-ADMM"), Some(Method::HhAdmm));
+        assert_eq!(
+            Method::from_name("CFO-binning-32"),
+            Some(Method::CfoBinning { bins: 32 })
+        );
+        assert_eq!(Method::from_name("CFO-binning-0"), None);
+        assert_eq!(Method::from_name("CFO-binning-x"), None);
+        assert_eq!(Method::from_name("nope"), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use ldp_cfo::hadamard::HrrReport;
 use ldp_cfo::select::AdaptiveReport;
 use ldp_cfo::{AdaptiveState, FrequencyOracle, SpectrumState};
 use ldp_core::params::fingerprint_fields;
+use ldp_core::snapshot::{expect_tag, next_line, parse_snapshot_field, SnapshotState};
 use ldp_core::wire::parse_field;
 use ldp_core::{CoreError, Epsilon, Mechanism, WireReport};
 use rand::Rng;
@@ -40,7 +41,7 @@ pub struct HhReport {
 
 /// Streaming state of the Hierarchical Histogram: one adaptive-oracle
 /// state per tree level.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HhState {
     /// Index `level - 1` holds the state for tree level `level`.
     levels: Vec<AdaptiveState>,
@@ -184,7 +185,7 @@ pub struct HaarReport {
 
 /// Streaming state of HaarHRR: one HRR spectrum state per coefficient
 /// height.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HaarState {
     /// Index `m - 1` holds the state for coefficient height `m`.
     levels: Vec<SpectrumState>,
@@ -304,6 +305,65 @@ impl Mechanism for HaarHrr {
             details,
         })
         .map_err(|e| CoreError::Aggregation(e.to_string()))
+    }
+}
+
+/// A `hh-levels <k>` line followed by `k` per-level adaptive states (the
+/// composed-state layout: index `level - 1` holds tree level `level`).
+impl SnapshotState for HhState {
+    fn encode_state(&self, out: &mut String) {
+        let _ = writeln!(out, "hh-levels {}", self.levels.len());
+        for level in &self.levels {
+            level.encode_state(out);
+        }
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "HH state header")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "hh-levels")?;
+        let k: usize = parse_snapshot_field(it.next(), "HH level count")?;
+        if it.next().is_some() {
+            return Err(CoreError::Snapshot(format!(
+                "trailing fields on HH state header {line:?}"
+            )));
+        }
+        // k is untrusted snapshot input: bound the pre-allocation (a real
+        // tree has log-many levels); the vector grows as states decode.
+        let mut levels = Vec::with_capacity(k.min(64));
+        for _ in 0..k {
+            levels.push(AdaptiveState::decode_state(lines)?);
+        }
+        Ok(HhState { levels })
+    }
+}
+
+/// A `haar-levels <k>` line followed by `k` per-height spectrum states.
+impl SnapshotState for HaarState {
+    fn encode_state(&self, out: &mut String) {
+        let _ = writeln!(out, "haar-levels {}", self.levels.len());
+        for level in &self.levels {
+            level.encode_state(out);
+        }
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "HaarHRR state header")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "haar-levels")?;
+        let k: usize = parse_snapshot_field(it.next(), "HaarHRR height count")?;
+        if it.next().is_some() {
+            return Err(CoreError::Snapshot(format!(
+                "trailing fields on HaarHRR state header {line:?}"
+            )));
+        }
+        // k is untrusted snapshot input: bound the pre-allocation (a real
+        // tree has log-many levels); the vector grows as states decode.
+        let mut levels = Vec::with_capacity(k.min(64));
+        for _ in 0..k {
+            levels.push(SpectrumState::decode_state(lines)?);
+        }
+        Ok(HaarState { levels })
     }
 }
 
@@ -469,6 +529,54 @@ mod tests {
         }
         assert!(HhReport::decode("3").is_err());
         assert!(HaarReport::decode("x 1 1").is_err());
+    }
+
+    #[test]
+    fn snapshot_states_round_trip_bit_identically() {
+        let hh = HierarchicalHistogram::new(4, 64, 1.0).unwrap();
+        let client = Client::new(&hh);
+        let mut rng = SplitMix64::new(46);
+        let mut state = hh.empty_state();
+        for i in 0..3_000usize {
+            let r = client.randomize(&(i % 64), &mut rng).unwrap();
+            hh.absorb(&mut state, &r).unwrap();
+        }
+        let mut text = String::new();
+        state.encode_state(&mut text);
+        let mut lines = text.lines();
+        let restored = HhState::decode_state(&mut lines).unwrap();
+        assert!(lines.next().is_none(), "decoder must consume its lines");
+        assert_eq!(restored, state);
+        let a = hh.finalize(&state).unwrap();
+        let b = hh.finalize(&restored).unwrap();
+        for (x, y) in a.tree.flatten().iter().zip(b.tree.flatten().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let haar = HaarHrr::new(64, 1.0).unwrap();
+        let client = Client::new(&haar);
+        let mut state = haar.empty_state();
+        for i in 0..3_000usize {
+            let r = client.randomize(&(i % 64), &mut rng).unwrap();
+            haar.absorb(&mut state, &r).unwrap();
+        }
+        let mut text = String::new();
+        state.encode_state(&mut text);
+        let mut lines = text.lines();
+        let restored = HaarState::decode_state(&mut lines).unwrap();
+        assert!(lines.next().is_none());
+        assert_eq!(restored, state);
+        let a = haar.finalize(&state).unwrap();
+        let b = haar.finalize(&restored).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // A state with a missing level is rejected.
+        let mut it = "hh-levels 2\nadaptive g\ncounts 0 4 0 0 0 0".lines();
+        assert!(HhState::decode_state(&mut it).is_err());
+        let mut it = "haar-levels 1".lines();
+        assert!(HaarState::decode_state(&mut it).is_err());
     }
 
     #[test]

@@ -129,6 +129,31 @@ impl ExactSum {
     pub fn clear(&mut self) {
         self.parts.clear();
     }
+
+    /// The raw expansion components, ordered by increasing magnitude
+    /// (for persistence: see `ldp_core::snapshot`). Their mathematical
+    /// sum is the exact accumulated total.
+    #[must_use]
+    pub fn parts(&self) -> &[f64] {
+        &self.parts
+    }
+
+    /// Rebuilds an accumulator from previously exported
+    /// [`ExactSum::parts`] by re-adding each component exactly. The
+    /// result represents the identical real-number total, so every later
+    /// [`ExactSum::add`], [`ExactSum::merge`], and [`ExactSum::value`] is
+    /// bit-identical to the original accumulator's. Non-finite components
+    /// are rejected (an exported expansion never contains them).
+    pub fn from_parts(parts: &[f64]) -> Result<Self, &'static str> {
+        let mut sum = ExactSum::new();
+        for &p in parts {
+            if !p.is_finite() {
+                return Err("ExactSum components must be finite");
+            }
+            sum.add(p);
+        }
+        Ok(sum)
+    }
 }
 
 impl From<f64> for ExactSum {
@@ -224,6 +249,28 @@ mod tests {
                 "split at {split}"
             );
         }
+    }
+
+    #[test]
+    fn exported_parts_rebuild_an_equivalent_accumulator() {
+        let values = random_values(700, 21);
+        let mut original = ExactSum::new();
+        for &v in &values {
+            original.add(v);
+        }
+        let rebuilt = ExactSum::from_parts(original.parts()).unwrap();
+        assert_eq!(rebuilt.value().to_bits(), original.value().to_bits());
+        // Continued accumulation stays bit-identical.
+        let mut a = original.clone();
+        let mut b = rebuilt;
+        for &v in values.iter().rev().take(50) {
+            a.add(v * 0.5);
+            b.add(v * 0.5);
+        }
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+        assert!(ExactSum::from_parts(&[1.0, f64::NAN]).is_err());
+        assert!(ExactSum::from_parts(&[f64::INFINITY]).is_err());
+        assert_eq!(ExactSum::from_parts(&[]).unwrap().value(), 0.0);
     }
 
     #[test]

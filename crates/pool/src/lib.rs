@@ -44,6 +44,21 @@
 //! cancelled, and the submitting call returns [`PoolError::JobPanicked`].
 //! Workers and the pool survive — a panic never poisons the global pool
 //! for subsequent calls.
+//!
+//! # Reading the unsafe internals
+//!
+//! This crate is the workspace's only `unsafe` code (the scoped-lifetime
+//! erasure that lets borrowed closures cross worker threads, documented
+//! as a `SAFETY:` comment at the single `unsafe` block it lives in, in
+//! [`Scope::spawn`]). The supporting invariants are written on the
+//! *private* items that uphold them — `Batch` and the erased `Job` type —
+//! so they don't appear in the public docs. To audit them, build with
+//!
+//! ```sh
+//! cargo doc -p ldp-pool --document-private-items
+//! ```
+//!
+//! which renders the safety reasoning alongside the code it governs.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]

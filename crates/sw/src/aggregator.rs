@@ -10,9 +10,15 @@
 
 use crate::error::SwError;
 use crate::pipeline::SwPipeline;
+use ldp_core::snapshot::{
+    expect_tag, next_line, parse_fields, parse_snapshot_field, SnapshotState,
+};
+use ldp_core::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
 
 /// An incremental histogram of perturbed reports for one SW configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardAggregator {
     /// Output domain left edge (-b).
     lo: f64,
@@ -127,6 +133,42 @@ impl ShardAggregator {
     }
 }
 
+/// One line: `sw-shard <lo> <hi> <d̃> <count…>`. The output-domain edges
+/// are rendered with Rust's shortest-round-trip `f64` formatting, so the
+/// restored aggregator validates incoming reports against bit-identical
+/// bounds.
+impl SnapshotState for ShardAggregator {
+    fn encode_state(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "sw-shard {} {} {}",
+            self.lo,
+            self.hi,
+            self.counts.len()
+        );
+        for c in &self.counts {
+            let _ = write!(out, " {c}");
+        }
+        out.push('\n');
+    }
+
+    fn decode_state(lines: &mut dyn Iterator<Item = &str>) -> Result<Self, CoreError> {
+        let line = next_line(lines, "SW shard state")?;
+        let mut it = line.split_whitespace();
+        expect_tag(it.next(), "sw-shard")?;
+        let lo: f64 = parse_snapshot_field(it.next(), "SW output lo")?;
+        let hi: f64 = parse_snapshot_field(it.next(), "SW output hi")?;
+        if !lo.is_finite() || !hi.is_finite() || !(lo < hi) {
+            return Err(CoreError::Snapshot(format!(
+                "SW output domain [{lo}, {hi}] is not a finite interval"
+            )));
+        }
+        let buckets: usize = parse_snapshot_field(it.next(), "SW bucket count")?;
+        let counts: Vec<u64> = parse_fields(it, buckets, "SW bucket count entry")?;
+        Ok(ShardAggregator { lo, hi, counts })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +272,38 @@ mod tests {
         assert!(b.merge(&a).is_err());
         let mut c = ShardAggregator::for_pipeline(&SwPipeline::new(1.0, 128).unwrap());
         assert!(c.merge(&a).is_err());
+    }
+
+    #[test]
+    fn snapshot_state_round_trips_bit_identically() {
+        let p = pipeline();
+        let mut rng = SplitMix64::new(5005);
+        let mut agg = ShardAggregator::for_pipeline(&p);
+        for i in 0..2_000 {
+            agg.push(p.randomize((i % 83) as f64 / 83.0, &mut rng).unwrap())
+                .unwrap();
+        }
+        let mut text = String::new();
+        agg.encode_state(&mut text);
+        assert_eq!(text.lines().count(), 1);
+        let mut lines = text.lines();
+        let restored = ShardAggregator::decode_state(&mut lines).unwrap();
+        assert_eq!(restored, agg);
+        // Continued ingestion behaves identically (domain bounds intact).
+        let mut a = agg.clone();
+        let mut b = restored;
+        let r = p.randomize(0.5, &mut rng).unwrap();
+        a.push(r).unwrap();
+        b.push(r).unwrap();
+        assert_eq!(a, b);
+        // Malformed states are rejected.
+        let mut it = "sw-shard 0.5 0.5 2 1 2".lines();
+        assert!(ShardAggregator::decode_state(&mut it).is_err(), "lo == hi");
+        let mut it = "sw-shard -0.5 1.5 3 1 2".lines();
+        assert!(
+            ShardAggregator::decode_state(&mut it).is_err(),
+            "short counts"
+        );
     }
 
     #[test]

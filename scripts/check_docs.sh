@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Offline documentation gate, run in CI (docs job):
+#
+#   1. LINK CHECK — every relative markdown link in README.md and
+#      docs/*.md must point at a file (or file#anchor) that exists in
+#      the repository. External http(s) links are skipped: the gate is
+#      offline by design.
+#   2. COMMAND CHECK — every fenced ```sh block immediately preceded by
+#      an `<!-- check:exec -->` marker is executed, each in its own
+#      scratch directory with the freshly built `ldp-collector` on PATH
+#      and `set -euo pipefail` in force. A block that exits non-zero
+#      fails the gate, so the handbook's examples cannot rot.
+#
+# Usage:  scripts/check_docs.sh [--links-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+DOCS=(README.md docs/*.md)
+FAIL=0
+
+# ---------------------------------------------------------------- links
+echo "== link check =="
+for doc in "${DOCS[@]}"; do
+  dir="$(dirname "$doc")"
+  # Extract inline markdown link targets: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # offline gate
+      '#'*) continue ;;                         # same-page anchor
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$ROOT/$path" ]; then
+      echo "BROKEN LINK in $doc: ($target)"
+      FAIL=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+[ "$FAIL" -eq 0 ] && echo "links ok"
+
+if [ "${1:-}" = "--links-only" ]; then
+  exit "$FAIL"
+fi
+
+# ------------------------------------------------------------- commands
+echo "== command check =="
+cargo build -q -p ldp-collector
+export PATH="$ROOT/target/debug:$PATH"
+command -v ldp-collector >/dev/null
+
+SCRATCH_BASE="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH_BASE"' EXIT
+
+for doc in "${DOCS[@]}"; do
+  block_idx=0
+  # Pull out each exec-marked ```sh block with awk: marker line, then
+  # the fence, then lines until the closing fence.
+  awk -v out="$SCRATCH_BASE/$(basename "$doc")." '
+    /<!-- check:exec -->/ { armed = 1; next }
+    armed && /^```sh$/    { in_block = 1; armed = 0; n += 1; next }
+    armed && !/^[[:space:]]*$/ { armed = 0 }
+    in_block && /^```$/   { in_block = 0; next }
+    in_block              { print > (out n ".sh") }
+  ' "$doc"
+  for script in "$SCRATCH_BASE/$(basename "$doc")."*.sh; do
+    [ -e "$script" ] || continue
+    block_idx=$((block_idx + 1))
+    workdir="$(mktemp -d "$SCRATCH_BASE/run.XXXXXX")"
+    echo "-- $doc block $block_idx"
+    if ! (cd "$workdir" && bash -euo pipefail "$script"); then
+      echo "COMMAND BLOCK FAILED: $doc block $block_idx ($script)"
+      FAIL=1
+    fi
+    rm -f "$script"
+  done
+done
+
+if [ "$FAIL" -eq 0 ]; then
+  echo "docs ok"
+fi
+exit "$FAIL"

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub use ldp_cfo as cfo;
+pub use ldp_collector as collector;
 pub use ldp_core as core_api;
 pub use ldp_datasets as datasets;
 pub use ldp_experiments as experiments;

@@ -158,3 +158,48 @@ fn malformed_wire_lines_are_rejected() {
     assert!(decode_lines::<AdaptiveReport>("o 12").is_err());
     assert!(decode_lines::<HybridReport>("p one").is_err());
 }
+
+/// Edge cases pinned while writing `docs/WIRE_FORMAT.md` — the spec
+/// promises exactly these behaviors.
+#[test]
+fn wire_spec_edge_cases() {
+    // An empty stream is a valid (empty) stream, not an error.
+    assert_eq!(decode_lines::<f64>("").unwrap(), Vec::<f64>::new());
+    assert_eq!(encode_lines::<f64>(&[]), "");
+    // Blank lines and surrounding whitespace are insignificant…
+    let padded = "  0.5  \n\n\t\n0.25\n";
+    assert_eq!(decode_lines::<f64>(padded).unwrap(), vec![0.5, 0.25]);
+    // …and CRLF line endings decode like LF (str::lines strips \r via
+    // the trim the decoder applies).
+    assert_eq!(
+        decode_lines::<f64>("0.5\r\n0.25\r\n").unwrap(),
+        vec![0.5, 0.25]
+    );
+    // Special f64 values survive the shortest-round-trip rendering.
+    for v in [-0.0f64, f64::MIN_POSITIVE, 5e-324, 1e308, 1.0 / 3.0] {
+        let text = encode_lines(&[v]);
+        let back: Vec<f64> = decode_lines(&text).unwrap();
+        assert_eq!(back[0].to_bits(), v.to_bits(), "{v:e}");
+    }
+    // Duplicate lines are preserved, not deduplicated: the wire format
+    // is a stream, and at-least-once vs exactly-once is the transport's
+    // contract (see docs/OPERATIONS.md).
+    let dup = "0.5\n0.5\n";
+    assert_eq!(decode_lines::<f64>(dup).unwrap(), vec![0.5, 0.5]);
+}
+
+/// The same stream replayed through a second encode→decode generation is
+/// byte-stable: the wire format is a fixed point after one round trip.
+#[test]
+fn wire_encoding_is_a_fixed_point() {
+    let olh = Olh::new(16, 1.0).unwrap();
+    let client = Client::new(&olh);
+    let mut rng = SplitMix64::new(404);
+    let reports: Vec<_> = categorical_values(200, 16)
+        .iter()
+        .map(|v| client.randomize(v, &mut rng).unwrap())
+        .collect();
+    let first = encode_lines(&reports);
+    let second = encode_lines(&decode_lines::<sw_ldp::cfo::olh::OlhReport>(&first).unwrap());
+    assert_eq!(first, second);
+}
