@@ -34,6 +34,58 @@ pub fn write_snapshot_atomic(path: &Path, text: &str) -> Result<(), CollectorErr
     })
 }
 
+/// Atomically replaces `path` with `text`, first rotating the previous
+/// generations: the outgoing snapshot becomes `<path>.1`, the old
+/// `<path>.1` becomes `<path>.2`, …, keeping at most `keep` generations
+/// (`keep = 0` degrades to a plain [`write_snapshot_atomic`]).
+///
+/// Crash safety: generations shift by rename (each one atomic), the
+/// outgoing current snapshot is *copied* into `<path>.1` through its own
+/// atomic write, and only then is `path` itself replaced — so `path`
+/// always holds a complete snapshot (old or new) at every instant, and a
+/// crash mid-rotation can at worst duplicate a backup generation, never
+/// lose the recovery point.
+pub fn write_snapshot_rotating(path: &Path, text: &str, keep: u64) -> Result<(), CollectorError> {
+    if keep > 0 && path.exists() {
+        for i in (1..keep).rev() {
+            let from = generation_path(path, i);
+            if from.exists() {
+                let to = generation_path(path, i + 1);
+                fs::rename(&from, &to).map_err(|e| {
+                    CollectorError::Io(format!(
+                        "rotate {} -> {}: {e}",
+                        from.display(),
+                        to.display()
+                    ))
+                })?;
+            }
+        }
+        let current = read_to_string(path)?;
+        write_snapshot_atomic(&generation_path(path, 1), &current)?;
+    }
+    write_snapshot_atomic(path, text)?;
+    // Prune generations beyond the keep horizon (covers a `--keep` that
+    // shrank between runs); stop at the first gap.
+    let mut i = keep + 1;
+    loop {
+        let stale = generation_path(path, i);
+        if !stale.exists() {
+            break;
+        }
+        let _ = fs::remove_file(&stale);
+        i += 1;
+    }
+    Ok(())
+}
+
+/// The path of rotated generation `i` (`window.snap` → `window.snap.1`).
+#[must_use]
+pub fn generation_path(path: &Path, i: u64) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{i}"));
+    path.with_file_name(name)
+}
+
 /// The sibling temp path the atomic write goes through.
 #[must_use]
 pub fn tmp_path(path: &Path) -> std::path::PathBuf {
@@ -63,6 +115,58 @@ mod tests {
         assert_eq!(read_to_string(&path).unwrap(), "second\n");
         // The temp sibling never lingers.
         assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_the_newest_n_generations() {
+        let dir = std::env::temp_dir().join("ldp-collector-rotate-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.snap");
+        for i in 1..=5 {
+            write_snapshot_rotating(&path, &format!("gen {i}\n"), 2).unwrap();
+        }
+        assert_eq!(read_to_string(&path).unwrap(), "gen 5\n");
+        assert_eq!(
+            read_to_string(&generation_path(&path, 1)).unwrap(),
+            "gen 4\n"
+        );
+        assert_eq!(
+            read_to_string(&generation_path(&path, 2)).unwrap(),
+            "gen 3\n"
+        );
+        assert!(!generation_path(&path, 3).exists(), "pruned beyond keep");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_with_keep_zero_is_a_plain_atomic_write() {
+        let dir = std::env::temp_dir().join("ldp-collector-rotate0-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.snap");
+        write_snapshot_rotating(&path, "a\n", 0).unwrap();
+        write_snapshot_rotating(&path, "b\n", 0).unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "b\n");
+        assert!(!generation_path(&path, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shrinking_keep_prunes_stale_generations() {
+        let dir = std::env::temp_dir().join("ldp-collector-rotate-shrink-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.snap");
+        for i in 1..=5 {
+            write_snapshot_rotating(&path, &format!("gen {i}\n"), 3).unwrap();
+        }
+        assert!(generation_path(&path, 3).exists());
+        write_snapshot_rotating(&path, "gen 6\n", 1).unwrap();
+        assert!(generation_path(&path, 1).exists());
+        assert!(!generation_path(&path, 2).exists());
+        assert!(!generation_path(&path, 3).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

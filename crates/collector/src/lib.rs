@@ -65,5 +65,5 @@ pub mod session;
 
 pub use error::CollectorError;
 pub use registry::build_session;
-pub use server::{serve_connection, serve_once, SnapshotPolicy};
+pub use server::{serve, serve_connection, serve_once, ServeOptions, ServeSummary, SnapshotPolicy};
 pub use session::{ingest_lines, ingest_resuming, CollectorSession, Session};

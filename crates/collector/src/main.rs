@@ -8,8 +8,11 @@
 //! ldp-collector merge    --mechanism SPEC --out FILE SNAP [SNAP…]
 //! ldp-collector finalize --mechanism SPEC --snapshot FILE
 //! ldp-collector inspect  SNAP [SNAP…]
+//! ldp-collector specs
 //! ldp-collector serve    --mechanism SPEC --listen ADDR [--snapshot FILE]
-//!                        [--snapshot-every N] [--finalize]
+//!                        [--snapshot-every N] [--keep N] [--max-connections K]
+//!                        [--connections N] [--queue-depth Q]
+//!                        [--shutdown-file PATH] [--serial] [--finalize]
 //! ```
 //!
 //! See `docs/OPERATIONS.md` for the operator's guide and worked examples
@@ -17,7 +20,7 @@
 
 use ldp_collector::io::{read_to_string, write_snapshot_atomic};
 use ldp_collector::registry::{build_session, MECHANISMS};
-use ldp_collector::server::{serve_once, SnapshotPolicy};
+use ldp_collector::server::{serve, serve_once, ServeOptions, SnapshotPolicy};
 use ldp_collector::session::{ingest_lines, CollectorSession};
 use ldp_collector::CollectorError;
 use std::fs::File;
@@ -25,6 +28,8 @@ use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +53,7 @@ fn run(args: &[String]) -> Result<(), CollectorError> {
         "merge" => cmd_merge(rest),
         "finalize" => cmd_finalize(rest),
         "inspect" => cmd_inspect(rest),
+        "specs" => cmd_specs(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             print_help();
@@ -74,9 +80,12 @@ fn print_help() {
     println!("           print the estimate for a snapshotted window");
     println!("  inspect  SNAP [SNAP...]");
     println!("           print snapshot headers (no mechanism needed)");
+    println!("  specs    list every mechanism spec name with its parameters");
     println!("  serve    --mechanism SPEC --listen ADDR [--snapshot FILE]");
-    println!("           [--snapshot-every N] [--finalize]");
-    println!("           one length-delimited TCP ingestion session");
+    println!("           [--snapshot-every N] [--keep N] [--max-connections K]");
+    println!("           [--connections N] [--queue-depth Q] [--shutdown-file PATH]");
+    println!("           [--serial] [--finalize]");
+    println!("           concurrent length-delimited TCP ingestion");
     println!();
     println!("mechanism specs (name:key=value,...):");
     for (name, params) in MECHANISMS {
@@ -208,6 +217,7 @@ fn cmd_ingest(args: &[String]) -> Result<(), CollectorError> {
     let policy = SnapshotPolicy {
         path: snapshot_path.clone(),
         every,
+        keep: flags.u64_or("keep", 0)?,
     };
     ingest_lines(
         session.as_mut(),
@@ -276,8 +286,34 @@ fn cmd_inspect(args: &[String]) -> Result<(), CollectorError> {
     Ok(())
 }
 
+fn cmd_specs(args: &[String]) -> Result<(), CollectorError> {
+    let _ = Flags::parse(args, &[])?;
+    for (name, params) in MECHANISMS {
+        println!("{name:<12} {params}");
+    }
+    Ok(())
+}
+
+/// Watches for `path` to appear and raises `shutdown` — the portable
+/// SIGTERM-equivalent (`touch <path>` from a supervisor or an operator's
+/// shell; std has no signal handling and the workspace vendors no libc).
+fn spawn_shutdown_watcher(path: PathBuf, shutdown: Arc<AtomicBool>) {
+    std::thread::Builder::new()
+        .name("ldp-shutdown-watch".into())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                if path.exists() {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        })
+        .expect("spawning the shutdown watcher");
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
-    let flags = Flags::parse(args, &["finalize", "resume"])?;
+    let flags = Flags::parse(args, &["finalize", "resume", "serial"])?;
     let mut session = session_for(&flags)?;
     let snapshot_path = flags.get("snapshot").map(PathBuf::from);
     if flags.has("resume") {
@@ -296,6 +332,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
     let policy = SnapshotPolicy {
         path: snapshot_path,
         every: flags.u64_or("snapshot-every", 0)?,
+        keep: flags.u64_or("keep", 0)?,
     };
     let addr = flags.require("listen")?;
     let listener =
@@ -308,8 +345,45 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             .unwrap_or_else(|_| addr.to_string()),
         session.mechanism_id()
     );
-    let total = serve_once(&listener, session.as_mut(), &policy)?;
-    eprintln!("stream ended at {total} reports");
+    if flags.has("serial") {
+        // The legacy single-session loop, kept for drills and tests.
+        let total = serve_once(&listener, session.as_mut(), &policy)?;
+        eprintln!("stream ended at {total} reports");
+    } else {
+        let defaults = ServeOptions::default();
+        let options = ServeOptions {
+            max_connections: flags.u64_or("max-connections", defaults.max_connections as u64)?
+                as usize,
+            connections: flags.u64_or("connections", 0)?,
+            queue_depth: flags.u64_or("queue-depth", defaults.queue_depth as u64)? as usize,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        };
+        if options.connections == 0 && flags.get("shutdown-file").is_none() {
+            eprintln!("serving until killed (no --connections limit or --shutdown-file)");
+        }
+        if let Some(path) = flags.get("shutdown-file") {
+            spawn_shutdown_watcher(PathBuf::from(path), Arc::clone(&options.shutdown));
+        }
+        let summary = serve(&listener, session.as_mut(), &policy, &options)?;
+        eprintln!(
+            "served {} sessions ({} completed, {} failed): {} reports, {} total",
+            summary.accepted,
+            summary.completed,
+            summary.failed,
+            summary.reports,
+            session.count()
+        );
+        if summary.snapshots_superseded > 0 {
+            eprintln!(
+                "note: {} cadence snapshots were superseded before hitting disk \
+                 (writer lagging; consider a larger --snapshot-every)",
+                summary.snapshots_superseded
+            );
+        }
+        if let Some(err) = &summary.last_session_error {
+            eprintln!("last session error: {err}");
+        }
+    }
     if flags.has("finalize") {
         print!("{}", session.finalize_text()?);
     }

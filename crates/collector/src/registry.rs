@@ -149,6 +149,40 @@ impl Spec {
     }
 }
 
+/// Levenshtein distance, for "did you mean" suggestions on unknown
+/// mechanism names. Inputs are short (mechanism names), so the O(n·m)
+/// two-row dynamic program is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest known spelling to `name` across native mechanism names and
+/// the paper's method legends, if any is close enough to plausibly be a
+/// typo (distance ≤ 2, compared case-insensitively).
+fn nearest_name(name: &str) -> Option<String> {
+    let wanted = name.to_ascii_lowercase();
+    let mut candidates: Vec<String> = MECHANISMS.iter().map(|(n, _)| (*n).to_string()).collect();
+    candidates.extend(Method::known_names());
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(&wanted, &c.to_ascii_lowercase()), c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
 /// Maps a paper method legend (via the experiment registry's
 /// [`Method::from_name`]) onto the collector's native spec name, carrying
 /// implied parameters along (`CFO-binning-16` implies `bins=16`).
@@ -157,8 +191,12 @@ fn resolve_alias(spec: &mut Spec) -> Result<(), CollectorError> {
         return Ok(());
     }
     let method = Method::from_name(&spec.name).ok_or_else(|| {
+        let hint = match nearest_name(&spec.name) {
+            Some(near) => format!(" — did you mean {near:?}?"),
+            None => String::new(),
+        };
         CollectorError::Spec(format!(
-            "unknown mechanism {:?} (native names: {}; paper legends like \"SW-EMS\" also work)",
+            "unknown mechanism {:?}{hint} (native names: {}; paper legends like \"SW-EMS\" also work)",
             spec.name,
             MECHANISMS
                 .iter()
@@ -474,6 +512,35 @@ mod tests {
         assert!(build_session("sw-ems:eps=1,eps=2,d=4").is_err(), "dup key");
         assert!(build_session("pm:eps=1,d=64").is_err(), "foreign key");
         assert!(build_session("grr:eps=x,d=4").is_err());
+    }
+
+    fn build_err(spec: &str) -> String {
+        match build_session(spec) {
+            Ok(_) => panic!("{spec} unexpectedly built"),
+            Err(e) => e.to_string(),
+        }
+    }
+
+    #[test]
+    fn unknown_mechanism_errors_suggest_near_matches() {
+        let err = build_err("sw-emss:eps=1,d=32");
+        assert!(err.contains("did you mean"), "{err}");
+        assert!(err.contains("sw-ems"), "{err}");
+        let err = build_err("ohl:eps=1,d=8");
+        assert!(err.contains("did you mean \"olh\""), "{err}");
+        // Nothing close: no misleading suggestion, just the roster.
+        let err = build_err("warp-drive:eps=1");
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("native names"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_grounded() {
+        assert_eq!(edit_distance("olh", "olh"), 0);
+        assert_eq!(edit_distance("olh", "ohl"), 2);
+        assert_eq!(edit_distance("sw-ems", "sw-em"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
     }
 
     #[test]

@@ -17,18 +17,56 @@
 //! retry or quarantine the batch without double-count risk). The
 //! normative spec lives in `docs/WIRE_FORMAT.md`; retry semantics are
 //! discussed in `docs/OPERATIONS.md`.
+//!
+//! # The concurrent serve path
+//!
+//! [`serve`] runs many framed sessions at once without giving up any of
+//! the single-session guarantees, by splitting the work into three
+//! stages (diagrammed in `docs/ARCHITECTURE.md`):
+//!
+//! 1. **decode** — one handler thread per connection reads frames and
+//!    runs the session's [`BatchDecoder`]: parse, validate, and
+//!    pre-absorb into a private shard state. Malformed frames are
+//!    rejected *here* (`-` ack) and never reach the shared window.
+//! 2. **absorb** — prepared batches flow through a bounded queue
+//!    ([`ldp_pool::chan`], blocking `push` = backpressure to the TCP
+//!    peers) into a single absorber that owns the session; state merges
+//!    stay serialized, so the final window is bit-identical to a
+//!    single-connection ingest of the concatenated frames. The handler
+//!    sends its `+` ack only after the absorber commits.
+//! 3. **snapshot** — on each cadence crossing the absorber *publishes*
+//!    the rendered snapshot to a latest-wins
+//!    [`ldp_core::snapshot::SnapshotSpool`]; a dedicated
+//!    writer thread does the fsync-and-rename (with `--keep N`
+//!    rotation) off the hot path, so snapshot writes never stall acks.
 
 use crate::error::CollectorError;
-use crate::io::write_snapshot_atomic;
-use crate::session::CollectorSession;
+use crate::io::write_snapshot_rotating;
+use crate::session::{BatchDecoder, CollectorSession, PreparedBatch};
+use ldp_core::snapshot::SnapshotSpool;
+use ldp_pool::chan::{bounded, Sender};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Refuse absurd frames instead of attempting a pathological allocation
 /// (a 64 MiB frame at ~20 bytes/report is ≈3M reports, far beyond any
 /// sane batch).
 const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// How long a blocking read waits before re-checking the shutdown flag —
+/// the granularity of "shutdown is checked between frames".
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// How long the acceptor sleeps between polls of a quiet listen socket.
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// Once shutdown is requested, how many silent read ticks a handler
+/// tolerates mid-frame before abandoning the stalled peer (~5 s).
+const SHUTDOWN_GRACE_TICKS: u32 = 50;
 
 /// When (and where) the ingestion loop persists the window.
 #[derive(Debug, Clone, Default)]
@@ -38,26 +76,40 @@ pub struct SnapshotPolicy {
     /// Snapshot after every `every` absorbed reports (0 = only at
     /// end-of-stream).
     pub every: u64,
+    /// Rotated previous generations to keep (`<path>.1` newest; 0 = no
+    /// rotation).
+    pub keep: u64,
 }
 
 impl SnapshotPolicy {
+    /// Whether a batch that moved the count from `before` to `after`
+    /// crossed a cadence boundary — the one cadence rule, shared by the
+    /// serial loop, the concurrent absorber, and the `ingest` subcommand.
+    #[must_use]
+    pub fn due(&self, before: u64, after: u64) -> bool {
+        self.path.is_some() && self.every > 0 && after / self.every > before / self.every
+    }
+
+    /// Persists rendered snapshot text under the policy's path and
+    /// rotation setting. No-op without a path.
+    pub fn persist(&self, text: &str) -> Result<(), CollectorError> {
+        match &self.path {
+            Some(path) => write_snapshot_rotating(path, text, self.keep),
+            None => Ok(()),
+        }
+    }
+
     /// Applies the policy after a batch: persists when the absorbed count
     /// crossed an `every` boundary (or unconditionally at `force`).
-    /// `before` is the session's count when the batch started. The one
-    /// cadence implementation — the socket loop and the `ingest`
-    /// subcommand both call it.
+    /// `before` is the session's count when the batch started.
     pub fn apply(
         &self,
         session: &dyn CollectorSession,
         before: u64,
         force: bool,
     ) -> Result<(), CollectorError> {
-        let Some(path) = &self.path else {
-            return Ok(());
-        };
-        let crossed = self.every > 0 && session.count() / self.every > before / self.every;
-        if crossed || force {
-            write_snapshot_atomic(path, &session.snapshot_text())?;
+        if self.path.is_some() && (force || self.due(before, session.count())) {
+            self.persist(&session.snapshot_text())?;
         }
         Ok(())
     }
@@ -133,9 +185,12 @@ pub fn serve_connection(
     }
 }
 
-/// Accepts one connection on `listener` and runs [`serve_connection`] —
-/// the `serve` subcommand's engine, split out so tests drive it with an
-/// in-process client.
+/// Accepts one connection on `listener` and runs [`serve_connection`].
+///
+/// This is the single-session engine: it blocks on exactly one accept
+/// and returns when that stream ends. It is kept as a documented test
+/// helper (and behind the `serve --serial` flag) — production serving
+/// goes through [`serve`], which runs many sessions concurrently.
 pub fn serve_once(
     listener: &TcpListener,
     session: &mut dyn CollectorSession,
@@ -145,6 +200,450 @@ pub fn serve_once(
         .accept()
         .map_err(|e| CollectorError::Io(format!("accept: {e}")))?;
     serve_connection(&mut stream, session, policy)
+}
+
+/// Tuning for the concurrent [`serve`] loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Concurrent connection cap. Further connections wait in the TCP
+    /// backlog until a handler slot frees — backpressure, never a drop.
+    pub max_connections: usize,
+    /// Total sessions to accept before returning (0 = keep serving until
+    /// [`ServeOptions::shutdown`] is raised).
+    pub connections: u64,
+    /// Capacity of the bounded decode→absorb queue. When the absorber
+    /// falls behind, handlers block here (and their peers' acks wait) —
+    /// the memory bound on in-flight work.
+    pub queue_depth: usize,
+    /// Cooperative shutdown flag: raise it (from a signal watcher, a
+    /// shutdown file, a test) and the loop stops accepting, lets in-flight
+    /// frames commit, checks the flag between frames on every open
+    /// connection, and returns with a final snapshot written.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_connections: 8,
+            connections: 0,
+            queue_depth: 32,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// What a completed [`serve`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions that reached a clean end-of-stream frame.
+    pub completed: u64,
+    /// Sessions that ended in a rejected frame, a protocol violation, or
+    /// an abrupt disconnect (the window itself is always intact).
+    pub failed: u64,
+    /// Reports absorbed by this call.
+    pub reports: u64,
+    /// Cadence snapshots that were superseded before the writer persisted
+    /// them (a writer-falling-behind signal; the latest always lands).
+    pub snapshots_superseded: u64,
+    /// The last per-session error, for operator logs.
+    pub last_session_error: Option<String>,
+}
+
+/// One unit of work for the absorber.
+enum Commit {
+    /// A decoded batch plus the oneshot the handler acks on.
+    Batch {
+        batch: PreparedBatch,
+        ack: Sender<Result<u64, CollectorError>>,
+    },
+    /// A session's end-of-stream: publish a snapshot, ack the total.
+    Flush {
+        ack: Sender<Result<u64, CollectorError>>,
+    },
+}
+
+/// What an interruptible frame read yielded.
+enum FrameRead {
+    /// A payload frame.
+    Payload(String),
+    /// The explicit `length = 0` end-of-stream frame.
+    EndOfStream,
+    /// The shutdown flag was raised at a frame boundary.
+    ShutdownRequested,
+    /// The peer closed the socket at a frame boundary (no end-of-stream
+    /// frame).
+    PeerClosed,
+}
+
+enum Fill {
+    Full,
+    Eof,
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes, waking every [`READ_TICK`] to check
+/// `shutdown`. `at_boundary` marks the read that starts a frame: only
+/// there may the read end early with `Eof`/`Shutdown` — mid-frame, EOF is
+/// a protocol violation and shutdown waits for the frame to finish
+/// (bounded by [`SHUTDOWN_GRACE_TICKS`] against a stalled peer).
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_boundary: bool,
+) -> Result<Fill, CollectorError> {
+    let mut filled = 0;
+    let mut stalled_ticks = 0u32;
+    while filled < buf.len() {
+        if at_boundary && filled == 0 && shutdown.load(Ordering::SeqCst) {
+            return Ok(Fill::Shutdown);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(Fill::Eof);
+                }
+                return Err(CollectorError::Protocol(format!(
+                    "connection closed after {filled} of {} frame bytes",
+                    buf.len()
+                )));
+            }
+            Ok(n) => {
+                filled += n;
+                stalled_ticks = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) && !(at_boundary && filled == 0) {
+                    stalled_ticks += 1;
+                    if stalled_ticks > SHUTDOWN_GRACE_TICKS {
+                        return Err(CollectorError::Protocol(
+                            "peer stalled mid-frame during shutdown".into(),
+                        ));
+                    }
+                }
+            }
+            Err(e) => {
+                return Err(CollectorError::Protocol(format!("reading frame: {e}")));
+            }
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// [`read_frame`] with cooperative shutdown: requires the stream to have
+/// a read timeout set (the wake-up tick) and distinguishes the clean
+/// frame-boundary endings from protocol violations.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<FrameRead, CollectorError> {
+    let mut len_bytes = [0u8; 4];
+    match fill(stream, &mut len_bytes, shutdown, true)? {
+        Fill::Shutdown => return Ok(FrameRead::ShutdownRequested),
+        Fill::Eof => return Ok(FrameRead::PeerClosed),
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len == 0 {
+        return Ok(FrameRead::EndOfStream);
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(CollectorError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, shutdown, false)? {
+        Fill::Full => {}
+        // fill() never ends early off-boundary.
+        Fill::Eof | Fill::Shutdown => unreachable!(),
+    }
+    String::from_utf8(payload)
+        .map(FrameRead::Payload)
+        .map_err(|e| CollectorError::Protocol(format!("frame is not UTF-8: {e}")))
+}
+
+/// How one concurrent session ended (errors are returned separately).
+enum SessionEnd {
+    /// Clean end-of-stream frame, final `+` sent.
+    EndOfStream,
+    /// Shutdown was requested between frames.
+    Shutdown,
+    /// The peer disconnected between frames without an end-of-stream.
+    PeerClosed,
+}
+
+/// One connection's serve loop: read a frame, decode it *on this thread*
+/// via the shared [`BatchDecoder`], hand the prepared batch to the
+/// absorber over the bounded queue, and ack `+` only after the absorber
+/// commits. Decode failures ack `-` immediately — the absorber never
+/// sees the frame, preserving atomic rejection.
+fn handle_connection(
+    stream: &mut TcpStream,
+    decoder: &dyn BatchDecoder,
+    commits: &Sender<Commit>,
+    shutdown: &AtomicBool,
+) -> Result<SessionEnd, CollectorError> {
+    stream
+        .set_read_timeout(Some(READ_TICK))
+        .map_err(|e| CollectorError::Io(format!("set_read_timeout: {e}")))?;
+    let absorber_gone =
+        || CollectorError::Io("the absorber stopped before the session ended".into());
+    loop {
+        match read_frame_interruptible(stream, shutdown)? {
+            FrameRead::Payload(text) => {
+                let batch = match decoder.prepare(&text) {
+                    Ok(batch) => batch,
+                    Err(e) => {
+                        let _ = stream.write_all(b"-");
+                        return Err(e);
+                    }
+                };
+                let (ack_tx, ack_rx) = bounded(1);
+                commits
+                    .push(Commit::Batch { batch, ack: ack_tx })
+                    .map_err(|_| absorber_gone())?;
+                match ack_rx.pop() {
+                    Some(Ok(_)) => {
+                        stream
+                            .write_all(b"+")
+                            .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))?;
+                    }
+                    Some(Err(e)) => {
+                        let _ = stream.write_all(b"-");
+                        return Err(e);
+                    }
+                    None => return Err(absorber_gone()),
+                }
+            }
+            FrameRead::EndOfStream => {
+                let (ack_tx, ack_rx) = bounded(1);
+                commits
+                    .push(Commit::Flush { ack: ack_tx })
+                    .map_err(|_| absorber_gone())?;
+                match ack_rx.pop() {
+                    Some(Ok(_)) => {
+                        stream
+                            .write_all(b"+")
+                            .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))?;
+                        return Ok(SessionEnd::EndOfStream);
+                    }
+                    Some(Err(e)) => {
+                        let _ = stream.write_all(b"-");
+                        return Err(e);
+                    }
+                    None => return Err(absorber_gone()),
+                }
+            }
+            FrameRead::ShutdownRequested => return Ok(SessionEnd::Shutdown),
+            FrameRead::PeerClosed => return Ok(SessionEnd::PeerClosed),
+        }
+    }
+}
+
+/// Serves many concurrent framed TCP sessions — the `serve` subcommand's
+/// default engine.
+///
+/// The structure (see the module docs and `docs/ARCHITECTURE.md`): an
+/// acceptor service polls the listener and spawns one handler per
+/// connection (at most `max_connections` at a time — excess connections
+/// queue in the TCP backlog); handlers decode and validate frames on
+/// their own threads and feed prepared batches through a bounded queue;
+/// the calling thread is the single absorber, merging batches into the
+/// session in queue order and publishing cadence snapshots to a
+/// latest-wins spool; a writer service persists them (rotating per the
+/// policy) off the hot path. A final snapshot is written synchronously
+/// before returning.
+///
+/// Because every commit is an exact state merge, the final window is
+/// **bit-identical** to a single-connection ingest of the same frames in
+/// any order — the property the stress suite pins. Per-session failures
+/// (rejected frames, protocol violations, disconnects) are counted in
+/// the [`ServeSummary`], never fatal to the loop; `Err` is reserved for
+/// collector-side failures (listener I/O, snapshot persistence, a
+/// panicked service).
+pub fn serve(
+    listener: &TcpListener,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+    options: &ServeOptions,
+) -> Result<ServeSummary, CollectorError> {
+    let start_count = session.count();
+    let decoder = session.batch_decoder();
+    let max_connections = options.max_connections.max(1);
+    let (commit_tx, commit_rx) = bounded::<Commit>(options.queue_depth.max(1));
+    // Connection permits: the acceptor takes one per live session,
+    // handlers return theirs on exit. MPSC fits exactly: many handlers
+    // push permits back, one acceptor pops them.
+    let (permit_tx, permit_rx) = bounded::<()>(max_connections);
+    for _ in 0..max_connections {
+        permit_tx
+            .push(())
+            .expect("filling a fresh permit channel cannot fail");
+    }
+    let spool = SnapshotSpool::new();
+    let accepted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let last_session_error: Mutex<Option<String>> = Mutex::new(None);
+    let writer_error: Mutex<Option<CollectorError>> = Mutex::new(None);
+    let accept_error: Mutex<Option<CollectorError>> = Mutex::new(None);
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CollectorError::Io(format!("set_nonblocking: {e}")))?;
+
+    let scope_result = ldp_pool::service_scope(|scope| {
+        // Stage 3: the snapshot writer — the only thread doing snapshot
+        // I/O while the stream is live.
+        let spool_ref = &spool;
+        let writer_error_ref = &writer_error;
+        scope.spawn("snapshot-writer", move || {
+            while let Some(text) = spool_ref.take() {
+                if let Err(e) = policy.persist(&text) {
+                    *writer_error_ref.lock().expect("writer error lock") = Some(e);
+                    return;
+                }
+            }
+        });
+
+        // Stage 1: the acceptor and its per-connection handlers.
+        {
+            let commit_tx = commit_tx.clone();
+            let decoder = Arc::clone(&decoder);
+            let shutdown = Arc::clone(&options.shutdown);
+            let accepted_ref = &accepted;
+            let completed_ref = &completed;
+            let failed_ref = &failed;
+            let last_error_ref = &last_session_error;
+            let accept_error_ref = &accept_error;
+            let session_limit = options.connections;
+            scope.spawn("acceptor", move || {
+                let mut permit_held = false;
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if session_limit > 0 && accepted_ref.load(Ordering::SeqCst) >= session_limit {
+                        break;
+                    }
+                    if !permit_held {
+                        match permit_rx.try_pop() {
+                            Some(()) => permit_held = true,
+                            None => {
+                                // All handler slots busy: let the backlog
+                                // queue the peers (backpressure, no drop).
+                                std::thread::sleep(ACCEPT_TICK);
+                                continue;
+                            }
+                        }
+                    }
+                    match listener.accept() {
+                        Ok((mut stream, _addr)) => {
+                            permit_held = false;
+                            accepted_ref.fetch_add(1, Ordering::SeqCst);
+                            let commit_tx = commit_tx.clone();
+                            let permit_tx = permit_tx.clone();
+                            let decoder = Arc::clone(&decoder);
+                            let shutdown = Arc::clone(&shutdown);
+                            scope.spawn("conn", move || {
+                                // The listener's nonblocking flag is
+                                // inherited by accepted sockets on some
+                                // platforms; handlers want blocking reads
+                                // with a timeout tick instead.
+                                let _ = stream.set_nonblocking(false);
+                                match handle_connection(
+                                    &mut stream,
+                                    decoder.as_ref(),
+                                    &commit_tx,
+                                    &shutdown,
+                                ) {
+                                    Ok(SessionEnd::EndOfStream) => {
+                                        completed_ref.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    Ok(SessionEnd::Shutdown) => {}
+                                    Ok(SessionEnd::PeerClosed) => {
+                                        failed_ref.fetch_add(1, Ordering::SeqCst);
+                                        *last_error_ref.lock().expect("last error lock") = Some(
+                                            "peer closed without an end-of-stream frame".into(),
+                                        );
+                                    }
+                                    Err(e) => {
+                                        failed_ref.fetch_add(1, Ordering::SeqCst);
+                                        *last_error_ref.lock().expect("last error lock") =
+                                            Some(e.to_string());
+                                    }
+                                }
+                                let _ = permit_tx.push(());
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_TICK);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            *accept_error_ref.lock().expect("accept error lock") =
+                                Some(CollectorError::Io(format!("accept: {e}")));
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Stage 2: this thread is the absorber — the single owner of the
+        // session. Drop the original sender so the queue disconnects
+        // once the acceptor and every handler are done.
+        drop(commit_tx);
+        while let Some(commit) = commit_rx.pop() {
+            match commit {
+                Commit::Batch { batch, ack } => {
+                    let before = session.count();
+                    let result = session.absorb_prepared(batch);
+                    if result.is_ok() && policy.due(before, session.count()) {
+                        spool.publish(session.snapshot_text());
+                    }
+                    let _ = ack.push(result);
+                }
+                Commit::Flush { ack } => {
+                    if policy.path.is_some() {
+                        spool.publish(session.snapshot_text());
+                    }
+                    let _ = ack.push(Ok(session.count()));
+                }
+            }
+        }
+        spool.close();
+    });
+    // Handlers want blocking accepts again if serve_once follows.
+    let _ = listener.set_nonblocking(false);
+    scope_result.map_err(|e| CollectorError::Io(format!("serve service failure: {e}")))?;
+    if let Some(e) = accept_error.into_inner().expect("accept error lock") {
+        return Err(e);
+    }
+    if let Some(e) = writer_error.into_inner().expect("writer error lock") {
+        return Err(e);
+    }
+    // The final durable snapshot, synchronous: `serve` never returns with
+    // the window less persisted than the policy promises.
+    policy.apply(session, session.count(), true)?;
+    Ok(ServeSummary {
+        accepted: accepted.into_inner(),
+        completed: completed.into_inner(),
+        failed: failed.into_inner(),
+        reports: session.count() - start_count,
+        snapshots_superseded: spool.superseded(),
+        last_session_error: last_session_error.into_inner().expect("last error lock"),
+    })
 }
 
 #[cfg(test)]
@@ -231,6 +730,7 @@ mod tests {
         let policy = SnapshotPolicy {
             path: Some(path.clone()),
             every: 250,
+            keep: 0,
         };
         serve_once(&listener, session.as_mut(), &policy).unwrap();
         client.join().unwrap();

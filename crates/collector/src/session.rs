@@ -14,6 +14,8 @@ use ldp_core::snapshot::SnapshotState;
 use ldp_core::{decode_snapshot, encode_snapshot, Mechanism, WireReport};
 use ldp_numeric::SplitMix64;
 use rand::Rng;
+use std::any::Any;
+use std::sync::Arc;
 
 /// Below this many lines a bulk ingest stays on the calling thread; the
 /// pool's per-batch bookkeeping only pays for itself on real batches.
@@ -66,6 +68,53 @@ pub trait CollectorSession: Send {
     /// their wire-report lines — the client side of the zero-to-estimate
     /// walkthrough in `docs/OPERATIONS.md` and of the test harness.
     fn gen_reports(&self, n: u64, seed: u64) -> Result<String, CollectorError>;
+
+    /// A shareable decoder for this session's wire format: the
+    /// connection-local half of the concurrent serve path. Handlers call
+    /// [`BatchDecoder::prepare`] on their own threads (decode +
+    /// validation + pre-absorption into a private shard state, no shared
+    /// state touched); the resulting [`PreparedBatch`]es flow through a
+    /// bounded queue to the single thread that owns the session and
+    /// calls [`CollectorSession::absorb_prepared`].
+    fn batch_decoder(&self) -> Arc<dyn BatchDecoder>;
+
+    /// Commits a batch prepared by this session's [`BatchDecoder`]:
+    /// merges its shard state into the window (exact, so the result is
+    /// bit-identical to having ingested the batch's lines directly) and
+    /// returns the number of reports absorbed. All-or-nothing; rejects
+    /// batches prepared for a different configuration.
+    fn absorb_prepared(&mut self, batch: PreparedBatch) -> Result<u64, CollectorError>;
+}
+
+/// A decoded and pre-absorbed batch in flight from a connection thread to
+/// the absorber: a type-erased shard state plus its report count, stamped
+/// with the preparing configuration's fingerprint so a batch can never
+/// commit into the wrong window.
+pub struct PreparedBatch {
+    payload: Box<dyn Any + Send>,
+    fingerprint: u64,
+    reports: u64,
+}
+
+impl PreparedBatch {
+    /// Reports pre-absorbed into this batch's shard state.
+    #[must_use]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+}
+
+/// The connection-local decoding stage of the concurrent serve path: owns
+/// a clone of the mechanism configuration (mechanisms are cheap O(d̃)
+/// values) and turns frame payloads into [`PreparedBatch`]es without ever
+/// touching the shared window, so decode + validation fan out across
+/// connection threads while absorption stays serialized.
+pub trait BatchDecoder: Send + Sync {
+    /// Decodes every non-blank line of `text` and pre-absorbs the reports
+    /// into a fresh shard state. Any malformed line fails the whole batch
+    /// with nothing to commit — atomic frame rejection happens *here*, on
+    /// the connection thread, before the absorber ever sees the frame.
+    fn prepare(&self, text: &str) -> Result<PreparedBatch, CollectorError>;
 }
 
 /// The input adapter a registry entry supplies: how a synthetic client
@@ -87,12 +136,40 @@ pub struct Session<M: Mechanism> {
     render: OutputRenderer<M::Output>,
 }
 
+/// The [`BatchDecoder`] for a [`Session<M>`]: a clone of the mechanism,
+/// decoding on whatever thread calls it.
+struct Decoder<M: Mechanism> {
+    mechanism: M,
+}
+
+impl<M> BatchDecoder for Decoder<M>
+where
+    M: Mechanism + Clone + Send + Sync + 'static,
+    M::Report: WireReport,
+    M::State: Send + 'static,
+{
+    fn prepare(&self, text: &str) -> Result<PreparedBatch, CollectorError> {
+        let mut state = self.mechanism.empty_state();
+        let mut reports = 0u64;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let report = M::Report::decode(line)?;
+            self.mechanism.absorb(&mut state, &report)?;
+            reports += 1;
+        }
+        Ok(PreparedBatch {
+            payload: Box::new(state),
+            fingerprint: self.mechanism.fingerprint(),
+            reports,
+        })
+    }
+}
+
 impl<M> Session<M>
 where
-    M: Mechanism + Send + Sync,
+    M: Mechanism + Clone + Send + Sync + 'static,
     M::Input: Sized,
     M::Report: WireReport + Send,
-    M::State: SnapshotState + Clone + Send + Sync,
+    M::State: SnapshotState + Clone + Send + Sync + 'static,
 {
     /// A fresh session for `mechanism` under the canonical id `id`.
     pub fn new(
@@ -132,10 +209,10 @@ where
 
 impl<M> CollectorSession for Session<M>
 where
-    M: Mechanism + Send + Sync,
+    M: Mechanism + Clone + Send + Sync + 'static,
     M::Input: Sized,
     M::Report: WireReport + Send,
-    M::State: SnapshotState + Clone + Send + Sync,
+    M::State: SnapshotState + Clone + Send + Sync + 'static,
 {
     fn mechanism_id(&self) -> &str {
         &self.id
@@ -232,6 +309,31 @@ where
             out.push('\n');
         }
         Ok(out)
+    }
+
+    fn batch_decoder(&self) -> Arc<dyn BatchDecoder> {
+        Arc::new(Decoder {
+            mechanism: self.mechanism.clone(),
+        })
+    }
+
+    fn absorb_prepared(&mut self, batch: PreparedBatch) -> Result<u64, CollectorError> {
+        if batch.fingerprint != self.mechanism.fingerprint() {
+            return Err(CollectorError::Protocol(format!(
+                "prepared batch fingerprint {:016x} does not match this window ({:016x})",
+                batch.fingerprint,
+                self.mechanism.fingerprint()
+            )));
+        }
+        let shard = batch.payload.downcast::<M::State>().map_err(|_| {
+            CollectorError::Protocol("prepared batch state type does not match this session".into())
+        })?;
+        // Merging the pre-absorbed shard is bit-identical to ingesting
+        // the batch's lines directly, by the merge-equals-concatenation
+        // contract (the same step ingest_text's sharded path relies on).
+        self.mechanism.merge_state(&mut self.state, &shard)?;
+        self.count += batch.reports;
+        Ok(batch.reports)
     }
 }
 

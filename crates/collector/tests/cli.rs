@@ -266,6 +266,8 @@ fn serve_ingests_framed_batches_over_tcp() {
             snap.to_str().unwrap(),
             "--snapshot-every",
             "300",
+            "--connections",
+            "1",
             "--finalize",
         ])
         .stdout(std::process::Stdio::piped())
@@ -350,4 +352,91 @@ fn resume_rejects_a_shorter_replay_log() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn specs_lists_every_registered_mechanism() {
+    let out = stdout(&run_ok(bin().args(["specs"])));
+    for name in [
+        "sw-ems",
+        "sw-em",
+        "grr",
+        "olh",
+        "oue",
+        "hrr",
+        "adaptive",
+        "cfo-binning",
+        "pm",
+        "sr",
+        "hybrid",
+        "hh",
+        "hh-admm",
+        "haar-hrr",
+    ] {
+        assert!(
+            out.lines()
+                .any(|l| l.split_whitespace().next() == Some(name)),
+            "missing {name} in:\n{out}"
+        );
+    }
+    assert_eq!(out.lines().count(), 14, "{out}");
+}
+
+#[test]
+fn a_typo_in_the_mechanism_name_gets_a_suggestion() {
+    let out = bin()
+        .args(["gen", "--mechanism", "sw-emz:eps=1,d=32", "--n", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean"), "stderr: {stderr}");
+    assert!(stderr.contains("sw-em"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_shuts_down_when_the_shutdown_file_appears() {
+    let dir = scratch("shutdown-file");
+    let reports = gen_reports(&dir, 300);
+    let snap = dir.join("window.snap");
+    let stop = dir.join("stop.now");
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = bin()
+        .args([
+            "serve",
+            "--mechanism",
+            SPEC,
+            "--listen",
+            &addr,
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--shutdown-file",
+            stop.to_str().unwrap(),
+        ])
+        .spawn()
+        .unwrap();
+
+    // Stream the whole log in one frame, but never send end-of-stream —
+    // shutdown has to end the window for us.
+    let text = std::fs::read_to_string(&reports).unwrap();
+    let payload = text.trim_end();
+    let mut stream = connect_with_retry(&addr);
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(payload.as_bytes()).unwrap();
+    let mut ack = [0u8; 1];
+    stream.read_exact(&mut ack).unwrap();
+    assert_eq!(ack[0], b'+');
+
+    std::fs::write(&stop, "").unwrap();
+    let status = server.wait().unwrap();
+    assert!(status.success());
+    // The acked frame survived shutdown in the final snapshot.
+    let header = stdout(&run_ok(bin().args(["inspect", snap.to_str().unwrap()])));
+    assert!(header.contains("reports     300"), "{header}");
 }

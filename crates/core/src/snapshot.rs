@@ -403,6 +403,97 @@ where
     Ok((state, header.count))
 }
 
+/// A single-slot, latest-wins handoff between the thread that *renders*
+/// snapshots and the thread that *persists* them.
+///
+/// The copy-on-snapshot discipline for concurrent ingest: the absorber
+/// renders the container text (a cheap O(d̃) encode of a clone-free borrow
+/// — encoding never mutates the state) and [`publish`](Self::publish)es
+/// it without ever blocking; a dedicated writer service loops on
+/// [`take`](Self::take) and does the slow fsync-and-rename I/O off the
+/// hot path. If the writer falls behind, newly published snapshots
+/// *replace* the unwritten one — persisting a superseded recovery point
+/// would be pure wasted I/O, and crash recovery only ever needs the most
+/// recent snapshot plus the replay log.
+///
+/// [`close`](Self::close) ends the stream: the writer drains the last
+/// pending snapshot (if any) and then sees `None`.
+#[derive(Debug, Default)]
+pub struct SnapshotSpool {
+    slot: std::sync::Mutex<SpoolSlot>,
+    ready: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SpoolSlot {
+    pending: Option<String>,
+    closed: bool,
+    superseded: u64,
+}
+
+impl SnapshotSpool {
+    /// An empty, open spool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a rendered snapshot, replacing any unwritten predecessor.
+    /// Never blocks — this is the absorber-side half of the "snapshot
+    /// writes never stall ingest" guarantee. Publishing after
+    /// [`close`](Self::close) is a no-op.
+    pub fn publish(&self, text: String) {
+        let mut slot = self.slot.lock().expect("spool lock poisoned");
+        if slot.closed {
+            return;
+        }
+        if slot.pending.replace(text).is_some() {
+            slot.superseded += 1;
+        }
+        drop(slot);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a snapshot is pending or the spool is closed. Returns
+    /// `None` only when the spool is closed *and* drained — the writer's
+    /// clean shutdown signal.
+    pub fn take(&self) -> Option<String> {
+        let mut slot = self.slot.lock().expect("spool lock poisoned");
+        loop {
+            if let Some(text) = slot.pending.take() {
+                return Some(text);
+            }
+            if slot.closed {
+                return None;
+            }
+            slot = self.ready.wait(slot).expect("spool lock poisoned");
+        }
+    }
+
+    /// Non-blocking variant of [`take`](Self::take): `None` means
+    /// "nothing pending right now", not necessarily closed.
+    pub fn try_take(&self) -> Option<String> {
+        self.slot
+            .lock()
+            .expect("spool lock poisoned")
+            .pending
+            .take()
+    }
+
+    /// Ends the stream and wakes the writer so it can drain and exit.
+    pub fn close(&self) {
+        self.slot.lock().expect("spool lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// How many published snapshots were superseded before being written
+    /// — a writer-falling-behind signal worth surfacing in serve stats.
+    #[must_use]
+    pub fn superseded(&self) -> u64 {
+        self.slot.lock().expect("spool lock poisoned").superseded
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +673,53 @@ mod tests {
             &text.replacen("body-lines 1", "body-lines -1", 1)
         )
         .is_err());
+    }
+
+    #[test]
+    fn spool_is_latest_wins() {
+        let spool = SnapshotSpool::new();
+        spool.publish("first".into());
+        spool.publish("second".into());
+        spool.publish("third".into());
+        assert_eq!(spool.superseded(), 2);
+        assert_eq!(spool.take().as_deref(), Some("third"));
+        spool.close();
+        assert_eq!(spool.take(), None);
+    }
+
+    #[test]
+    fn spool_close_drains_the_pending_snapshot_first() {
+        let spool = SnapshotSpool::new();
+        spool.publish("last".into());
+        spool.close();
+        assert_eq!(spool.take().as_deref(), Some("last"));
+        assert_eq!(spool.take(), None);
+        // Publishing after close is a no-op.
+        spool.publish("late".into());
+        assert_eq!(spool.take(), None);
+    }
+
+    #[test]
+    fn spool_take_blocks_until_published() {
+        let spool = SnapshotSpool::new();
+        std::thread::scope(|s| {
+            let taker = s.spawn(|| spool.take());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            spool.publish("arrived".into());
+            assert_eq!(taker.join().unwrap().as_deref(), Some("arrived"));
+        });
+        assert_eq!(spool.try_take(), None);
+    }
+
+    #[test]
+    fn spool_take_blocks_until_closed() {
+        let spool = SnapshotSpool::new();
+        std::thread::scope(|s| {
+            let taker = s.spawn(|| spool.take());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            spool.close();
+            assert_eq!(taker.join().unwrap(), None);
+        });
     }
 
     #[test]

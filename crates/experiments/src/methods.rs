@@ -91,6 +91,19 @@ impl Method {
         }
     }
 
+    /// Every legend [`Method::from_name`] resolves, in display form
+    /// (`CFO-binning-<bins>` shown with the paper's bin counts). Front
+    /// ends use this to suggest near-matches when a name doesn't resolve
+    /// instead of maintaining a second name table.
+    #[must_use]
+    pub fn known_names() -> Vec<String> {
+        Method::moment_methods()
+            .into_iter()
+            .chain([Method::Hh, Method::HaarHrr])
+            .map(|m| m.name())
+            .collect()
+    }
+
     /// The methods evaluated on full-distribution metrics
     /// (Figure 2, Figure 4 rows 1–3 minus SR/PM).
     #[must_use]
@@ -265,6 +278,15 @@ mod tests {
         assert_eq!(Method::from_name("CFO-binning-0"), None);
         assert_eq!(Method::from_name("CFO-binning-x"), None);
         assert_eq!(Method::from_name("nope"), None);
+    }
+
+    #[test]
+    fn known_names_all_resolve_back() {
+        let names = Method::known_names();
+        assert!(names.len() >= 8);
+        for name in names {
+            assert!(Method::from_name(&name).is_some(), "{name}");
+        }
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! `ldp-loadgen` — a wire-format load generator for the collector's
+//! concurrent serve path.
+//!
+//! The generator plays the *fleet* side of the protocol in
+//! `docs/WIRE_FORMAT.md`: it builds valid wire reports for any registry
+//! mechanism spec (through the same [`build_session`] the collector
+//! uses), splits them into length-delimited frames, and drives N
+//! concurrent TCP sessions against a listening collector — optionally
+//! throttled to a target aggregate report rate. Every frame waits for
+//! its `+`/`-` ack, so the per-frame round trip *is* the commit latency
+//! of the decode → queue → absorb pipeline; the [`RunReport`] summarizes
+//! throughput and the ack-latency tail (p50/p99/max).
+//!
+//! Two consumers: the `ldp-loadgen` binary for operator drills, and the
+//! `sustained_ingest` bench in `ldp-bench`, which records the collector's
+//! end-to-end ingest rate into `BENCH_em.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ldp_collector::build_session;
+use ldp_collector::server::write_frame;
+use ldp_collector::CollectorError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What to send: which mechanism's reports, how many sessions, how fast.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Registry mechanism spec (`sw-ems:eps=1,d=1024`, paper legends too).
+    pub spec: String,
+    /// Concurrent TCP sessions to drive.
+    pub connections: usize,
+    /// Frames each session sends before its end-of-stream.
+    pub frames_per_connection: usize,
+    /// Wire-report lines per frame.
+    pub reports_per_frame: usize,
+    /// Base seed; connection `c` generates with `seed + c`.
+    pub seed: u64,
+    /// Target aggregate rate in reports/second across all connections
+    /// (`0.0` = unthrottled).
+    pub rate: f64,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Plan {
+            spec: "sw-ems:eps=1,d=1024".into(),
+            connections: 8,
+            frames_per_connection: 8,
+            reports_per_frame: 256,
+            seed: 1,
+            rate: 0.0,
+        }
+    }
+}
+
+impl Plan {
+    /// Total reports the plan sends across all connections.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        (self.connections * self.frames_per_connection * self.reports_per_frame) as u64
+    }
+}
+
+/// What happened: counts, wall-clock, and the ack-latency tail.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Sessions driven (== the plan's `connections`).
+    pub connections: usize,
+    /// Reports sent and positively acked.
+    pub reports: u64,
+    /// Frames sent (excluding end-of-stream frames).
+    pub frames: u64,
+    /// Frames the collector rejected with `-`.
+    pub rejected_frames: u64,
+    /// Wall-clock for the whole run (connect to last end-of-stream ack).
+    pub elapsed: Duration,
+    /// Acked reports per second of wall-clock.
+    pub reports_per_sec: f64,
+    /// Median frame ack latency, microseconds.
+    pub ack_p50_us: u64,
+    /// 99th-percentile frame ack latency, microseconds.
+    pub ack_p99_us: u64,
+    /// Worst frame ack latency, microseconds.
+    pub ack_max_us: u64,
+}
+
+/// Per-connection frame payloads for `plan` — valid wire-report lines
+/// from the spec's own mechanism, each connection seeded distinctly so
+/// the collector sees a heterogeneous fleet, not one repeated client.
+pub fn generate_frames(plan: &Plan) -> Result<Vec<Vec<String>>, CollectorError> {
+    if plan.connections == 0 || plan.frames_per_connection == 0 || plan.reports_per_frame == 0 {
+        return Err(CollectorError::Spec(
+            "connections, frames, and reports-per-frame must all be nonzero".into(),
+        ));
+    }
+    let per_connection = (plan.frames_per_connection * plan.reports_per_frame) as u64;
+    let mut out = Vec::with_capacity(plan.connections);
+    for c in 0..plan.connections {
+        let session = build_session(&plan.spec)?;
+        let text = session.gen_reports(per_connection, plan.seed.wrapping_add(c as u64))?;
+        let lines: Vec<&str> = text.lines().collect();
+        out.push(
+            lines
+                .chunks(plan.reports_per_frame)
+                .map(|chunk| chunk.join("\n"))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// One connection's tally, merged into the [`RunReport`] at the end.
+struct ConnStats {
+    frames: u64,
+    rejected: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Connects with retries over ~3 seconds — load runs routinely start
+/// while the collector is still binding its listener.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, CollectorError> {
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    Err(CollectorError::Io(format!(
+        "connect {addr}: {}",
+        last.map_or_else(|| "no attempt".into(), |e| e.to_string())
+    )))
+}
+
+/// Streams `frames` over one session: frame, ack, repeat, end-of-stream.
+/// `frame_interval` paces sends against the connection's own start time
+/// (zero = as fast as acks allow).
+fn drive_connection(
+    addr: &str,
+    frames: &[String],
+    frame_interval: Duration,
+) -> Result<ConnStats, CollectorError> {
+    let mut stream = connect_with_retry(addr)?;
+    let _ = stream.set_nodelay(true);
+    let io = |what: &str, e: std::io::Error| CollectorError::Io(format!("{what}: {e}"));
+    let mut stats = ConnStats {
+        frames: 0,
+        rejected: 0,
+        latencies_us: Vec::with_capacity(frames.len()),
+    };
+    let started = Instant::now();
+    for (i, payload) in frames.iter().enumerate() {
+        if !frame_interval.is_zero() {
+            let due = frame_interval * i as u32;
+            let now = started.elapsed();
+            if now < due {
+                std::thread::sleep(due - now);
+            }
+        }
+        let sent = Instant::now();
+        write_frame(&mut stream, payload).map_err(|e| io("write frame", e))?;
+        let mut ack = [0u8; 1];
+        stream.read_exact(&mut ack).map_err(|e| io("read ack", e))?;
+        stats
+            .latencies_us
+            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        stats.frames += 1;
+        match ack[0] {
+            b'+' => {}
+            b'-' => {
+                // A rejected frame ends the session server-side; count it
+                // and stop rather than erroring the whole run.
+                stats.rejected += 1;
+                return Ok(stats);
+            }
+            other => {
+                return Err(CollectorError::Protocol(format!(
+                    "unexpected ack byte {other:#04x}"
+                )))
+            }
+        }
+    }
+    stream
+        .write_all(&0u32.to_be_bytes())
+        .map_err(|e| io("write end-of-stream", e))?;
+    let mut ack = [0u8; 1];
+    stream
+        .read_exact(&mut ack)
+        .map_err(|e| io("read final ack", e))?;
+    if ack[0] != b'+' {
+        return Err(CollectorError::Protocol(
+            "end-of-stream frame was not acked".into(),
+        ));
+    }
+    Ok(stats)
+}
+
+/// The `p`-th percentile (0.0–1.0, nearest-rank) of sorted microseconds.
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64) * p).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Runs `plan` against a collector listening at `addr` and reports the
+/// aggregate throughput and ack-latency tail. Connection errors on any
+/// session fail the run — a load test that silently drops sessions would
+/// report a flattering rate.
+pub fn run(addr: &str, plan: &Plan) -> Result<RunReport, CollectorError> {
+    let frames = generate_frames(plan)?;
+    // Aggregate rate splits evenly: each connection paces its own frames.
+    let frame_interval = if plan.rate > 0.0 {
+        Duration::from_secs_f64(
+            plan.reports_per_frame as f64 / (plan.rate / plan.connections as f64),
+        )
+    } else {
+        Duration::ZERO
+    };
+    run_frames(addr, &frames, plan.reports_per_frame, frame_interval)
+}
+
+/// Drives pre-generated `frames` (one `Vec<String>` per connection, as
+/// [`generate_frames`] returns) against `addr`. Benchmarks use this to
+/// keep report generation out of the measured window.
+pub fn run_frames(
+    addr: &str,
+    frames: &[Vec<String>],
+    reports_per_frame: usize,
+    frame_interval: Duration,
+) -> Result<RunReport, CollectorError> {
+    let started = Instant::now();
+    let results: Vec<Result<ConnStats, CollectorError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = frames
+            .iter()
+            .map(|conn_frames| scope.spawn(|| drive_connection(addr, conn_frames, frame_interval)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CollectorError::Io("a load connection panicked".into()))
+                })
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut frames_sent = 0u64;
+    let mut rejected = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for result in results {
+        let stats = result?;
+        frames_sent += stats.frames;
+        rejected += stats.rejected;
+        latencies.extend(stats.latencies_us);
+    }
+    latencies.sort_unstable();
+    let reports = (frames_sent - rejected) * reports_per_frame as u64;
+    Ok(RunReport {
+        connections: frames.len(),
+        reports,
+        frames: frames_sent,
+        rejected_frames: rejected,
+        elapsed,
+        reports_per_sec: reports as f64 / elapsed.as_secs_f64().max(1e-9),
+        ack_p50_us: percentile(&latencies, 0.50),
+        ack_p99_us: percentile(&latencies, 0.99),
+        ack_max_us: latencies.last().copied().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_collector::server::{serve, ServeOptions, SnapshotPolicy};
+    use std::net::TcpListener;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 0.50), 50);
+        assert_eq!(percentile(&us, 0.99), 99);
+        assert_eq!(percentile(&us, 1.0), 100);
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn generated_frames_match_the_plan_shape() {
+        let plan = Plan {
+            spec: "grr:eps=1,d=8".into(),
+            connections: 3,
+            frames_per_connection: 4,
+            reports_per_frame: 10,
+            ..Plan::default()
+        };
+        let frames = generate_frames(&plan).unwrap();
+        assert_eq!(frames.len(), 3);
+        for conn in &frames {
+            assert_eq!(conn.len(), 4);
+            for frame in conn {
+                assert_eq!(frame.lines().count(), 10);
+            }
+        }
+        // Distinct seeds: connections are not clones of one client.
+        assert_ne!(frames[0][0], frames[1][0]);
+    }
+
+    #[test]
+    fn a_run_against_a_live_collector_reports_every_report() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let plan = Plan {
+            spec: "grr:eps=1,d=8".into(),
+            connections: 4,
+            frames_per_connection: 3,
+            reports_per_frame: 50,
+            ..Plan::default()
+        };
+        let total = plan.total_reports();
+        let server = std::thread::spawn(move || {
+            let mut session = build_session("grr:eps=1,d=8").unwrap();
+            let policy = SnapshotPolicy {
+                path: None,
+                every: 0,
+                keep: 0,
+            };
+            let options = ServeOptions {
+                connections: 4,
+                ..ServeOptions::default()
+            };
+            let summary = serve(&listener, session.as_mut(), &policy, &options).unwrap();
+            (summary, session.count())
+        });
+        let report = run(&addr, &plan).unwrap();
+        let (summary, count) = server.join().unwrap();
+        assert_eq!(report.reports, total);
+        assert_eq!(report.rejected_frames, 0);
+        assert_eq!(count, total);
+        assert_eq!(summary.completed, 4);
+        assert!(report.reports_per_sec > 0.0);
+        assert!(report.ack_p99_us >= report.ack_p50_us);
+    }
+
+    #[test]
+    fn a_throttled_run_respects_the_target_rate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let plan = Plan {
+            spec: "grr:eps=1,d=8".into(),
+            connections: 2,
+            frames_per_connection: 3,
+            reports_per_frame: 20,
+            rate: 400.0,
+            ..Plan::default()
+        };
+        // 120 reports at 400/s ≈ 0.3s minimum (pacing starts at frame 0,
+        // so the floor is (frames-1) * interval per connection = 0.2s).
+        let server = std::thread::spawn(move || {
+            let mut session = build_session("grr:eps=1,d=8").unwrap();
+            let policy = SnapshotPolicy {
+                path: None,
+                every: 0,
+                keep: 0,
+            };
+            let options = ServeOptions {
+                connections: 2,
+                ..ServeOptions::default()
+            };
+            serve(&listener, session.as_mut(), &policy, &options).unwrap();
+        });
+        let report = run(&addr, &plan).unwrap();
+        server.join().unwrap();
+        assert!(
+            report.elapsed >= Duration::from_millis(180),
+            "throttle ignored: {:?}",
+            report.elapsed
+        );
+        assert!(
+            report.reports_per_sec <= 900.0,
+            "{}",
+            report.reports_per_sec
+        );
+    }
+}

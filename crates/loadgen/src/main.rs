@@ -1,0 +1,100 @@
+//! `ldp-loadgen` — drive a listening collector with synthetic fleet
+//! traffic and report throughput and ack-latency percentiles.
+//!
+//! ```text
+//! ldp-loadgen --connect 127.0.0.1:7070 --mechanism sw-ems:eps=1,d=1024 \
+//!     --connections 8 --frames 16 --reports-per-frame 512 --rate 0
+//! ```
+//!
+//! `--rate` is the target aggregate reports/second (0 = as fast as acks
+//! allow). Every frame waits for its ack, so the reported latency is the
+//! collector's end-to-end decode → queue → absorb commit time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ldp_collector::CollectorError;
+use ldp_loadgen::{run, Plan};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: ldp-loadgen --connect <addr> --mechanism <spec> \
+         [--connections N] [--frames N] [--reports-per-frame N] \
+         [--rate REPORTS_PER_SEC] [--seed N]"
+    );
+}
+
+/// Minimal `--flag value` parser; every flag takes exactly one value.
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, CollectorError> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let name = arg
+            .strip_prefix("--")
+            .ok_or_else(|| CollectorError::Spec(format!("unexpected argument {arg:?}")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CollectorError::Spec(format!("--{name} requires a value")))?;
+        out.push((name.to_string(), value.clone()));
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, CollectorError> {
+    raw.parse()
+        .map_err(|_| CollectorError::Spec(format!("cannot parse --{name} {raw:?}")))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    match try_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ldp-loadgen: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_main(args: &[String]) -> Result<(), CollectorError> {
+    let mut addr: Option<String> = None;
+    let mut plan = Plan::default();
+    for (name, value) in parse_flags(args)? {
+        match name.as_str() {
+            "connect" => addr = Some(value),
+            "mechanism" => plan.spec = value,
+            "connections" => plan.connections = parse(&name, &value)?,
+            "frames" => plan.frames_per_connection = parse(&name, &value)?,
+            "reports-per-frame" => plan.reports_per_frame = parse(&name, &value)?,
+            "rate" => plan.rate = parse(&name, &value)?,
+            "seed" => plan.seed = parse(&name, &value)?,
+            other => return Err(CollectorError::Spec(format!("unknown flag --{other}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| CollectorError::Spec("--connect <addr> is required".into()))?;
+    eprintln!(
+        "driving {} over {} connections x {} frames x {} reports ({})",
+        plan.total_reports(),
+        plan.connections,
+        plan.frames_per_connection,
+        plan.reports_per_frame,
+        plan.spec
+    );
+    let report = run(&addr, &plan)?;
+    println!("connections       {:>12}", report.connections);
+    println!("frames            {:>12}", report.frames);
+    println!("rejected-frames   {:>12}", report.rejected_frames);
+    println!("reports           {:>12}", report.reports);
+    println!("elapsed-ms        {:>12}", report.elapsed.as_millis());
+    println!("reports-per-sec   {:>12.1}", report.reports_per_sec);
+    println!("ack-p50-us        {:>12}", report.ack_p50_us);
+    println!("ack-p99-us        {:>12}", report.ack_p99_us);
+    println!("ack-max-us        {:>12}", report.ack_max_us);
+    Ok(())
+}

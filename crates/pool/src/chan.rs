@@ -1,0 +1,345 @@
+//! A bounded multi-producer, single-consumer channel with **blocking
+//! backpressure**.
+//!
+//! The collector's concurrent serve path needs exactly one queue shape:
+//! many connection threads producing decoded batches, one absorber thread
+//! consuming them, with a hard bound on in-flight work so a fast fleet of
+//! forwarders cannot balloon the collector's memory. [`Sender::push`]
+//! therefore **blocks** when the channel is full — backpressure propagates
+//! to the TCP connection (the forwarder's next frame simply isn't acked
+//! yet) instead of dropping or buffering unboundedly. Nothing is ever
+//! silently discarded: every pushed value is either delivered to the
+//! receiver or handed back in a [`SendError`] when the receiver is gone.
+//!
+//! Disconnection is symmetric and explicit:
+//!
+//! - when every [`Sender`] has been dropped, [`Receiver::pop`] drains the
+//!   remaining values and then returns `None`;
+//! - when the [`Receiver`] is dropped, every blocked and future
+//!   [`Sender::push`] returns [`SendError`] carrying the rejected value.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The channel's shared core.
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Producers park here while the buffer is full.
+    not_full: Condvar,
+    /// The consumer parks here while the buffer is empty.
+    not_empty: Condvar,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// The value a [`Sender::push`] could not deliver because the receiver was
+/// dropped. The payload is returned so the producer can retry elsewhere,
+/// log it, or surface it — a bounded channel must never eat data silently.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the channel's receiver was dropped")
+    }
+}
+
+/// Creates a bounded MPSC channel holding at most `capacity` values
+/// (clamped to ≥ 1). Producers clone the [`Sender`]; the single
+/// [`Receiver`] is the consumer end.
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// The producing end of a [`bounded`] channel. Cloneable; dropping the
+/// last clone disconnects the channel (the receiver drains, then sees
+/// `None`).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, **blocking while the channel is full** — this is
+    /// the backpressure edge. Returns `Err` with the value if the receiver
+    /// has been dropped (nothing is ever silently discarded).
+    pub fn push(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock();
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.buf.len() < state.capacity {
+                state.buf.push_back(value);
+                drop(state);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            self.chan.not_full.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking variant: delivers `value` only if there is room right
+    /// now. Returns the value back on a full channel (`Err` with
+    /// `full = true`) or a dropped receiver (`full = false`).
+    pub fn try_push(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.chan.state.lock();
+        if !state.receiver_alive {
+            return Err(TrySendError { value, full: false });
+        }
+        if state.buf.len() < state.capacity {
+            state.buf.push_back(value);
+            drop(state);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError { value, full: true })
+        }
+    }
+}
+
+/// The value and cause of a failed [`Sender::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct TrySendError<T> {
+    /// The undelivered value.
+    pub value: T,
+    /// `true` when the channel was full; `false` when the receiver was
+    /// dropped.
+    pub full: bool,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.chan.state.lock();
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Wake the consumer so it can observe the disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+/// The consuming end of a [`bounded`] channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next value in FIFO order, blocking while the channel is
+    /// empty. Returns `None` once every sender has been dropped **and**
+    /// the buffer is drained — the clean end-of-stream signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.chan.state.lock();
+        loop {
+            if let Some(value) = state.buf.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Some(value);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            self.chan.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking variant of [`Receiver::pop`]: `None` means "nothing
+    /// available right now", not necessarily disconnection.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.chan.state.lock();
+        let value = state.buf.pop_front();
+        if value.is_some() {
+            drop(state);
+            self.chan.not_full.notify_one();
+        }
+        value
+    }
+
+    /// Values currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().buf.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this channel was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.chan.state.lock().capacity
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.state.lock().receiver_alive = false;
+        // Unblock every producer parked on a full buffer.
+        self.chan.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_one_producer() {
+        let (tx, rx) = bounded(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        let drained: Vec<i32> = std::iter::from_fn(|| rx.pop()).collect();
+        assert_eq!(drained, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_blocks_on_a_full_channel_instead_of_dropping() {
+        let (tx, rx) = bounded(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let third_delivered = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.push(3).unwrap(); // must block until the consumer pops
+                third_delivered.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(80));
+            assert!(
+                !third_delivered.load(Ordering::SeqCst),
+                "push must block while the channel is full"
+            );
+            assert_eq!(rx.pop(), Some(1));
+            // The blocked producer now gets its slot.
+            while !third_delivered.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        // Nothing was dropped: every pushed value arrives, in order.
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        drop(tx);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn multi_producer_values_all_arrive() {
+        let (tx, rx) = bounded(4);
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        tx.push(p * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<i32> = std::iter::from_fn(|| rx.pop()).collect();
+            got.sort_unstable();
+            let mut expected: Vec<i32> = (0..4)
+                .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected);
+        });
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_after_drain() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.push("a").unwrap();
+        drop(tx);
+        tx2.push("b").unwrap();
+        drop(tx2);
+        assert_eq!(rx.pop(), Some("a"));
+        assert_eq!(rx.pop(), Some("b"));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None, "disconnect is sticky");
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_pushes_with_the_value() {
+        let (tx, rx) = bounded(1);
+        tx.push(7).unwrap(); // fills the buffer
+        std::thread::scope(|s| {
+            let blocked = s.spawn(|| tx.push(8)); // parks on the full buffer
+            std::thread::sleep(Duration::from_millis(50));
+            drop(rx); // must wake and fail the parked producer
+            assert_eq!(blocked.join().unwrap(), Err(SendError(8)));
+        });
+        assert_eq!(tx.push(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_push_reports_full_and_disconnected_distinctly() {
+        let (tx, rx) = bounded(1);
+        tx.try_push(1).unwrap();
+        let err = tx.try_push(2).unwrap_err();
+        assert!(err.full);
+        assert_eq!(err.value, 2);
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.try_pop(), None);
+        drop(rx);
+        let err = tx.try_push(3).unwrap_err();
+        assert!(!err.full);
+    }
+
+    #[test]
+    fn len_and_capacity_observe_the_buffer() {
+        let (tx, rx) = bounded(3);
+        assert_eq!(rx.capacity(), 3);
+        assert!(rx.is_empty());
+        tx.push(()).unwrap();
+        tx.push(()).unwrap();
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        assert_eq!(rx.capacity(), 1);
+        tx.push(42).unwrap();
+        assert_eq!(rx.pop(), Some(42));
+    }
+}

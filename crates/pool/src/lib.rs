@@ -21,6 +21,14 @@
 //! makes the design deadlock-free under arbitrary nesting: a batch can
 //! always be finished by its caller alone, workers are an acceleration.
 //!
+//! # Long-lived services
+//!
+//! The batch model deliberately excludes threads that live for the
+//! duration of a connection or a serve loop. Those go through
+//! [`service_scope`] (structured, named, panic-contained service threads)
+//! and talk over [`chan::bounded`] channels, whose blocking `push` is the
+//! backpressure edge of the collector's concurrent ingest path.
+//!
 //! # Determinism
 //!
 //! Jobs are identified by their **index in the batch**, never by the worker
@@ -62,6 +70,11 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod chan;
+mod service;
+
+pub use service::{service_scope, ServiceScope};
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Records the perf trajectory of the `em_reconstruction` criterion bench
-# into BENCH_em.json at the repo root (a schema-2 file holding a list of
-# snapshots), and gates regressions between the two most recent snapshots.
+# Records the perf trajectory of the `em_reconstruction` and
+# `sustained_ingest` criterion benches into BENCH_em.json at the repo root
+# (a schema-2 file holding a list of snapshots), and gates regressions
+# between the two most recent snapshots. The sustained_ingest sections are
+# informational only (loopback TCP timing is too noisy to gate).
 #
 # Usage:
 #   scripts/bench_record.sh          # full run, APPENDS a snapshot to
@@ -65,7 +67,9 @@ if [ "$MODE" = "smoke" ]; then
   OUT="BENCH_em.smoke.json"
 fi
 
-RAW="$(cargo bench --bench em_reconstruction 2>&1 | tee /dev/stderr | grep '^bench: ' || true)"
+RAW_EM="$(cargo bench --bench em_reconstruction 2>&1 | tee /dev/stderr | grep '^bench: ' || true)"
+RAW_SERVE="$(cargo bench --bench sustained_ingest 2>&1 | tee /dev/stderr | grep '^bench: ' || true)"
+RAW="${RAW_EM}${RAW_SERVE:+$'\n'}${RAW_SERVE}"
 if [ -z "$RAW" ]; then
   echo "bench_record: no 'bench:' lines captured" >&2
   exit 1
@@ -104,6 +108,8 @@ snapshot = {
     "grid_ns_per_trial": {},
     "bootstrap_ns_per_replicate": {},
     "streaming_agg_ns_per_report": {},
+    "sustained_ingest_ns_per_report": {},
+    "sustained_ingest_reports_per_sec": {},
 }
 
 for name, v in sorted(ns.items()):
@@ -127,6 +133,11 @@ for name, v in sorted(ns.items()):
     if m:
         path, n, d = m.group(1), int(m.group(2)), m.group(3)
         snapshot["streaming_agg_ns_per_report"][f"{path}_d{d}"] = round(v / n, 2)
+    m = re.fullmatch(r"sustained/ingest_c(\d+)_n(\d+)", name)
+    if m:
+        conns, n = m.group(1), int(m.group(2))
+        snapshot["sustained_ingest_ns_per_report"][f"c{conns}"] = round(v / n, 1)
+        snapshot["sustained_ingest_reports_per_sec"][f"c{conns}"] = round(n / (v * 1e-9))
 
 per_iter = snapshot["em_iteration_ns"]
 for key, value in per_iter.items():

@@ -45,9 +45,10 @@ fi
 
 # ------------------------------------------------------------- commands
 echo "== command check =="
-cargo build -q -p ldp-collector
+cargo build -q -p ldp-collector -p ldp-loadgen
 export PATH="$ROOT/target/debug:$PATH"
 command -v ldp-collector >/dev/null
+command -v ldp-loadgen >/dev/null
 
 SCRATCH_BASE="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH_BASE"' EXIT
