@@ -79,6 +79,7 @@ fn bench_sustained(c: &mut Criterion) {
             reports_per_frame,
             seed: 42,
             rate: 0.0,
+            ..Plan::default()
         };
         let frames = generate_frames(&plan).unwrap();
         let total = plan.total_reports();

@@ -19,6 +19,9 @@ pub enum CollectorError {
     /// The resume invariant was violated (e.g. the replay log is shorter
     /// than the snapshot's absorbed count).
     Resume(String),
+    /// A deterministic fault injected by the [`crate::faults`] layer
+    /// (never produced in production; see `LDP_FAULTS`).
+    Fault(String),
 }
 
 impl fmt::Display for CollectorError {
@@ -29,6 +32,7 @@ impl fmt::Display for CollectorError {
             CollectorError::Io(msg) => write!(f, "i/o error: {msg}"),
             CollectorError::Protocol(msg) => write!(f, "framing protocol violation: {msg}"),
             CollectorError::Resume(msg) => write!(f, "cannot resume: {msg}"),
+            CollectorError::Fault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

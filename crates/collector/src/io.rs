@@ -10,20 +10,42 @@
 //! file *detectable*; the rename makes it *impossible to observe*.)
 
 use crate::error::CollectorError;
+use crate::faults;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
 
 /// Atomically replaces `path` with `text` via the sibling `<path>.tmp`.
+///
+/// Failpoints (`crate::faults`): `snap-write` fires before the tmp write
+/// — its `torn` action writes only half the bytes and then fails, leaving
+/// a torn `<path>.tmp` on disk exactly as a mid-write crash would (the
+/// destination is untouched, which is the whole point of the tmp+rename
+/// discipline); `snap-rename` fires after the tmp file is complete and
+/// synced but before the rename.
 pub fn write_snapshot_atomic(path: &Path, text: &str) -> Result<(), CollectorError> {
     let tmp = tmp_path(path);
     let io = |what: &str, e: std::io::Error| {
         CollectorError::Io(format!("{what} {}: {e}", tmp.display()))
     };
+    let torn = match faults::hit("snap-write") {
+        Some(faults::Injected::Err) => return Err(faults::error("snap-write")),
+        Some(faults::Injected::Torn) => true,
+        None => false,
+    };
     {
         let mut f = fs::File::create(&tmp).map_err(|e| io("create", e))?;
+        if torn {
+            f.write_all(&text.as_bytes()[..text.len() / 2])
+                .map_err(|e| io("write", e))?;
+            let _ = f.sync_all();
+            return Err(faults::error("snap-write (torn)"));
+        }
         f.write_all(text.as_bytes()).map_err(|e| io("write", e))?;
         f.sync_all().map_err(|e| io("sync", e))?;
+    }
+    if faults::hit("snap-rename").is_some() {
+        return Err(faults::error("snap-rename"));
     }
     fs::rename(&tmp, path).map_err(|e| {
         CollectorError::Io(format!(

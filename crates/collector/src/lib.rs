@@ -58,7 +58,9 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod io;
+pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session;

@@ -11,7 +11,7 @@
 //! ldp-collector specs
 //! ldp-collector serve    --mechanism SPEC --listen ADDR [--snapshot FILE]
 //!                        [--snapshot-every N] [--keep N] [--max-connections K]
-//!                        [--connections N] [--queue-depth Q]
+//!                        [--connections N] [--queue-depth Q] [--idle-timeout MS]
 //!                        [--shutdown-file PATH] [--serial] [--finalize]
 //! ```
 //!
@@ -43,6 +43,9 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), CollectorError> {
+    // Deterministic fault injection for crash drills (no-op unless the
+    // LDP_FAULTS environment variable is set; see docs/OPERATIONS.md §6).
+    ldp_collector::faults::install_from_env()?;
     let Some((cmd, rest)) = args.split_first() else {
         print_help();
         return Ok(());
@@ -83,8 +86,8 @@ fn print_help() {
     println!("  specs    list every mechanism spec name with its parameters");
     println!("  serve    --mechanism SPEC --listen ADDR [--snapshot FILE]");
     println!("           [--snapshot-every N] [--keep N] [--max-connections K]");
-    println!("           [--connections N] [--queue-depth Q] [--shutdown-file PATH]");
-    println!("           [--serial] [--finalize]");
+    println!("           [--connections N] [--queue-depth Q] [--idle-timeout MS]");
+    println!("           [--shutdown-file PATH] [--serial] [--finalize]");
     println!("           concurrent length-delimited TCP ingestion");
     println!();
     println!("mechanism specs (name:key=value,...):");
@@ -281,6 +284,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), CollectorError> {
         println!("  fingerprint {:016x}", header.fingerprint);
         println!("  reports     {}", header.count);
         println!("  body lines  {}", header.body_lines);
+        if !header.sessions.is_empty() {
+            println!("  sessions    {}", header.sessions.len());
+            for (id, cursor) in &header.sessions {
+                println!("    {id} cursor {cursor}");
+            }
+        }
         println!("  checksum    ok");
     }
     Ok(())
@@ -357,6 +366,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             connections: flags.u64_or("connections", 0)?,
             queue_depth: flags.u64_or("queue-depth", defaults.queue_depth as u64)? as usize,
             shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: match flags.u64_or("idle-timeout", 0)? {
+                0 => None,
+                ms => Some(std::time::Duration::from_millis(ms)),
+            },
         };
         if options.connections == 0 && flags.get("shutdown-file").is_none() {
             eprintln!("serving until killed (no --connections limit or --shutdown-file)");
@@ -373,6 +386,21 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             summary.reports,
             session.count()
         );
+        if summary.sessions_resumed > 0 || summary.duplicates_suppressed > 0 {
+            eprintln!(
+                "sequenced: {} sessions resumed, {} duplicate frames suppressed",
+                summary.sessions_resumed, summary.duplicates_suppressed
+            );
+        }
+        if summary.idle_disconnects > 0 {
+            eprintln!(
+                "idle: {} peers disconnected past --idle-timeout",
+                summary.idle_disconnects
+            );
+        }
+        if summary.faults_injected > 0 {
+            eprintln!("faults: {} injected (LDP_FAULTS)", summary.faults_injected);
+        }
         if summary.snapshots_superseded > 0 {
             eprintln!(
                 "note: {} cadence snapshots were superseded before hitting disk \

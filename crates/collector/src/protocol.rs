@@ -1,0 +1,195 @@
+//! The sequenced session protocol: exactly-once ingest over the framed
+//! socket.
+//!
+//! A bare framed session (PR 6's protocol, unchanged) is at-least-once: a
+//! crash between absorb and `+` ack leaves the sender unable to retry
+//! safely. A **sequenced session** closes that gap with three additions,
+//! all layered on the existing u32-BE framing (normative grammar in
+//! `docs/WIRE_FORMAT.md` §4):
+//!
+//! 1. a **hello frame** opens the session, naming a stable session id and
+//!    the client's replay horizon; the collector answers `+` plus its
+//!    8-byte big-endian dedup **cursor** (the next sequence number it
+//!    expects for that id), or `-` if it cannot serve the session;
+//! 2. every data frame carries a `seq <n>` first line; the collector
+//!    absorbs a frame only when `n` equals the cursor, acks `+` *without
+//!    absorbing* when `n` is below it (a replay of something already
+//!    committed), and rejects gaps (`n` above the cursor) with `-`;
+//! 3. the cursor is persisted inside the snapshot container next to the
+//!    state it vouches for (`ldp_core::snapshot` sessions section), so a
+//!    collector restart rolls state and cursor back *together* — replayed
+//!    frames after a crash dedup exactly like replays after a reconnect.
+//!
+//! The client's obligation is symmetric: resume from the server's cursor,
+//! not its own send position. The server's cursor is the single source of
+//! truth — after a collector restart it may be *lower* than what the
+//! client saw acked, and the client must re-send those frames (their
+//! effects were rolled back with the snapshot).
+
+use crate::error::CollectorError;
+pub use ldp_core::valid_session_id;
+
+/// First token of every hello frame payload.
+pub const HELLO_MAGIC: &str = "ldp-hello";
+
+/// Hello grammar version this build speaks.
+pub const HELLO_VERSION: u32 = 1;
+
+/// A parsed hello frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The stable session id (validated by
+    /// [`ldp_core::valid_session_id`]).
+    pub session: String,
+    /// The client's replay horizon: the lowest sequence number it can
+    /// still re-send. The collector rejects the hello when its cursor is
+    /// below this — resuming would silently skip frames.
+    pub horizon: u64,
+}
+
+/// Renders a hello frame payload:
+///
+/// ```text
+/// ldp-hello v1
+/// session <id>
+/// seq <horizon>
+/// ```
+#[must_use]
+pub fn encode_hello(session: &str, horizon: u64) -> String {
+    debug_assert!(valid_session_id(session));
+    format!("{HELLO_MAGIC} v{HELLO_VERSION}\nsession {session}\nseq {horizon}\n")
+}
+
+/// Whether a frame payload claims to be a hello (first token only —
+/// [`parse_hello`] decides whether it is a *well-formed* one).
+#[must_use]
+pub fn is_hello(payload: &str) -> bool {
+    payload.starts_with(HELLO_MAGIC)
+}
+
+/// Parses a hello frame payload. Rejects version mismatches, invalid
+/// session ids, and any deviation from the three-line grammar.
+pub fn parse_hello(payload: &str) -> Result<Hello, CollectorError> {
+    let bad = |msg: String| CollectorError::Protocol(format!("malformed hello: {msg}"));
+    let mut lines = payload.lines();
+    let magic = lines.next().unwrap_or_default();
+    let version = magic
+        .strip_prefix(HELLO_MAGIC)
+        .map(str::trim)
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| bad(format!("first line {magic:?}")))?;
+    if version != HELLO_VERSION {
+        return Err(bad(format!(
+            "version v{version} (this build speaks v{HELLO_VERSION})"
+        )));
+    }
+    let session = lines
+        .next()
+        .and_then(|l| l.strip_prefix("session "))
+        .ok_or_else(|| bad("missing session line".into()))?;
+    if !valid_session_id(session) {
+        return Err(bad(format!("invalid session id {session:?}")));
+    }
+    let horizon: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("seq "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| bad("missing or malformed seq line".into()))?;
+    if let Some(extra) = lines.next() {
+        return Err(bad(format!("trailing line {extra:?}")));
+    }
+    Ok(Hello {
+        session: session.to_string(),
+        horizon,
+    })
+}
+
+/// Prefixes a data frame payload with its sequence line:
+///
+/// ```text
+/// seq <n>
+/// <wire-report lines…>
+/// ```
+#[must_use]
+pub fn encode_seq_frame(seq: u64, payload: &str) -> String {
+    format!("seq {seq}\n{payload}")
+}
+
+/// Splits a sequenced data frame into its sequence number and the report
+/// lines after it. Every data frame of a sequenced session must carry the
+/// `seq` line; a frame without one is a protocol violation, not a report
+/// batch.
+pub fn split_seq_frame(payload: &str) -> Result<(u64, &str), CollectorError> {
+    let (first, rest) = payload.split_once('\n').unwrap_or((payload, ""));
+    let seq = first
+        .strip_prefix("seq ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| {
+            CollectorError::Protocol(format!(
+                "sequenced session frame does not start with a seq line (found {first:?})"
+            ))
+        })?;
+    Ok((seq, rest))
+}
+
+/// Renders the 9-byte hello ack: `+` followed by the collector's cursor,
+/// big-endian.
+#[must_use]
+pub fn encode_hello_ack(cursor: u64) -> [u8; 9] {
+    let mut ack = [0u8; 9];
+    ack[0] = b'+';
+    ack[1..].copy_from_slice(&cursor.to_be_bytes());
+    ack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let text = encode_hello("phone-7", 3);
+        assert!(is_hello(&text));
+        assert_eq!(
+            parse_hello(&text).unwrap(),
+            Hello {
+                session: "phone-7".into(),
+                horizon: 3
+            }
+        );
+    }
+
+    #[test]
+    fn hello_rejects_deviations() {
+        assert!(parse_hello("ldp-hello v2\nsession a\nseq 0\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nseq 0\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nsession bad id\nseq 0\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nsession a\nseq x\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nsession a\nseq 0\nextra\n").is_err());
+        assert!(parse_hello("not a hello").is_err());
+        assert!(!is_hello("grr 3"));
+    }
+
+    #[test]
+    fn seq_frames_round_trip() {
+        let framed = encode_seq_frame(17, "grr 3\ngrr 5\n");
+        assert_eq!(split_seq_frame(&framed).unwrap(), (17, "grr 3\ngrr 5\n"));
+        // Empty batch under a sequence number is legal.
+        assert_eq!(split_seq_frame("seq 0\n").unwrap(), (0, ""));
+        assert_eq!(split_seq_frame("seq 4").unwrap(), (4, ""));
+        assert!(split_seq_frame("grr 3\n").is_err());
+        assert!(split_seq_frame("seq x\n").is_err());
+        assert!(split_seq_frame("").is_err());
+    }
+
+    #[test]
+    fn hello_ack_layout_is_fixed() {
+        let ack = encode_hello_ack(0x0102_0304_0506_0708);
+        assert_eq!(ack[0], b'+');
+        assert_eq!(
+            u64::from_be_bytes(ack[1..].try_into().unwrap()),
+            0x0102_0304_0506_0708
+        );
+    }
+}

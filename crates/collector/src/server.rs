@@ -18,6 +18,27 @@
 //! normative spec lives in `docs/WIRE_FORMAT.md`; retry semantics are
 //! discussed in `docs/OPERATIONS.md`.
 //!
+//! # Sequenced sessions (exactly-once)
+//!
+//! A session that opens with a hello frame (`crate::protocol`) upgrades
+//! itself from at-least-once to exactly-once: every data frame carries a
+//! sequence number, the absorber keeps a per-session dedup cursor that is
+//! snapshotted *with* the state it vouches for, and a replayed frame —
+//! after a reconnect or a collector restart — acks `+` idempotently
+//! instead of double-counting. Bare sessions keep the original semantics
+//! untouched. The end-of-stream frame of a sequenced session is acked
+//! only after the final snapshot is durable, so a client that saw the
+//! closing `+` can retire its replay buffer for good.
+//!
+//! # Fault injection
+//!
+//! The seams of this pipeline carry named failpoints (`crate::faults`):
+//! `frame-read`, `decode`, `commit-push`, and `ack-write` here, plus
+//! `snap-write`/`snap-rename` in `crate::io`. They are inert unless a
+//! schedule is armed (`LDP_FAULTS`); the chaos suite drives them to prove
+//! the exactly-once claim under crash, torn-write, and disconnect
+//! schedules.
+//!
 //! # The concurrent serve path
 //!
 //! [`serve`] runs many framed sessions at once without giving up any of
@@ -41,7 +62,9 @@
 //!    rotation) off the hot path, so snapshot writes never stall acks.
 
 use crate::error::CollectorError;
+use crate::faults;
 use crate::io::write_snapshot_rotating;
+use crate::protocol;
 use crate::session::{BatchDecoder, CollectorSession, PreparedBatch};
 use ldp_core::snapshot::SnapshotSpool;
 use ldp_pool::chan::{bounded, Sender};
@@ -50,7 +73,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Refuse absurd frames instead of attempting a pathological allocation
 /// (a 64 MiB frame at ~20 bytes/report is ≈3M reports, far beyond any
@@ -155,17 +178,68 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<Option<String>, CollectorErr
 /// A rejected frame (`-` ack) absorbs nothing — [`CollectorSession::ingest_text`]
 /// is all-or-nothing — and ends the connection with the window intact, so
 /// a subsequent connection (or file replay) can continue it.
+///
+/// Speaks both session flavors: a first frame that is a hello
+/// (`crate::protocol`) upgrades the connection to the sequenced
+/// exactly-once protocol (dedup against the session's persisted cursor);
+/// any other first frame keeps the bare at-least-once semantics. This is
+/// the serial engine; everything here is synchronous, so the sequenced
+/// "durable before the closing ack" guarantee holds by construction.
 pub fn serve_connection(
     stream: &mut TcpStream,
     session: &mut dyn CollectorSession,
     policy: &SnapshotPolicy,
 ) -> Result<u64, CollectorError> {
+    let mut first = true;
+    let mut sequenced: Option<String> = None;
     loop {
         match read_frame(stream) {
             Ok(Some(payload)) => {
+                if std::mem::take(&mut first) && protocol::is_hello(&payload) {
+                    let hello = match protocol::parse_hello(&payload) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            let _ = stream.write_all(b"-");
+                            return Err(e);
+                        }
+                    };
+                    let cursor = session.session_cursor(&hello.session);
+                    if hello.horizon > cursor {
+                        let _ = stream.write_all(b"-");
+                        return Err(CollectorError::Protocol(format!(
+                            "session {:?}: client replay horizon {} is beyond the collector \
+                             cursor {cursor} — the missing frames cannot be recovered",
+                            hello.session, hello.horizon
+                        )));
+                    }
+                    stream
+                        .write_all(&protocol::encode_hello_ack(cursor))
+                        .map_err(|e| CollectorError::Io(format!("writing hello ack: {e}")))?;
+                    sequenced = Some(hello.session);
+                    continue;
+                }
                 let before = session.count();
-                match session.ingest_text(&payload) {
-                    Ok(_) => {
+                let outcome = match &sequenced {
+                    None => session.ingest_text(&payload).map(|_| ()),
+                    Some(id) => protocol::split_seq_frame(&payload).and_then(|(seq, body)| {
+                        let cursor = session.session_cursor(id);
+                        if seq < cursor {
+                            // A replay of an already-committed frame:
+                            // idempotent success, nothing absorbed.
+                            Ok(())
+                        } else if seq > cursor {
+                            Err(CollectorError::Protocol(format!(
+                                "session {id:?}: frame seq {seq} skips ahead of cursor {cursor}"
+                            )))
+                        } else {
+                            session.ingest_text(body)?;
+                            session.set_session_cursor(id, seq + 1);
+                            Ok(())
+                        }
+                    }),
+                };
+                match outcome {
+                    Ok(()) => {
                         policy.apply(session, before, false)?;
                         let _ = stream.write_all(b"+");
                     }
@@ -220,6 +294,13 @@ pub struct ServeOptions {
     /// frames commit, checks the flag between frames on every open
     /// connection, and returns with a final snapshot written.
     pub shutdown: Arc<AtomicBool>,
+    /// Disconnect a peer that sends nothing for this long between frames
+    /// (`None` = wait forever). A stalled peer otherwise holds one of the
+    /// `max_connections` permits indefinitely and can wedge the fleet;
+    /// with a timeout it is dropped and counted in
+    /// [`ServeSummary::idle_disconnects`]. Mid-frame stalls are not
+    /// affected (a slow frame is backpressure, not idleness).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -229,6 +310,7 @@ impl Default for ServeOptions {
             connections: 0,
             queue_depth: 32,
             shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: None,
         }
     }
 }
@@ -248,19 +330,55 @@ pub struct ServeSummary {
     /// Cadence snapshots that were superseded before the writer persisted
     /// them (a writer-falling-behind signal; the latest always lands).
     pub snapshots_superseded: u64,
+    /// Replayed sequenced frames acked `+` without absorbing (each one is
+    /// a double-count that the dedup cursor prevented).
+    pub duplicates_suppressed: u64,
+    /// Hello frames that resumed a session id this window had already
+    /// committed frames for (cursor > 0 at hello time).
+    pub sessions_resumed: u64,
+    /// Peers disconnected by [`ServeOptions::idle_timeout`].
+    pub idle_disconnects: u64,
+    /// Faults fired by the `crate::faults` schedule during this call
+    /// (always 0 unless a schedule was armed).
+    pub faults_injected: u64,
     /// The last per-session error, for operator logs.
     pub last_session_error: Option<String>,
 }
 
+/// How a sequenced session resumes, as the absorber reports it.
+struct SessionResume {
+    /// The next sequence number the window expects for the id.
+    cursor: u64,
+}
+
+/// What the absorber did with a sequenced batch.
+enum BatchOutcome {
+    /// Committed; the cursor advanced.
+    Absorbed,
+    /// A replay of an already-committed sequence: acked, not absorbed.
+    Duplicate,
+}
+
 /// One unit of work for the absorber.
 enum Commit {
-    /// A decoded batch plus the oneshot the handler acks on.
+    /// A sequenced session's hello: resolve the dedup cursor (serialized
+    /// with absorption, so the answer can never race a commit).
+    Hello {
+        session: String,
+        ack: Sender<SessionResume>,
+    },
+    /// A decoded batch plus the oneshot the handler acks on. `seq` is the
+    /// sequenced session's `(id, sequence)` — `None` for bare sessions.
     Batch {
         batch: PreparedBatch,
-        ack: Sender<Result<u64, CollectorError>>,
+        seq: Option<(String, u64)>,
+        ack: Sender<Result<BatchOutcome, CollectorError>>,
     },
     /// A session's end-of-stream: publish a snapshot, ack the total.
+    /// For a sequenced session the ack waits until the snapshot is
+    /// durable — the client retires its replay buffer on this ack.
     Flush {
+        sequenced: bool,
         ack: Sender<Result<u64, CollectorError>>,
     },
 }
@@ -276,27 +394,36 @@ enum FrameRead {
     /// The peer closed the socket at a frame boundary (no end-of-stream
     /// frame).
     PeerClosed,
+    /// The peer sent nothing for [`ServeOptions::idle_timeout`] at a
+    /// frame boundary.
+    IdleTimeout,
 }
 
 enum Fill {
     Full,
     Eof,
     Shutdown,
+    Idle,
 }
 
 /// Reads exactly `buf.len()` bytes, waking every [`READ_TICK`] to check
 /// `shutdown`. `at_boundary` marks the read that starts a frame: only
-/// there may the read end early with `Eof`/`Shutdown` — mid-frame, EOF is
-/// a protocol violation and shutdown waits for the frame to finish
-/// (bounded by [`SHUTDOWN_GRACE_TICKS`] against a stalled peer).
+/// there may the read end early with `Eof`/`Shutdown`/`Idle` — mid-frame,
+/// EOF is a protocol violation, idleness is tolerated (a slow frame is
+/// backpressure), and shutdown waits for the frame to finish (bounded by
+/// [`SHUTDOWN_GRACE_TICKS`] against a stalled peer).
 fn fill(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shutdown: &AtomicBool,
     at_boundary: bool,
+    idle_timeout: Option<Duration>,
 ) -> Result<Fill, CollectorError> {
     let mut filled = 0;
     let mut stalled_ticks = 0u32;
+    let idle_deadline = idle_timeout
+        .filter(|_| at_boundary)
+        .map(|d| Instant::now() + d);
     while filled < buf.len() {
         if at_boundary && filled == 0 && shutdown.load(Ordering::SeqCst) {
             return Ok(Fill::Shutdown);
@@ -323,6 +450,13 @@ fn fill(
                         | std::io::ErrorKind::Interrupted
                 ) =>
             {
+                if filled == 0 {
+                    if let Some(deadline) = idle_deadline {
+                        if Instant::now() >= deadline {
+                            return Ok(Fill::Idle);
+                        }
+                    }
+                }
                 if shutdown.load(Ordering::SeqCst) && !(at_boundary && filled == 0) {
                     stalled_ticks += 1;
                     if stalled_ticks > SHUTDOWN_GRACE_TICKS {
@@ -340,17 +474,23 @@ fn fill(
     Ok(Fill::Full)
 }
 
-/// [`read_frame`] with cooperative shutdown: requires the stream to have
-/// a read timeout set (the wake-up tick) and distinguishes the clean
-/// frame-boundary endings from protocol violations.
+/// [`read_frame`] with cooperative shutdown and the idle clock: requires
+/// the stream to have a read timeout set (the wake-up tick) and
+/// distinguishes the clean frame-boundary endings from protocol
+/// violations.
 fn read_frame_interruptible(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
+    idle_timeout: Option<Duration>,
 ) -> Result<FrameRead, CollectorError> {
+    if faults::hit("frame-read").is_some() {
+        return Err(faults::error("frame-read"));
+    }
     let mut len_bytes = [0u8; 4];
-    match fill(stream, &mut len_bytes, shutdown, true)? {
+    match fill(stream, &mut len_bytes, shutdown, true, idle_timeout)? {
         Fill::Shutdown => return Ok(FrameRead::ShutdownRequested),
         Fill::Eof => return Ok(FrameRead::PeerClosed),
+        Fill::Idle => return Ok(FrameRead::IdleTimeout),
         Fill::Full => {}
     }
     let len = u32::from_be_bytes(len_bytes);
@@ -363,10 +503,10 @@ fn read_frame_interruptible(
         )));
     }
     let mut payload = vec![0u8; len as usize];
-    match fill(stream, &mut payload, shutdown, false)? {
+    match fill(stream, &mut payload, shutdown, false, None)? {
         Fill::Full => {}
         // fill() never ends early off-boundary.
-        Fill::Eof | Fill::Shutdown => unreachable!(),
+        Fill::Eof | Fill::Shutdown | Fill::Idle => unreachable!(),
     }
     String::from_utf8(payload)
         .map(FrameRead::Payload)
@@ -381,6 +521,19 @@ enum SessionEnd {
     Shutdown,
     /// The peer disconnected between frames without an end-of-stream.
     PeerClosed,
+    /// The peer idled past [`ServeOptions::idle_timeout`] between frames.
+    Idle,
+}
+
+/// Writes a success ack through the `ack-write` failpoint — the canonical
+/// crash window: the absorber has committed, the client has not heard.
+fn write_success_ack(stream: &mut TcpStream, ack: &[u8]) -> Result<(), CollectorError> {
+    if faults::hit("ack-write").is_some() {
+        return Err(faults::error("ack-write"));
+    }
+    stream
+        .write_all(ack)
+        .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))
 }
 
 /// One connection's serve loop: read a frame, decode it *on this thread*
@@ -388,37 +541,90 @@ enum SessionEnd {
 /// absorber over the bounded queue, and ack `+` only after the absorber
 /// commits. Decode failures ack `-` immediately — the absorber never
 /// sees the frame, preserving atomic rejection.
+///
+/// A hello first frame switches the connection to the sequenced protocol:
+/// the dedup cursor is resolved by the absorber (racing a commit is
+/// impossible), the client's replay horizon is validated against it, and
+/// every later frame must carry its `seq` line.
 fn handle_connection(
     stream: &mut TcpStream,
     decoder: &dyn BatchDecoder,
     commits: &Sender<Commit>,
     shutdown: &AtomicBool,
+    idle_timeout: Option<Duration>,
 ) -> Result<SessionEnd, CollectorError> {
     stream
         .set_read_timeout(Some(READ_TICK))
         .map_err(|e| CollectorError::Io(format!("set_read_timeout: {e}")))?;
     let absorber_gone =
         || CollectorError::Io("the absorber stopped before the session ended".into());
+    let mut first = true;
+    let mut sequenced: Option<String> = None;
     loop {
-        match read_frame_interruptible(stream, shutdown)? {
+        match read_frame_interruptible(stream, shutdown, idle_timeout)? {
             FrameRead::Payload(text) => {
-                let batch = match decoder.prepare(&text) {
+                if std::mem::take(&mut first) && protocol::is_hello(&text) {
+                    let hello = match protocol::parse_hello(&text) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            let _ = stream.write_all(b"-");
+                            return Err(e);
+                        }
+                    };
+                    let (ack_tx, ack_rx) = bounded(1);
+                    commits
+                        .push(Commit::Hello {
+                            session: hello.session.clone(),
+                            ack: ack_tx,
+                        })
+                        .map_err(|_| absorber_gone())?;
+                    let resume = ack_rx.pop().ok_or_else(absorber_gone)?;
+                    if hello.horizon > resume.cursor {
+                        let _ = stream.write_all(b"-");
+                        return Err(CollectorError::Protocol(format!(
+                            "session {:?}: client replay horizon {} is beyond the collector \
+                             cursor {} — the missing frames cannot be recovered",
+                            hello.session, hello.horizon, resume.cursor
+                        )));
+                    }
+                    write_success_ack(stream, &protocol::encode_hello_ack(resume.cursor))?;
+                    sequenced = Some(hello.session);
+                    continue;
+                }
+                let (seq, body) = match &sequenced {
+                    None => (None, text.as_str()),
+                    Some(id) => match protocol::split_seq_frame(&text) {
+                        Ok((n, body)) => (Some((id.clone(), n)), body),
+                        Err(e) => {
+                            let _ = stream.write_all(b"-");
+                            return Err(e);
+                        }
+                    },
+                };
+                if faults::hit("decode").is_some() {
+                    let _ = stream.write_all(b"-");
+                    return Err(faults::error("decode"));
+                }
+                let batch = match decoder.prepare(body) {
                     Ok(batch) => batch,
                     Err(e) => {
                         let _ = stream.write_all(b"-");
                         return Err(e);
                     }
                 };
+                if faults::hit("commit-push").is_some() {
+                    return Err(faults::error("commit-push"));
+                }
                 let (ack_tx, ack_rx) = bounded(1);
                 commits
-                    .push(Commit::Batch { batch, ack: ack_tx })
+                    .push(Commit::Batch {
+                        batch,
+                        seq,
+                        ack: ack_tx,
+                    })
                     .map_err(|_| absorber_gone())?;
                 match ack_rx.pop() {
-                    Some(Ok(_)) => {
-                        stream
-                            .write_all(b"+")
-                            .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))?;
-                    }
+                    Some(Ok(_outcome)) => write_success_ack(stream, b"+")?,
                     Some(Err(e)) => {
                         let _ = stream.write_all(b"-");
                         return Err(e);
@@ -429,13 +635,14 @@ fn handle_connection(
             FrameRead::EndOfStream => {
                 let (ack_tx, ack_rx) = bounded(1);
                 commits
-                    .push(Commit::Flush { ack: ack_tx })
+                    .push(Commit::Flush {
+                        sequenced: sequenced.is_some(),
+                        ack: ack_tx,
+                    })
                     .map_err(|_| absorber_gone())?;
                 match ack_rx.pop() {
                     Some(Ok(_)) => {
-                        stream
-                            .write_all(b"+")
-                            .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))?;
+                        write_success_ack(stream, b"+")?;
                         return Ok(SessionEnd::EndOfStream);
                     }
                     Some(Err(e)) => {
@@ -447,6 +654,7 @@ fn handle_connection(
             }
             FrameRead::ShutdownRequested => return Ok(SessionEnd::Shutdown),
             FrameRead::PeerClosed => return Ok(SessionEnd::PeerClosed),
+            FrameRead::IdleTimeout => return Ok(SessionEnd::Idle),
         }
     }
 }
@@ -495,6 +703,10 @@ pub fn serve(
     let accepted = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    let duplicates = AtomicU64::new(0);
+    let resumed = AtomicU64::new(0);
+    let idle_disconnects = AtomicU64::new(0);
+    let faults_before = faults::injected();
     let last_session_error: Mutex<Option<String>> = Mutex::new(None);
     let writer_error: Mutex<Option<CollectorError>> = Mutex::new(None);
     let accept_error: Mutex<Option<CollectorError>> = Mutex::new(None);
@@ -504,15 +716,22 @@ pub fn serve(
 
     let scope_result = ldp_pool::service_scope(|scope| {
         // Stage 3: the snapshot writer — the only thread doing snapshot
-        // I/O while the stream is live.
+        // I/O while the stream is live. On a persist failure it poisons
+        // the spool (so a sequenced flush waiting on durability fails
+        // instead of hanging) and raises shutdown: a window that can no
+        // longer persist should wind down, not keep acking.
         let spool_ref = &spool;
         let writer_error_ref = &writer_error;
+        let writer_shutdown = Arc::clone(&options.shutdown);
         scope.spawn("snapshot-writer", move || {
-            while let Some(text) = spool_ref.take() {
+            while let Some((generation, text)) = spool_ref.take_tagged() {
                 if let Err(e) = policy.persist(&text) {
                     *writer_error_ref.lock().expect("writer error lock") = Some(e);
+                    spool_ref.poison();
+                    writer_shutdown.store(true, Ordering::SeqCst);
                     return;
                 }
+                spool_ref.mark_written(generation);
             }
         });
 
@@ -524,9 +743,11 @@ pub fn serve(
             let accepted_ref = &accepted;
             let completed_ref = &completed;
             let failed_ref = &failed;
+            let idle_ref = &idle_disconnects;
             let last_error_ref = &last_session_error;
             let accept_error_ref = &accept_error;
             let session_limit = options.connections;
+            let idle_timeout = options.idle_timeout;
             scope.spawn("acceptor", move || {
                 let mut permit_held = false;
                 loop {
@@ -566,6 +787,7 @@ pub fn serve(
                                     decoder.as_ref(),
                                     &commit_tx,
                                     &shutdown,
+                                    idle_timeout,
                                 ) {
                                     Ok(SessionEnd::EndOfStream) => {
                                         completed_ref.fetch_add(1, Ordering::SeqCst);
@@ -575,6 +797,12 @@ pub fn serve(
                                         failed_ref.fetch_add(1, Ordering::SeqCst);
                                         *last_error_ref.lock().expect("last error lock") = Some(
                                             "peer closed without an end-of-stream frame".into(),
+                                        );
+                                    }
+                                    Ok(SessionEnd::Idle) => {
+                                        idle_ref.fetch_add(1, Ordering::SeqCst);
+                                        *last_error_ref.lock().expect("last error lock") = Some(
+                                            "peer idled past --idle-timeout between frames".into(),
                                         );
                                     }
                                     Err(e) => {
@@ -606,19 +834,64 @@ pub fn serve(
         drop(commit_tx);
         while let Some(commit) = commit_rx.pop() {
             match commit {
-                Commit::Batch { batch, ack } => {
+                Commit::Hello { session: id, ack } => {
+                    let cursor = session.session_cursor(&id);
+                    if cursor > 0 {
+                        resumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let _ = ack.push(SessionResume { cursor });
+                }
+                Commit::Batch { batch, seq, ack } => {
                     let before = session.count();
-                    let result = session.absorb_prepared(batch);
-                    if result.is_ok() && policy.due(before, session.count()) {
+                    let result = match seq {
+                        None => session
+                            .absorb_prepared(batch)
+                            .map(|_| BatchOutcome::Absorbed),
+                        Some((id, n)) => {
+                            let cursor = session.session_cursor(&id);
+                            if n < cursor {
+                                // Replay of a committed frame: the dedup
+                                // cursor is exactly why this acks `+`
+                                // without touching the window.
+                                duplicates.fetch_add(1, Ordering::SeqCst);
+                                Ok(BatchOutcome::Duplicate)
+                            } else if n > cursor {
+                                Err(CollectorError::Protocol(format!(
+                                    "session {id:?}: frame seq {n} skips ahead of cursor {cursor}"
+                                )))
+                            } else {
+                                session.absorb_prepared(batch).map(|_| {
+                                    session.set_session_cursor(&id, n + 1);
+                                    BatchOutcome::Absorbed
+                                })
+                            }
+                        }
+                    };
+                    if matches!(result, Ok(BatchOutcome::Absorbed))
+                        && policy.due(before, session.count())
+                    {
                         spool.publish(session.snapshot_text());
                     }
                     let _ = ack.push(result);
                 }
-                Commit::Flush { ack } => {
-                    if policy.path.is_some() {
-                        spool.publish(session.snapshot_text());
-                    }
-                    let _ = ack.push(Ok(session.count()));
+                Commit::Flush { sequenced, ack } => {
+                    let result = if policy.path.is_some() {
+                        let generation = spool.publish(session.snapshot_text());
+                        if sequenced && !spool.wait_written(generation) {
+                            // The writer died: the cursor the client is
+                            // about to trust was never persisted. Fail
+                            // the flush so the client keeps its replay
+                            // buffer.
+                            Err(CollectorError::Io(
+                                "the final session snapshot could not be persisted".into(),
+                            ))
+                        } else {
+                            Ok(session.count())
+                        }
+                    } else {
+                        Ok(session.count())
+                    };
+                    let _ = ack.push(result);
                 }
             }
         }
@@ -642,6 +915,10 @@ pub fn serve(
         failed: failed.into_inner(),
         reports: session.count() - start_count,
         snapshots_superseded: spool.superseded(),
+        duplicates_suppressed: duplicates.into_inner(),
+        sessions_resumed: resumed.into_inner(),
+        idle_disconnects: idle_disconnects.into_inner(),
+        faults_injected: faults::injected() - faults_before,
         last_session_error: last_session_error.into_inner().expect("last error lock"),
     })
 }

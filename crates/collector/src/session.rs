@@ -11,7 +11,10 @@
 
 use crate::error::CollectorError;
 use ldp_core::snapshot::SnapshotState;
-use ldp_core::{decode_snapshot, encode_snapshot, Mechanism, WireReport};
+use ldp_core::{
+    decode_snapshot_with_sessions, encode_snapshot_with_sessions, Mechanism, SessionCursors,
+    WireReport,
+};
 use ldp_numeric::SplitMix64;
 use rand::Rng;
 use std::any::Any;
@@ -84,6 +87,22 @@ pub trait CollectorSession: Send {
     /// returns the number of reports absorbed. All-or-nothing; rejects
     /// batches prepared for a different configuration.
     fn absorb_prepared(&mut self, batch: PreparedBatch) -> Result<u64, CollectorError>;
+
+    /// The next expected frame sequence number for sequenced session `id`
+    /// (`0` for an id never seen — fresh sessions start at sequence 0).
+    /// See `crate::protocol` for the dedup rules built on this cursor.
+    fn session_cursor(&self, id: &str) -> u64;
+
+    /// Records `cursor` as the next expected sequence number for `id`.
+    /// The caller (the serve path's absorber) advances the cursor in the
+    /// same serialized step as the absorb it vouches for, so snapshots
+    /// always capture state and cursors consistently.
+    fn set_session_cursor(&mut self, id: &str, cursor: u64);
+
+    /// Every sequenced-session dedup cursor this window holds (they ride
+    /// inside [`CollectorSession::snapshot_text`] and survive
+    /// [`CollectorSession::restore`]).
+    fn session_cursors(&self) -> SessionCursors;
 }
 
 /// A decoded and pre-absorbed batch in flight from a connection thread to
@@ -131,6 +150,7 @@ pub struct Session<M: Mechanism> {
     mechanism: M,
     state: M::State,
     count: u64,
+    cursors: SessionCursors,
     id: String,
     to_input: InputAdapter<M::Input>,
     render: OutputRenderer<M::Output>,
@@ -183,6 +203,7 @@ where
             mechanism,
             state,
             count: 0,
+            cursors: SessionCursors::new(),
             id,
             to_input,
             render,
@@ -276,20 +297,36 @@ where
     }
 
     fn snapshot_text(&self) -> String {
-        encode_snapshot(&self.mechanism, &self.id, &self.state, self.count)
+        encode_snapshot_with_sessions(
+            &self.mechanism,
+            &self.id,
+            &self.state,
+            self.count,
+            &self.cursors,
+        )
     }
 
     fn restore(&mut self, snapshot: &str) -> Result<(), CollectorError> {
-        let (state, count) = decode_snapshot(&self.mechanism, &self.id, snapshot)?;
+        let (state, count, cursors) =
+            decode_snapshot_with_sessions(&self.mechanism, &self.id, snapshot)?;
         self.state = state;
         self.count = count;
+        self.cursors = cursors;
         Ok(())
     }
 
     fn merge_snapshot(&mut self, snapshot: &str) -> Result<(), CollectorError> {
-        let (state, count) = decode_snapshot(&self.mechanism, &self.id, snapshot)?;
+        let (state, count, cursors) =
+            decode_snapshot_with_sessions(&self.mechanism, &self.id, snapshot)?;
         self.mechanism.merge_state(&mut self.state, &state)?;
         self.count += count;
+        // Per-id max: shards that both saw a session agree on the highest
+        // committed sequence (a sequenced client talks to one shard at a
+        // time, so the higher cursor subsumes the lower).
+        for (id, cursor) in cursors {
+            let entry = self.cursors.entry(id).or_insert(0);
+            *entry = (*entry).max(cursor);
+        }
         Ok(())
     }
 
@@ -334,6 +371,18 @@ where
         self.mechanism.merge_state(&mut self.state, &shard)?;
         self.count += batch.reports;
         Ok(batch.reports)
+    }
+
+    fn session_cursor(&self, id: &str) -> u64 {
+        self.cursors.get(id).copied().unwrap_or(0)
+    }
+
+    fn set_session_cursor(&mut self, id: &str, cursor: u64) {
+        self.cursors.insert(id.to_string(), cursor);
+    }
+
+    fn session_cursors(&self) -> SessionCursors {
+        self.cursors.clone()
     }
 }
 

@@ -203,6 +203,58 @@ fn shutdown_finishes_in_flight_frames_and_persists() {
 }
 
 #[test]
+fn an_idle_peer_is_disconnected_and_counted_without_wedging_the_fleet() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let generator = build_session(SPEC).unwrap();
+    let log = generator.gen_reports(400, 13).unwrap();
+    let policy = SnapshotPolicy {
+        path: None,
+        every: 0,
+        keep: 0,
+    };
+    let options = ServeOptions {
+        max_connections: 2,
+        connections: 2,
+        idle_timeout: Some(std::time::Duration::from_millis(150)),
+        ..ServeOptions::default()
+    };
+    let server = serve_fleet(listener, policy, options);
+
+    let frames = fleet_frames(&log, 2, 50);
+    std::thread::scope(|scope| {
+        // Session A sends half its frames, then stalls at a frame
+        // boundary far past the idle timeout, holding its socket open.
+        let a_frames = &frames[0];
+        scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut ack = [0u8; 1];
+            for frame in &a_frames[..2] {
+                write_frame(&mut stream, frame).unwrap();
+                stream.read_exact(&mut ack).unwrap();
+                assert_eq!(ack[0], b'+');
+            }
+            // The server hangs up on us; the read observes it.
+            let mut sink = [0u8; 1];
+            assert!(
+                !matches!(stream.read(&mut sink), Ok(1)),
+                "server should disconnect an idle peer, not ack it"
+            );
+        });
+        // Session B streams normally; the stalled peer must not wedge it.
+        let b_frames = &frames[1];
+        scope.spawn(move || stream_session(addr, b_frames));
+    });
+    let (summary, session) = server.join().unwrap();
+    assert_eq!(summary.idle_disconnects, 1, "the stalled peer is counted");
+    assert_eq!(summary.failed, 0, "idleness is a disconnect, not a failure");
+    assert_eq!(summary.completed, 1);
+    // B's 200 reports plus the 100 A got acked before stalling: acked
+    // frames stay committed even when the session is later disconnected.
+    assert_eq!(session.count(), 300);
+}
+
+#[test]
 fn one_bad_session_is_rejected_without_poisoning_the_fleet() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();

@@ -111,5 +111,8 @@ pub mod wire;
 pub use error::CoreError;
 pub use mechanism::{Aggregator, Client, Mechanism};
 pub use params::{Domain, Epsilon};
-pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotHeader, SnapshotState};
+pub use snapshot::{
+    decode_snapshot, decode_snapshot_with_sessions, encode_snapshot, encode_snapshot_with_sessions,
+    valid_session_id, SessionCursors, SnapshotHeader, SnapshotState,
+};
 pub use wire::{decode_lines, encode_lines, WireReport};

@@ -68,6 +68,7 @@
 
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// The container format version this build writes and the only version it
@@ -183,6 +184,25 @@ pub fn parse_fields<'a, T: std::str::FromStr>(
     Ok(out)
 }
 
+/// Per-session dedup cursors: session id → next expected frame sequence
+/// number. The sequenced ingest protocol (`docs/WIRE_FORMAT.md` §3)
+/// persists these inside the snapshot container so a collector restart
+/// suppresses replayed frames exactly like a live reconnect does.
+pub type SessionCursors = BTreeMap<String, u64>;
+
+/// Whether `id` is a well-formed session id: 1–64 characters drawn from
+/// `[A-Za-z0-9._-]`. Session ids appear as single whitespace-delimited
+/// tokens in both the wire hello and the snapshot sessions section, so
+/// the charset is restricted to keep every parser unambiguous.
+#[must_use]
+pub fn valid_session_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
 /// The parsed header of a snapshot file — everything a tool can know
 /// without the mechanism in hand (see the `inspect` collector subcommand).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +218,9 @@ pub struct SnapshotHeader {
     pub count: u64,
     /// Number of state body lines that follow the header.
     pub body_lines: u64,
+    /// Sequenced-session dedup cursors from the optional `sessions`
+    /// section (empty for windows that never served a sequenced session).
+    pub sessions: SessionCursors,
 }
 
 /// FNV-1a 64-bit over the header-and-body text: cheap, dependency-free,
@@ -234,9 +257,40 @@ where
     M: Mechanism,
     M::State: SnapshotState,
 {
+    encode_snapshot_with_sessions(mech, mechanism_id, state, count, &SessionCursors::new())
+}
+
+/// [`encode_snapshot`] plus the optional **sessions section**: when
+/// `sessions` is non-empty, the lines
+///
+/// ```text
+/// sessions <k>
+/// session <id> <cursor>      × k, sorted by id
+/// ```
+///
+/// are appended between the state body and the checksum line (so the
+/// checksum covers them). An empty cursor map writes no section at all —
+/// windows that never served a sequenced session stay byte-identical to
+/// containers from earlier builds.
+#[must_use]
+pub fn encode_snapshot_with_sessions<M>(
+    mech: &M,
+    mechanism_id: &str,
+    state: &M::State,
+    count: u64,
+    sessions: &SessionCursors,
+) -> String
+where
+    M: Mechanism,
+    M::State: SnapshotState,
+{
     debug_assert!(
         !mechanism_id.contains('\n'),
         "mechanism ids are single-line"
+    );
+    debug_assert!(
+        sessions.keys().all(|id| valid_session_id(id)),
+        "session ids must be validated before they reach the container"
     );
     let mut body = String::new();
     state.encode_state(&mut body);
@@ -248,6 +302,12 @@ where
     let _ = writeln!(out, "count {count}");
     let _ = writeln!(out, "body-lines {body_lines}");
     out.push_str(&body);
+    if !sessions.is_empty() {
+        let _ = writeln!(out, "sessions {}", sessions.len());
+        for (id, cursor) in sessions {
+            let _ = writeln!(out, "session {id} {cursor}");
+        }
+    }
     let _ = writeln!(out, "checksum {:016x}", snapshot_checksum(&out));
     out
 }
@@ -316,9 +376,49 @@ pub fn parse_snapshot(text: &str) -> Result<(SnapshotHeader, Vec<&str>), CoreErr
             ))
         })?);
     }
-    let checksum_line = lines
+    let mut after_body = lines
         .next()
         .ok_or_else(|| CoreError::Snapshot("truncated snapshot: missing checksum line".into()))?;
+    let mut sessions = SessionCursors::new();
+    if let Some(rest) = after_body.strip_prefix("sessions ") {
+        let declared: u64 = rest
+            .parse()
+            .map_err(|_| CoreError::Snapshot(format!("malformed sessions count {rest:?}")))?;
+        if declared == 0 {
+            return Err(CoreError::Snapshot(
+                "empty sessions section (omit the section instead)".into(),
+            ));
+        }
+        for i in 0..declared {
+            let line = lines.next().ok_or_else(|| {
+                CoreError::Snapshot(format!(
+                    "truncated snapshot: {i} of {declared} session lines present"
+                ))
+            })?;
+            let mut it = line.split_whitespace();
+            expect_tag(it.next(), "session")
+                .map_err(|_| CoreError::Snapshot(format!("malformed session line {line:?}")))?;
+            let id = it
+                .next()
+                .ok_or_else(|| CoreError::Snapshot(format!("malformed session line {line:?}")))?;
+            if !valid_session_id(id) {
+                return Err(CoreError::Snapshot(format!("invalid session id {id:?}")));
+            }
+            let cursor: u64 = parse_snapshot_field(it.next(), "session cursor")?;
+            if let Some(extra) = it.next() {
+                return Err(CoreError::Snapshot(format!(
+                    "trailing field {extra:?} on session line {line:?}"
+                )));
+            }
+            if sessions.insert(id.to_owned(), cursor).is_some() {
+                return Err(CoreError::Snapshot(format!("duplicate session id {id:?}")));
+            }
+        }
+        after_body = lines.next().ok_or_else(|| {
+            CoreError::Snapshot("truncated snapshot: missing checksum line".into())
+        })?;
+    }
+    let checksum_line = after_body;
     let recorded = checksum_line
         .strip_prefix("checksum ")
         .and_then(|h| u64::from_str_radix(h, 16).ok())
@@ -351,6 +451,7 @@ pub fn parse_snapshot(text: &str) -> Result<(SnapshotHeader, Vec<&str>), CoreErr
             fingerprint,
             count,
             body_lines,
+            sessions,
         },
         body,
     ))
@@ -371,6 +472,23 @@ pub fn decode_snapshot<M>(
     mechanism_id: &str,
     text: &str,
 ) -> Result<(M::State, u64), CoreError>
+where
+    M: Mechanism,
+    M::State: SnapshotState,
+{
+    let (state, count, _) = decode_snapshot_with_sessions(mech, mechanism_id, text)?;
+    Ok((state, count))
+}
+
+/// [`decode_snapshot`] plus the sequenced-session dedup cursors from the
+/// optional sessions section (an empty map when the section is absent).
+/// Collectors that resume a window use this so replayed frames from
+/// before the crash are suppressed, not double-counted.
+pub fn decode_snapshot_with_sessions<M>(
+    mech: &M,
+    mechanism_id: &str,
+    text: &str,
+) -> Result<(M::State, u64, SessionCursors), CoreError>
 where
     M: Mechanism,
     M::State: SnapshotState,
@@ -400,7 +518,7 @@ where
     // (bucket counts, level counts, …) runs on the decoded state.
     let mut state = mech.empty_state();
     mech.merge_state(&mut state, &decoded)?;
-    Ok((state, header.count))
+    Ok((state, header.count, header.sessions))
 }
 
 /// A single-slot, latest-wins handoff between the thread that *renders*
@@ -426,9 +544,15 @@ pub struct SnapshotSpool {
 
 #[derive(Debug, Default)]
 struct SpoolSlot {
-    pending: Option<String>,
+    pending: Option<(u64, String)>,
     closed: bool,
     superseded: u64,
+    /// Generation stamp of the most recent publish.
+    published: u64,
+    /// Highest generation the writer has durably persisted.
+    written: u64,
+    /// The writer died without persisting: waiters must not block forever.
+    poisoned: bool,
 }
 
 impl SnapshotSpool {
@@ -438,30 +562,44 @@ impl SnapshotSpool {
         Self::default()
     }
 
-    /// Deposits a rendered snapshot, replacing any unwritten predecessor.
+    /// Deposits a rendered snapshot, replacing any unwritten predecessor,
+    /// and returns the publication's generation stamp (monotonic; pass it
+    /// to [`wait_written`](Self::wait_written) when the caller must not
+    /// proceed until this snapshot — or a newer one — is durable).
     /// Never blocks — this is the absorber-side half of the "snapshot
     /// writes never stall ingest" guarantee. Publishing after
-    /// [`close`](Self::close) is a no-op.
-    pub fn publish(&self, text: String) {
+    /// [`close`](Self::close) is a no-op (the stamp of the last accepted
+    /// publish is returned).
+    pub fn publish(&self, text: String) -> u64 {
         let mut slot = self.slot.lock().expect("spool lock poisoned");
         if slot.closed {
-            return;
+            return slot.published;
         }
-        if slot.pending.replace(text).is_some() {
+        slot.published += 1;
+        let generation = slot.published;
+        if slot.pending.replace((generation, text)).is_some() {
             slot.superseded += 1;
         }
         drop(slot);
-        self.ready.notify_one();
+        self.ready.notify_all();
+        generation
     }
 
     /// Blocks until a snapshot is pending or the spool is closed. Returns
     /// `None` only when the spool is closed *and* drained — the writer's
     /// clean shutdown signal.
     pub fn take(&self) -> Option<String> {
+        self.take_tagged().map(|(_, text)| text)
+    }
+
+    /// [`take`](Self::take) plus the snapshot's generation stamp, for
+    /// writers that report durability back through
+    /// [`mark_written`](Self::mark_written).
+    pub fn take_tagged(&self) -> Option<(u64, String)> {
         let mut slot = self.slot.lock().expect("spool lock poisoned");
         loop {
-            if let Some(text) = slot.pending.take() {
-                return Some(text);
+            if let Some(tagged) = slot.pending.take() {
+                return Some(tagged);
             }
             if slot.closed {
                 return None;
@@ -478,6 +616,43 @@ impl SnapshotSpool {
             .expect("spool lock poisoned")
             .pending
             .take()
+            .map(|(_, text)| text)
+    }
+
+    /// Records that the snapshot stamped `generation` has been durably
+    /// persisted, releasing any [`wait_written`](Self::wait_written)
+    /// caller waiting at or below it. Because the spool is latest-wins,
+    /// persisting a later snapshot subsumes every earlier one.
+    pub fn mark_written(&self, generation: u64) {
+        let mut slot = self.slot.lock().expect("spool lock poisoned");
+        slot.written = slot.written.max(generation);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Marks the writer as dead without durability: every current and
+    /// future [`wait_written`](Self::wait_written) call returns `false`
+    /// instead of blocking forever.
+    pub fn poison(&self) {
+        self.slot.lock().expect("spool lock poisoned").poisoned = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the writer has persisted the snapshot stamped
+    /// `generation` (or a newer one). Returns `false` if the spool was
+    /// [`poison`](Self::poison)ed first — the caller must treat the
+    /// snapshot as *not* durable.
+    pub fn wait_written(&self, generation: u64) -> bool {
+        let mut slot = self.slot.lock().expect("spool lock poisoned");
+        loop {
+            if slot.written >= generation {
+                return true;
+            }
+            if slot.poisoned {
+                return false;
+            }
+            slot = self.ready.wait(slot).expect("spool lock poisoned");
+        }
     }
 
     /// Ends the stream and wakes the writer so it can drain and exit.
@@ -712,6 +887,48 @@ mod tests {
     }
 
     #[test]
+    fn spool_generations_track_durability() {
+        let spool = SnapshotSpool::new();
+        let g1 = spool.publish("one".into());
+        let g2 = spool.publish("two".into());
+        assert!(g2 > g1);
+        // Latest-wins: the writer takes g2, and marking it written
+        // subsumes g1.
+        let (taken, text) = spool.take_tagged().unwrap();
+        assert_eq!((taken, text.as_str()), (g2, "two"));
+        spool.mark_written(taken);
+        assert!(spool.wait_written(g1));
+        assert!(spool.wait_written(g2));
+    }
+
+    #[test]
+    fn spool_wait_written_blocks_until_the_writer_reports() {
+        let spool = SnapshotSpool::new();
+        let g = spool.publish("pending".into());
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| spool.wait_written(g));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let (taken, _) = spool.take_tagged().unwrap();
+            spool.mark_written(taken);
+            assert!(waiter.join().unwrap());
+        });
+    }
+
+    #[test]
+    fn spool_poison_releases_waiters_as_not_durable() {
+        let spool = SnapshotSpool::new();
+        let g = spool.publish("never written".into());
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| spool.wait_written(g));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            spool.poison();
+            assert!(!waiter.join().unwrap());
+        });
+        // Poisoned stays poisoned for later waiters too.
+        assert!(!spool.wait_written(g));
+    }
+
+    #[test]
     fn spool_take_blocks_until_closed() {
         let spool = SnapshotSpool::new();
         std::thread::scope(|s| {
@@ -720,6 +937,99 @@ mod tests {
             spool.close();
             assert_eq!(taker.join().unwrap(), None);
         });
+    }
+
+    #[test]
+    fn sessions_section_round_trips() {
+        let mech = Tally { buckets: 4 };
+        let state = vec![5, 0, 2, 9];
+        let mut cursors = SessionCursors::new();
+        cursors.insert("phone-7".into(), 42);
+        cursors.insert("fleet.3_b".into(), 1);
+        let text = encode_snapshot_with_sessions(&mech, "tally:d=4", &state, 16, &cursors);
+        let (restored, count, sessions) =
+            decode_snapshot_with_sessions(&mech, "tally:d=4", &text).unwrap();
+        assert_eq!(restored, state);
+        assert_eq!(count, 16);
+        assert_eq!(sessions, cursors);
+        // The plain decoder still accepts the file (and discards cursors).
+        let (restored2, _) = decode_snapshot(&mech, "tally:d=4", &text).unwrap();
+        assert_eq!(restored2, state);
+        // Deterministic layout: ids sorted, one line each.
+        assert!(text.contains("sessions 2\nsession fleet.3_b 1\nsession phone-7 42\n"));
+    }
+
+    #[test]
+    fn empty_sessions_map_keeps_legacy_bytes() {
+        let mech = Tally { buckets: 4 };
+        let state = vec![5, 0, 2, 9];
+        let legacy = encode_snapshot(&mech, "tally:d=4", &state, 16);
+        let with_empty =
+            encode_snapshot_with_sessions(&mech, "tally:d=4", &state, 16, &SessionCursors::new());
+        assert_eq!(legacy, with_empty);
+        assert!(!legacy.contains("sessions"));
+        let (_, _, sessions) = decode_snapshot_with_sessions(&mech, "tally:d=4", &legacy).unwrap();
+        assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn malformed_sessions_sections_are_rejected() {
+        let mech = Tally { buckets: 4 };
+        let state = vec![5, 0, 2, 9];
+        let mut cursors = SessionCursors::new();
+        cursors.insert("s1".into(), 7);
+        cursors.insert("s2".into(), 9);
+        let text = encode_snapshot_with_sessions(&mech, "tally:d=4", &state, 16, &cursors);
+        let reject = |mutated: String, why: &str| {
+            assert!(
+                decode_snapshot_with_sessions(&mech, "tally:d=4", &mutated).is_err(),
+                "{why} must be rejected"
+            );
+        };
+        // Any textual tamper trips the checksum.
+        reject(text.replace("session s1 7", "session s1 8"), "cursor edit");
+        reject(text.replace("sessions 2", "sessions 1"), "count edit");
+        // Structural breakage is caught even when re-checksummed.
+        let rechecksum = |body_edit: &str, to: &str| {
+            let edited = text.replace(body_edit, to);
+            let covered_end = edited.rfind("checksum ").unwrap();
+            let covered = &edited[..covered_end];
+            format!("{covered}checksum {:016x}\n", snapshot_checksum(covered))
+        };
+        reject(
+            rechecksum("session s2 9", "session s1 9"),
+            "duplicate session id",
+        );
+        reject(
+            rechecksum("session s2 9", "session bad!id 9"),
+            "invalid session id",
+        );
+        reject(
+            rechecksum("session s2 9", "session s2 9 extra"),
+            "trailing session field",
+        );
+        reject(rechecksum("session s2 9", "session s2"), "missing cursor");
+        reject(rechecksum("sessions 2", "sessions 3"), "overlong count");
+        reject(
+            rechecksum("sessions 2\nsession s1 7\nsession s2 9\n", "sessions 0\n"),
+            "explicit empty section",
+        );
+        reject(
+            rechecksum("sessions 2", "sessions x"),
+            "non-numeric session count",
+        );
+    }
+
+    #[test]
+    fn session_id_validation() {
+        assert!(valid_session_id("a"));
+        assert!(valid_session_id("fleet-3_b.7"));
+        assert!(valid_session_id(&"x".repeat(64)));
+        assert!(!valid_session_id(""));
+        assert!(!valid_session_id(&"x".repeat(65)));
+        assert!(!valid_session_id("has space"));
+        assert!(!valid_session_id("new\nline"));
+        assert!(!valid_session_id("ütf"));
     }
 
     #[test]

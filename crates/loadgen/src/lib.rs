@@ -11,6 +11,21 @@
 //! of the decode → queue → absorb pipeline; the [`RunReport`] summarizes
 //! throughput and the ack-latency tail (p50/p99/max).
 //!
+//! Two delivery modes:
+//!
+//! - **Bare** (the default): PR 6's at-least-once framing. An io error
+//!   mid-session fails that connection's run — there is no safe retry.
+//! - **Sequenced** ([`Plan::session`] set): the exactly-once protocol of
+//!   `docs/WIRE_FORMAT.md` §4. Each connection opens a stable session id,
+//!   numbers its frames, and on *any* io error or `-` ack reconnects with
+//!   capped exponential backoff ([`Backoff`]), re-handshakes, and resumes
+//!   from the **server's** cursor — resending whatever the collector
+//!   rolled back and trusting it to suppress whatever it already
+//!   committed. A faulted, crashing, restarting collector therefore ends
+//!   the run with exactly the planned reports absorbed, and the run
+//!   report counts the retries ([`RunReport::reconnects`],
+//!   [`RunReport::frames_resent`]) instead of failing.
+//!
 //! Two consumers: the `ldp-loadgen` binary for operator drills, and the
 //! `sustained_ingest` bench in `ldp-bench`, which records the collector's
 //! end-to-end ingest rate into `BENCH_em.json`.
@@ -19,11 +34,22 @@
 #![warn(missing_docs)]
 
 use ldp_collector::build_session;
+use ldp_collector::protocol;
 use ldp_collector::server::write_frame;
 use ldp_collector::CollectorError;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// First retry delay of a [`Backoff`].
+pub const BACKOFF_BASE: Duration = Duration::from_millis(20);
+
+/// Ceiling a [`Backoff`] delay never exceeds.
+pub const BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Default total sleep budget for connects and reconnects
+/// ([`Plan::retry_budget`]).
+pub const DEFAULT_RETRY_BUDGET: Duration = Duration::from_millis(15_000);
 
 /// What to send: which mechanism's reports, how many sessions, how fast.
 #[derive(Debug, Clone)]
@@ -41,6 +67,16 @@ pub struct Plan {
     /// Target aggregate rate in reports/second across all connections
     /// (`0.0` = unthrottled).
     pub rate: f64,
+    /// Sequenced-session id prefix. `Some("fleet")` switches every
+    /// connection to the exactly-once protocol with session ids
+    /// `fleet-0`, `fleet-1`, … and reconnect-with-resume; `None` keeps
+    /// bare at-least-once framing.
+    pub session: Option<String>,
+    /// Total sleep budget shared by a connection's initial connect
+    /// retries and (in sequenced mode) every reconnect backoff. The
+    /// budget refills each time the session makes progress, so it bounds
+    /// *consecutive* futility, not run length.
+    pub retry_budget: Duration,
 }
 
 impl Default for Plan {
@@ -52,6 +88,8 @@ impl Default for Plan {
             reports_per_frame: 256,
             seed: 1,
             rate: 0.0,
+            session: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
         }
     }
 }
@@ -69,12 +107,22 @@ impl Plan {
 pub struct RunReport {
     /// Sessions driven (== the plan's `connections`).
     pub connections: usize,
-    /// Reports sent and positively acked.
+    /// Distinct reports positively acked (resends of the same sequenced
+    /// frame count once).
     pub reports: u64,
-    /// Frames sent (excluding end-of-stream frames).
+    /// Frames sent and acked, *including* sequenced resends (excluding
+    /// end-of-stream frames).
     pub frames: u64,
     /// Frames the collector rejected with `-`.
     pub rejected_frames: u64,
+    /// TCP connect attempts across all connections (1 per connection on
+    /// a quiet network; more under backoff).
+    pub connect_attempts: u64,
+    /// Successful re-handshakes after a broken sequenced session.
+    pub reconnects: u64,
+    /// Sequenced frames re-sent below a connection's high-water mark —
+    /// the at-least-once duplicates the collector must suppress.
+    pub frames_resent: u64,
     /// Wall-clock for the whole run (connect to last end-of-stream ack).
     pub elapsed: Duration,
     /// Acked reports per second of wall-clock.
@@ -85,6 +133,19 @@ pub struct RunReport {
     pub ack_p99_us: u64,
     /// Worst frame ack latency, microseconds.
     pub ack_max_us: u64,
+}
+
+/// How [`run_frames_with`] should drive each connection.
+#[derive(Debug, Clone)]
+pub struct DriveOptions {
+    /// Wire-report lines per frame (for the report's `reports` count).
+    pub reports_per_frame: usize,
+    /// Per-connection pacing between frame sends (zero = none).
+    pub frame_interval: Duration,
+    /// Sequenced-session id prefix (see [`Plan::session`]).
+    pub session: Option<String>,
+    /// Backoff sleep budget (see [`Plan::retry_budget`]).
+    pub retry_budget: Duration,
 }
 
 /// Per-connection frame payloads for `plan` — valid wire-report lines
@@ -112,46 +173,119 @@ pub fn generate_frames(plan: &Plan) -> Result<Vec<Vec<String>>, CollectorError> 
     Ok(out)
 }
 
+/// Capped exponential backoff with a refillable sleep budget: 20 ms,
+/// 40 ms, 80 ms, … capped at 1 s, until the cumulative sleep exhausts
+/// the budget. [`reset`](Backoff::reset) (called whenever the session
+/// makes progress) drops the delay back to the base *and* refills the
+/// budget — a run only gives up after `budget` of *consecutive*
+/// fruitless retrying.
+#[derive(Debug)]
+pub struct Backoff {
+    next_delay: Duration,
+    slept: Duration,
+    budget: Duration,
+}
+
+impl Backoff {
+    /// A fresh backoff with `budget` of total sleep before giving up.
+    #[must_use]
+    pub fn new(budget: Duration) -> Backoff {
+        Backoff {
+            next_delay: BACKOFF_BASE,
+            slept: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Sleeps before the next retry. Returns `false` — without sleeping —
+    /// once the budget is exhausted; the caller must give up.
+    pub fn wait(&mut self) -> bool {
+        let remaining = self.budget.saturating_sub(self.slept);
+        if remaining.is_zero() {
+            return false;
+        }
+        let delay = self.next_delay.min(remaining);
+        std::thread::sleep(delay);
+        self.slept += delay;
+        self.next_delay = (self.next_delay * 2).min(BACKOFF_CAP);
+        true
+    }
+
+    /// Progress was made: restart from the base delay with a full budget.
+    pub fn reset(&mut self) {
+        self.next_delay = BACKOFF_BASE;
+        self.slept = Duration::ZERO;
+    }
+}
+
 /// One connection's tally, merged into the [`RunReport`] at the end.
 struct ConnStats {
     frames: u64,
     rejected: u64,
+    connect_attempts: u64,
+    reconnects: u64,
+    frames_resent: u64,
+    /// Distinct frames this connection got committed (drives the
+    /// report count; resends count once).
+    acked_unique: u64,
     latencies_us: Vec<u64>,
 }
 
-/// Connects with retries over ~3 seconds — load runs routinely start
-/// while the collector is still binding its listener.
-fn connect_with_retry(addr: &str) -> Result<TcpStream, CollectorError> {
-    let mut last: Option<std::io::Error> = None;
-    for _ in 0..100 {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => last = Some(e),
+impl ConnStats {
+    fn new(capacity: usize) -> ConnStats {
+        ConnStats {
+            frames: 0,
+            rejected: 0,
+            connect_attempts: 0,
+            reconnects: 0,
+            frames_resent: 0,
+            acked_unique: 0,
+            latencies_us: Vec::with_capacity(capacity),
         }
-        std::thread::sleep(Duration::from_millis(30));
     }
-    Err(CollectorError::Io(format!(
-        "connect {addr}: {}",
-        last.map_or_else(|| "no attempt".into(), |e| e.to_string())
-    )))
 }
 
-/// Streams `frames` over one session: frame, ack, repeat, end-of-stream.
-/// `frame_interval` paces sends against the connection's own start time
-/// (zero = as fast as acks allow).
+/// Connects under `backoff` — load runs routinely start while the
+/// collector is still binding its listener, and sequenced reconnects
+/// race collector restarts. Every attempt is counted into `attempts`.
+fn connect_with_retry(
+    addr: &str,
+    backoff: &mut Backoff,
+    attempts: &mut u64,
+) -> Result<TcpStream, CollectorError> {
+    loop {
+        *attempts += 1;
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => {
+                if !backoff.wait() {
+                    return Err(CollectorError::Io(format!(
+                        "connect {addr}: {e} (retry budget exhausted)"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Streams `frames` over one bare session: frame, ack, repeat,
+/// end-of-stream. `frame_interval` paces sends against the connection's
+/// own start time (zero = as fast as acks allow). No retry after the
+/// connect: bare framing is at-least-once, so resending on error could
+/// double-count.
 fn drive_connection(
     addr: &str,
     frames: &[String],
     frame_interval: Duration,
+    retry_budget: Duration,
 ) -> Result<ConnStats, CollectorError> {
-    let mut stream = connect_with_retry(addr)?;
-    let _ = stream.set_nodelay(true);
+    let mut stats = ConnStats::new(frames.len());
+    let mut backoff = Backoff::new(retry_budget);
+    let mut stream = connect_with_retry(addr, &mut backoff, &mut stats.connect_attempts)?;
     let io = |what: &str, e: std::io::Error| CollectorError::Io(format!("{what}: {e}"));
-    let mut stats = ConnStats {
-        frames: 0,
-        rejected: 0,
-        latencies_us: Vec::with_capacity(frames.len()),
-    };
     let started = Instant::now();
     for (i, payload) in frames.iter().enumerate() {
         if !frame_interval.is_zero() {
@@ -170,7 +304,7 @@ fn drive_connection(
             .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         stats.frames += 1;
         match ack[0] {
-            b'+' => {}
+            b'+' => stats.acked_unique += 1,
             b'-' => {
                 // A rejected frame ends the session server-side; count it
                 // and stop rather than erroring the whole run.
@@ -199,6 +333,150 @@ fn drive_connection(
     Ok(stats)
 }
 
+/// Streams `frames` over one sequenced session with reconnect-and-resume.
+///
+/// The loop trusts the server's cursor absolutely: after every
+/// (re)handshake it resumes from the cursor in the hello ack — skipping
+/// frames the collector already committed, resending frames it rolled
+/// back. Any io error, refused hello, or `-` ack tears the connection
+/// down and re-handshakes under the shared [`Backoff`]; only an
+/// exhausted budget (or a protocol-breaking ack byte) fails the run.
+fn drive_sequenced(
+    addr: &str,
+    session_id: &str,
+    frames: &[String],
+    options: &DriveOptions,
+) -> Result<ConnStats, CollectorError> {
+    let mut stats = ConnStats::new(frames.len());
+    let mut backoff = Backoff::new(options.retry_budget);
+    // One past the highest sequence number ever written: writes below it
+    // are resends the collector must dedup.
+    let mut watermark: u64 = 0;
+    let mut initial_cursor: Option<u64> = None;
+    let mut had_session = false;
+    let give_up = |what: &str| {
+        CollectorError::Io(format!(
+            "session {session_id}: {what} (retry budget exhausted)"
+        ))
+    };
+    let started = Instant::now();
+    'session: loop {
+        let mut stream = connect_with_retry(addr, &mut backoff, &mut stats.connect_attempts)?;
+        // Handshake. Horizon 0: the generator holds every frame in
+        // memory, so it can always replay from the beginning.
+        let handshake =
+            write_frame(&mut stream, &protocol::encode_hello(session_id, 0)).and_then(|()| {
+                let mut first = [0u8; 1];
+                stream.read_exact(&mut first)?;
+                if first[0] != b'+' {
+                    return Ok(None);
+                }
+                let mut raw = [0u8; 8];
+                stream.read_exact(&mut raw)?;
+                Ok(Some(u64::from_be_bytes(raw)))
+            });
+        let cursor = match handshake {
+            Ok(Some(cursor)) => cursor,
+            // Refused (`-`) or torn mid-handshake: nothing was committed
+            // under this connection; back off and re-handshake.
+            Ok(None) | Err(_) => {
+                if !backoff.wait() {
+                    return Err(give_up("hello not accepted"));
+                }
+                continue 'session;
+            }
+        };
+        if had_session {
+            stats.reconnects += 1;
+        }
+        had_session = true;
+        backoff.reset();
+        if initial_cursor.is_none() {
+            initial_cursor = Some(cursor);
+        }
+        for (i, payload) in frames
+            .iter()
+            .enumerate()
+            .skip((cursor as usize).min(frames.len()))
+        {
+            let seq = i as u64;
+            if !options.frame_interval.is_zero() {
+                let due = options.frame_interval * i as u32;
+                let now = started.elapsed();
+                if now < due {
+                    std::thread::sleep(due - now);
+                }
+            }
+            if seq < watermark {
+                stats.frames_resent += 1;
+            }
+            let sent = Instant::now();
+            if write_frame(&mut stream, &protocol::encode_seq_frame(seq, payload)).is_err() {
+                if !backoff.wait() {
+                    return Err(give_up("write frame"));
+                }
+                continue 'session;
+            }
+            watermark = watermark.max(seq + 1);
+            let mut ack = [0u8; 1];
+            if stream.read_exact(&mut ack).is_err() {
+                if !backoff.wait() {
+                    return Err(give_up("read ack"));
+                }
+                continue 'session;
+            }
+            stats
+                .latencies_us
+                .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            stats.frames += 1;
+            match ack[0] {
+                b'+' => backoff.reset(),
+                b'-' => {
+                    // The collector could not commit this frame (injected
+                    // fault, restart-induced gap, …). Its cursor still
+                    // tells the truth: re-handshake and resume from it.
+                    stats.rejected += 1;
+                    if !backoff.wait() {
+                        return Err(give_up("frame rejected"));
+                    }
+                    continue 'session;
+                }
+                other => {
+                    return Err(CollectorError::Protocol(format!(
+                        "unexpected ack byte {other:#04x}"
+                    )))
+                }
+            }
+        }
+        // End of stream. In a sequenced session the `+` arrives only
+        // after the final snapshot is durable — a `-` (flush failed) or a
+        // torn ack means the window may roll back, so resume and let the
+        // server's next cursor decide what must be resent.
+        let eos = stream.write_all(&0u32.to_be_bytes()).and_then(|()| {
+            let mut ack = [0u8; 1];
+            stream.read_exact(&mut ack).map(|()| ack[0])
+        });
+        match eos {
+            Ok(b'+') => {
+                stats.acked_unique =
+                    (frames.len() as u64).saturating_sub(initial_cursor.unwrap_or(0));
+                return Ok(stats);
+            }
+            Ok(b'-') | Err(_) => {
+                if !backoff.wait() {
+                    return Err(give_up("end-of-stream not acked"));
+                }
+                continue 'session;
+            }
+            Ok(other) => {
+                return Err(CollectorError::Protocol(format!(
+                    "unexpected ack byte {other:#04x}"
+                )))
+            }
+        }
+    }
+}
+
 /// The `p`-th percentile (0.0–1.0, nearest-rank) of sorted microseconds.
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
@@ -214,6 +492,17 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
 /// report a flattering rate.
 pub fn run(addr: &str, plan: &Plan) -> Result<RunReport, CollectorError> {
     let frames = generate_frames(plan)?;
+    if let Some(prefix) = &plan.session {
+        for c in 0..plan.connections {
+            let id = format!("{prefix}-{c}");
+            if !protocol::valid_session_id(&id) {
+                return Err(CollectorError::Spec(format!(
+                    "--session {prefix:?} yields invalid session id {id:?} \
+                     (1–64 chars of [A-Za-z0-9._-])"
+                )));
+            }
+        }
+    }
     // Aggregate rate splits evenly: each connection paces its own frames.
     let frame_interval = if plan.rate > 0.0 {
         Duration::from_secs_f64(
@@ -222,23 +511,63 @@ pub fn run(addr: &str, plan: &Plan) -> Result<RunReport, CollectorError> {
     } else {
         Duration::ZERO
     };
-    run_frames(addr, &frames, plan.reports_per_frame, frame_interval)
+    run_frames_with(
+        addr,
+        &frames,
+        &DriveOptions {
+            reports_per_frame: plan.reports_per_frame,
+            frame_interval,
+            session: plan.session.clone(),
+            retry_budget: plan.retry_budget,
+        },
+    )
 }
 
 /// Drives pre-generated `frames` (one `Vec<String>` per connection, as
-/// [`generate_frames`] returns) against `addr`. Benchmarks use this to
-/// keep report generation out of the measured window.
+/// [`generate_frames`] returns) against `addr` in bare mode. Benchmarks
+/// use this to keep report generation out of the measured window.
 pub fn run_frames(
     addr: &str,
     frames: &[Vec<String>],
     reports_per_frame: usize,
     frame_interval: Duration,
 ) -> Result<RunReport, CollectorError> {
+    run_frames_with(
+        addr,
+        frames,
+        &DriveOptions {
+            reports_per_frame,
+            frame_interval,
+            session: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+        },
+    )
+}
+
+/// Drives pre-generated `frames` with full control over delivery mode.
+pub fn run_frames_with(
+    addr: &str,
+    frames: &[Vec<String>],
+    options: &DriveOptions,
+) -> Result<RunReport, CollectorError> {
     let started = Instant::now();
     let results: Vec<Result<ConnStats, CollectorError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = frames
             .iter()
-            .map(|conn_frames| scope.spawn(|| drive_connection(addr, conn_frames, frame_interval)))
+            .enumerate()
+            .map(|(c, conn_frames)| {
+                scope.spawn(move || match &options.session {
+                    None => drive_connection(
+                        addr,
+                        conn_frames,
+                        options.frame_interval,
+                        options.retry_budget,
+                    ),
+                    Some(prefix) => {
+                        drive_sequenced(addr, &format!("{prefix}-{c}"), conn_frames, options)
+                    }
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -252,20 +581,31 @@ pub fn run_frames(
     let elapsed = started.elapsed();
     let mut frames_sent = 0u64;
     let mut rejected = 0u64;
+    let mut connect_attempts = 0u64;
+    let mut reconnects = 0u64;
+    let mut frames_resent = 0u64;
+    let mut unique = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for result in results {
         let stats = result?;
         frames_sent += stats.frames;
         rejected += stats.rejected;
+        connect_attempts += stats.connect_attempts;
+        reconnects += stats.reconnects;
+        frames_resent += stats.frames_resent;
+        unique += stats.acked_unique;
         latencies.extend(stats.latencies_us);
     }
     latencies.sort_unstable();
-    let reports = (frames_sent - rejected) * reports_per_frame as u64;
+    let reports = unique * options.reports_per_frame as u64;
     Ok(RunReport {
         connections: frames.len(),
         reports,
         frames: frames_sent,
         rejected_frames: rejected,
+        connect_attempts,
+        reconnects,
+        frames_resent,
         elapsed,
         reports_per_sec: reports as f64 / elapsed.as_secs_f64().max(1e-9),
         ack_p50_us: percentile(&latencies, 0.50),
@@ -291,6 +631,36 @@ mod tests {
     }
 
     #[test]
+    fn backoff_doubles_to_the_cap_and_respects_its_budget() {
+        let mut b = Backoff::new(Duration::from_millis(50));
+        assert_eq!(b.next_delay, BACKOFF_BASE);
+        assert!(b.wait()); // sleeps 20ms
+        assert_eq!(b.next_delay, BACKOFF_BASE * 2);
+        assert!(b.wait()); // sleeps 30ms (clipped to the budget)
+        assert!(!b.wait(), "budget exhausted");
+        b.reset();
+        assert_eq!(b.next_delay, BACKOFF_BASE);
+        assert!(b.wait(), "reset refills the budget");
+        // The delay never exceeds the cap.
+        let mut b = Backoff::new(Duration::MAX);
+        for _ in 0..4 {
+            b.next_delay = (b.next_delay * 2).min(BACKOFF_CAP);
+        }
+        b.next_delay = (b.next_delay * 2).min(BACKOFF_CAP);
+        assert!(b.next_delay <= BACKOFF_CAP);
+    }
+
+    #[test]
+    fn connect_gives_up_when_nothing_listens() {
+        let mut backoff = Backoff::new(Duration::from_millis(40));
+        let mut attempts = 0;
+        // A port from the dynamic range with nothing bound to it.
+        let err = connect_with_retry("127.0.0.1:1", &mut backoff, &mut attempts).unwrap_err();
+        assert!(err.to_string().contains("retry budget exhausted"), "{err}");
+        assert!(attempts >= 2, "retried before giving up: {attempts}");
+    }
+
+    #[test]
     fn generated_frames_match_the_plan_shape() {
         let plan = Plan {
             spec: "grr:eps=1,d=8".into(),
@@ -311,6 +681,14 @@ mod tests {
         assert_ne!(frames[0][0], frames[1][0]);
     }
 
+    fn policy_none() -> SnapshotPolicy {
+        SnapshotPolicy {
+            path: None,
+            every: 0,
+            keep: 0,
+        }
+    }
+
     #[test]
     fn a_run_against_a_live_collector_reports_every_report() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -325,26 +703,60 @@ mod tests {
         let total = plan.total_reports();
         let server = std::thread::spawn(move || {
             let mut session = build_session("grr:eps=1,d=8").unwrap();
-            let policy = SnapshotPolicy {
-                path: None,
-                every: 0,
-                keep: 0,
-            };
             let options = ServeOptions {
                 connections: 4,
                 ..ServeOptions::default()
             };
-            let summary = serve(&listener, session.as_mut(), &policy, &options).unwrap();
+            let summary = serve(&listener, session.as_mut(), &policy_none(), &options).unwrap();
             (summary, session.count())
         });
         let report = run(&addr, &plan).unwrap();
         let (summary, count) = server.join().unwrap();
         assert_eq!(report.reports, total);
         assert_eq!(report.rejected_frames, 0);
+        assert_eq!(report.connect_attempts, 4);
+        assert_eq!(report.reconnects, 0);
+        assert_eq!(report.frames_resent, 0);
         assert_eq!(count, total);
         assert_eq!(summary.completed, 4);
         assert!(report.reports_per_sec > 0.0);
         assert!(report.ack_p99_us >= report.ack_p50_us);
+    }
+
+    #[test]
+    fn a_sequenced_run_delivers_exactly_once_and_resumes_across_runs() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let plan = Plan {
+            spec: "grr:eps=1,d=8".into(),
+            connections: 3,
+            frames_per_connection: 4,
+            reports_per_frame: 25,
+            session: Some("fleet".into()),
+            ..Plan::default()
+        };
+        let total = plan.total_reports();
+        let server = std::thread::spawn(move || {
+            let mut session = build_session("grr:eps=1,d=8").unwrap();
+            let options = ServeOptions {
+                connections: 6,
+                ..ServeOptions::default()
+            };
+            let summary = serve(&listener, session.as_mut(), &policy_none(), &options).unwrap();
+            (summary, session.count())
+        });
+        let report = run(&addr, &plan).unwrap();
+        assert_eq!(report.reports, total);
+        assert_eq!(report.reconnects, 0);
+        // Re-running the same plan against the same live collector is a
+        // pure replay: the cursors already cover every frame, so nothing
+        // new is absorbed and the report says zero *unique* reports.
+        let replay = run(&addr, &plan).unwrap();
+        assert_eq!(replay.reports, 0, "replay absorbed something");
+        let (summary, count) = server.join().unwrap();
+        assert_eq!(count, total, "duplicates were absorbed");
+        assert_eq!(summary.sessions_resumed, 3);
+        assert_eq!(summary.duplicates_suppressed, 0, "replays skip, not resend");
     }
 
     #[test]
@@ -363,16 +775,11 @@ mod tests {
         // so the floor is (frames-1) * interval per connection = 0.2s).
         let server = std::thread::spawn(move || {
             let mut session = build_session("grr:eps=1,d=8").unwrap();
-            let policy = SnapshotPolicy {
-                path: None,
-                every: 0,
-                keep: 0,
-            };
             let options = ServeOptions {
                 connections: 2,
                 ..ServeOptions::default()
             };
-            serve(&listener, session.as_mut(), &policy, &options).unwrap();
+            serve(&listener, session.as_mut(), &policy_none(), &options).unwrap();
         });
         let report = run(&addr, &plan).unwrap();
         server.join().unwrap();

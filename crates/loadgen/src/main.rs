@@ -3,12 +3,19 @@
 //!
 //! ```text
 //! ldp-loadgen --connect 127.0.0.1:7070 --mechanism sw-ems:eps=1,d=1024 \
-//!     --connections 8 --frames 16 --reports-per-frame 512 --rate 0
+//!     --connections 8 --frames 16 --reports-per-frame 512 --rate 0 \
+//!     [--session PREFIX] [--retry-budget-ms 15000]
 //! ```
 //!
 //! `--rate` is the target aggregate reports/second (0 = as fast as acks
 //! allow). Every frame waits for its ack, so the reported latency is the
 //! collector's end-to-end decode → queue → absorb commit time.
+//!
+//! `--session PREFIX` switches to sequenced exactly-once sessions
+//! (`PREFIX-0`, `PREFIX-1`, …): each connection survives collector
+//! crashes and restarts by reconnecting with exponential backoff and
+//! resuming from the server's dedup cursor, for at most
+//! `--retry-budget-ms` of consecutive fruitless retrying.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +28,8 @@ fn usage() {
     eprintln!(
         "usage: ldp-loadgen --connect <addr> --mechanism <spec> \
          [--connections N] [--frames N] [--reports-per-frame N] \
-         [--rate REPORTS_PER_SEC] [--seed N]"
+         [--rate REPORTS_PER_SEC] [--seed N] \
+         [--session PREFIX] [--retry-budget-ms MS]"
     );
 }
 
@@ -74,6 +82,10 @@ fn try_main(args: &[String]) -> Result<(), CollectorError> {
             "reports-per-frame" => plan.reports_per_frame = parse(&name, &value)?,
             "rate" => plan.rate = parse(&name, &value)?,
             "seed" => plan.seed = parse(&name, &value)?,
+            "session" => plan.session = Some(value),
+            "retry-budget-ms" => {
+                plan.retry_budget = std::time::Duration::from_millis(parse(&name, &value)?);
+            }
             other => return Err(CollectorError::Spec(format!("unknown flag --{other}"))),
         }
     }
@@ -90,6 +102,9 @@ fn try_main(args: &[String]) -> Result<(), CollectorError> {
     println!("connections       {:>12}", report.connections);
     println!("frames            {:>12}", report.frames);
     println!("rejected-frames   {:>12}", report.rejected_frames);
+    println!("connect-attempts  {:>12}", report.connect_attempts);
+    println!("reconnects        {:>12}", report.reconnects);
+    println!("frames-resent     {:>12}", report.frames_resent);
     println!("reports           {:>12}", report.reports);
     println!("elapsed-ms        {:>12}", report.elapsed.as_millis());
     println!("reports-per-sec   {:>12.1}", report.reports_per_sec);
