@@ -22,6 +22,10 @@ pub enum CollectorError {
     /// A deterministic fault injected by the [`crate::faults`] layer
     /// (never produced in production; see `LDP_FAULTS`).
     Fault(String),
+    /// A serve pipeline stage panicked and the supervisor contained it:
+    /// the loop quiesced, a final durable snapshot was attempted, and the
+    /// panic is reported here instead of wedging the process.
+    Panicked(String),
 }
 
 impl fmt::Display for CollectorError {
@@ -33,6 +37,12 @@ impl fmt::Display for CollectorError {
             CollectorError::Protocol(msg) => write!(f, "framing protocol violation: {msg}"),
             CollectorError::Resume(msg) => write!(f, "cannot resume: {msg}"),
             CollectorError::Fault(msg) => write!(f, "injected fault: {msg}"),
+            CollectorError::Panicked(msg) => {
+                write!(
+                    f,
+                    "pipeline stage panicked (supervisor contained it): {msg}"
+                )
+            }
         }
     }
 }

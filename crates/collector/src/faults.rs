@@ -11,8 +11,8 @@
 //! LDP_FAULTS = entry ("," entry)*
 //! entry      = point "=" action ["@" nth]
 //! point      = frame-read | decode | commit-push | ack-write
-//!            | snap-write | snap-rename
-//! action     = err | exit | torn | stall:<millis>
+//!            | snap-write | snap-rename | absorb | admission | ack-evict
+//! action     = err | exit | panic | torn | stall:<millis>
 //! nth        = 1-based hit count at which the fault fires (default 1)
 //! ```
 //!
@@ -45,6 +45,13 @@ use std::time::Duration;
 pub const FAULT_EXIT_CODE: i32 = 42;
 
 /// Every failpoint name the serve path defines.
+///
+/// `absorb` sits in the absorber stage immediately before a batch is
+/// committed (the supervisor's test seam); `admission` fires in the
+/// acceptor as a connection is about to be admitted (forcing a busy-shed
+/// of an otherwise-admittable peer); `ack-evict` fires as a success ack is
+/// about to be written and simulates a slow-consumer ack-deadline expiry
+/// (the connection is evicted instead of acked).
 pub const FAULT_POINTS: &[&str] = &[
     "frame-read",
     "decode",
@@ -52,6 +59,9 @@ pub const FAULT_POINTS: &[&str] = &[
     "ack-write",
     "snap-write",
     "snap-rename",
+    "absorb",
+    "admission",
+    "ack-evict",
 ];
 
 /// What an armed fault does when it fires.
@@ -63,6 +73,11 @@ pub enum FaultAction {
     /// deterministic crash (nothing after the failpoint runs: no ack, no
     /// fsync, no rename).
     Exit,
+    /// The failpoint panics the calling thread — a *bug*, not a clean
+    /// error. This is how the supervisor drill deliberately kills a
+    /// pipeline stage (`absorb=panic`, `snap-write=panic`) to prove the
+    /// serve path contains panics instead of wedging.
+    Panic,
     /// The operation is *torn*: only a prefix of the bytes is written
     /// before the failpoint reports an error. Only meaningful at
     /// `snap-write`.
@@ -130,6 +145,7 @@ pub fn parse(spec: &str) -> Result<Vec<(String, FaultAction, u64)>, CollectorErr
         let action = match action_str {
             "err" => FaultAction::Err,
             "exit" => FaultAction::Exit,
+            "panic" => FaultAction::Panic,
             "torn" => FaultAction::Torn,
             other => match other.strip_prefix("stall:") {
                 Some(ms) => FaultAction::Stall(ms.parse().map_err(|_| {
@@ -246,6 +262,9 @@ fn fire(point: &str) -> Option<Injected> {
             );
             std::process::exit(FAULT_EXIT_CODE);
         }
+        FaultAction::Panic => {
+            panic!("injected panic at failpoint {point} (LDP_FAULTS)");
+        }
     }
 }
 
@@ -273,7 +292,25 @@ mod tests {
             parse("decode=stall:250").unwrap(),
             vec![("decode".into(), FaultAction::Stall(250), 1)]
         );
+        assert_eq!(
+            parse("absorb=panic@2,admission=err,ack-evict=err@3").unwrap(),
+            vec![
+                ("absorb".into(), FaultAction::Panic, 2),
+                ("admission".into(), FaultAction::Err, 1),
+                ("ack-evict".into(), FaultAction::Err, 3),
+            ]
+        );
         assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn panic_action_panics_the_calling_thread() {
+        let _serial = SERIAL.lock().unwrap();
+        install("absorb=panic").unwrap();
+        let result = std::panic::catch_unwind(|| hit("absorb"));
+        clear();
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("injected panic at failpoint absorb"));
     }
 
     #[test]

@@ -60,6 +60,7 @@
 pub mod error;
 pub mod faults;
 pub mod io;
+pub mod limit;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -67,5 +68,8 @@ pub mod session;
 
 pub use error::CollectorError;
 pub use registry::build_session;
-pub use server::{serve, serve_connection, serve_once, ServeOptions, ServeSummary, SnapshotPolicy};
+pub use server::{
+    serve, serve_connection, serve_connection_capped, serve_once, serve_once_capped, ServeOptions,
+    ServeSummary, SnapshotPolicy, DEFAULT_MAX_FRAME_BYTES,
+};
 pub use session::{ingest_lines, ingest_resuming, CollectorSession, Session};

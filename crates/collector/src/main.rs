@@ -12,6 +12,9 @@
 //! ldp-collector serve    --mechanism SPEC --listen ADDR [--snapshot FILE]
 //!                        [--snapshot-every N] [--keep N] [--max-connections K]
 //!                        [--connections N] [--queue-depth Q] [--idle-timeout MS]
+//!                        [--max-frame-bytes B] [--max-rps-per-conn R]
+//!                        [--memory-budget-bytes B] [--report-quota N]
+//!                        [--busy-retry-ms MS] [--ack-deadline-ms MS]
 //!                        [--shutdown-file PATH] [--serial] [--finalize]
 //! ```
 //!
@@ -20,7 +23,9 @@
 
 use ldp_collector::io::{read_to_string, write_snapshot_atomic};
 use ldp_collector::registry::{build_session, MECHANISMS};
-use ldp_collector::server::{serve, serve_once, ServeOptions, SnapshotPolicy};
+use ldp_collector::server::{
+    serve, serve_once_capped, ServeOptions, SnapshotPolicy, DEFAULT_MAX_FRAME_BYTES,
+};
 use ldp_collector::session::{ingest_lines, CollectorSession};
 use ldp_collector::CollectorError;
 use std::fs::File;
@@ -87,6 +92,9 @@ fn print_help() {
     println!("  serve    --mechanism SPEC --listen ADDR [--snapshot FILE]");
     println!("           [--snapshot-every N] [--keep N] [--max-connections K]");
     println!("           [--connections N] [--queue-depth Q] [--idle-timeout MS]");
+    println!("           [--max-frame-bytes B] [--max-rps-per-conn R]");
+    println!("           [--memory-budget-bytes B] [--report-quota N]");
+    println!("           [--busy-retry-ms MS] [--ack-deadline-ms MS]");
     println!("           [--shutdown-file PATH] [--serial] [--finalize]");
     println!("           concurrent length-delimited TCP ingestion");
     println!();
@@ -155,6 +163,15 @@ impl Flags {
             None => Ok(default),
             Some(raw) => raw.parse().map_err(|_| {
                 CollectorError::Spec(format!("cannot parse --{name} {raw:?} as an integer"))
+            }),
+        }
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, CollectorError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CollectorError::Spec(format!("cannot parse --{name} {raw:?} as a number"))
             }),
         }
     }
@@ -354,9 +371,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             .unwrap_or_else(|_| addr.to_string()),
         session.mechanism_id()
     );
+    let max_frame_bytes =
+        flags.u64_or("max-frame-bytes", u64::from(DEFAULT_MAX_FRAME_BYTES))? as u32;
     if flags.has("serial") {
         // The legacy single-session loop, kept for drills and tests.
-        let total = serve_once(&listener, session.as_mut(), &policy)?;
+        let total = serve_once_capped(&listener, session.as_mut(), &policy, max_frame_bytes)?;
         eprintln!("stream ended at {total} reports");
     } else {
         let defaults = ServeOptions::default();
@@ -367,6 +386,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             queue_depth: flags.u64_or("queue-depth", defaults.queue_depth as u64)? as usize,
             shutdown: Arc::new(AtomicBool::new(false)),
             idle_timeout: match flags.u64_or("idle-timeout", 0)? {
+                0 => None,
+                ms => Some(std::time::Duration::from_millis(ms)),
+            },
+            max_frame_bytes,
+            max_rps_per_conn: flags.f64_or("max-rps-per-conn", 0.0)?,
+            memory_budget_bytes: flags.u64_or("memory-budget-bytes", 0)? as usize,
+            report_quota: flags.u64_or("report-quota", 0)?,
+            busy_retry: std::time::Duration::from_millis(
+                flags.u64_or("busy-retry-ms", defaults.busy_retry.as_millis() as u64)?,
+            ),
+            ack_deadline: match flags.u64_or("ack-deadline-ms", 0)? {
                 0 => None,
                 ms => Some(std::time::Duration::from_millis(ms)),
             },
@@ -396,6 +426,41 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
             eprintln!(
                 "idle: {} peers disconnected past --idle-timeout",
                 summary.idle_disconnects
+            );
+        }
+        let sheds = summary.admission_sheds + summary.quota_sheds + summary.rate_sheds;
+        if sheds > 0 {
+            eprintln!(
+                "overload: {} busy sheds ({} admission, {} quota, {} rate)",
+                sheds, summary.admission_sheds, summary.quota_sheds, summary.rate_sheds
+            );
+        }
+        if summary.oversized_frames > 0 {
+            eprintln!(
+                "overload: {} frames rejected over --max-frame-bytes",
+                summary.oversized_frames
+            );
+        }
+        if summary.evictions > 0 {
+            eprintln!(
+                "overload: {} slow consumers evicted past --ack-deadline-ms",
+                summary.evictions
+            );
+        }
+        if summary.supervisor_restarts > 0 {
+            eprintln!(
+                "supervisor: {} snapshot-writer restarts after panics",
+                summary.supervisor_restarts
+            );
+        }
+        if summary.peak_queue_bytes > 0 {
+            eprintln!(
+                "memory: peak pipeline charge {} bytes{}",
+                summary.peak_queue_bytes,
+                match options.memory_budget_bytes {
+                    0 => String::new(),
+                    budget => format!(" of --memory-budget-bytes {budget}"),
+                }
             );
         }
         if summary.faults_injected > 0 {

@@ -143,6 +143,35 @@ pub fn encode_hello_ack(cursor: u64) -> [u8; 9] {
     ack
 }
 
+/// First byte of a busy-shed response — the third ack verdict next to
+/// `+` (committed) and `-` (permanently rejected).
+///
+/// `!` means **transient overload, nothing was absorbed, try again**: the
+/// frame (or the whole connection, when sent at admission or hello time)
+/// was shed before any state changed, so re-sending it is always safe —
+/// for bare at-least-once sessions as well as sequenced ones. The byte is
+/// followed by a u32-BE retry hint in milliseconds ([`encode_busy`]).
+pub const BUSY_BYTE: u8 = b'!';
+
+/// Renders the 5-byte busy-shed response: [`BUSY_BYTE`] followed by the
+/// suggested retry delay in milliseconds, big-endian. Clients should wait
+/// at least this long (or their own capped backoff, whichever is larger)
+/// before retrying.
+#[must_use]
+pub fn encode_busy(retry_ms: u32) -> [u8; 5] {
+    let mut shed = [0u8; 5];
+    shed[0] = BUSY_BYTE;
+    shed[1..].copy_from_slice(&retry_ms.to_be_bytes());
+    shed
+}
+
+/// Decodes the retry-hint payload of a busy-shed response (the four bytes
+/// after [`BUSY_BYTE`]).
+#[must_use]
+pub fn decode_busy_ms(raw: [u8; 4]) -> u32 {
+    u32::from_be_bytes(raw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +210,16 @@ mod tests {
         assert!(split_seq_frame("grr 3\n").is_err());
         assert!(split_seq_frame("seq x\n").is_err());
         assert!(split_seq_frame("").is_err());
+    }
+
+    #[test]
+    fn busy_shed_layout_round_trips() {
+        let shed = encode_busy(2_500);
+        assert_eq!(shed[0], BUSY_BYTE);
+        assert_eq!(decode_busy_ms(shed[1..].try_into().unwrap()), 2_500);
+        // The verdict byte is disjoint from both permanent verdicts.
+        assert_ne!(BUSY_BYTE, b'+');
+        assert_ne!(BUSY_BYTE, b'-');
     }
 
     #[test]

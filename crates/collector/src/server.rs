@@ -60,14 +60,46 @@
 //!    [`ldp_core::snapshot::SnapshotSpool`]; a dedicated
 //!    writer thread does the fsync-and-rename (with `--keep N`
 //!    rotation) off the hot path, so snapshot writes never stall acks.
+//!
+//! # Overload safety
+//!
+//! A collector sized for millions of users must **shed** load it cannot
+//! absorb, not queue it until memory or latency explodes. Four defenses
+//! stack on the pipeline, each answering `!busy <retry-ms>`
+//! ([`protocol::encode_busy`]) — the transient verdict distinct from the
+//! permanent `-` reject, always sent *before* anything was absorbed so a
+//! retry is safe for bare and sequenced sessions alike:
+//!
+//! - **admission control** — a connection beyond
+//!   [`ServeOptions::max_connections`], or arriving after
+//!   [`ServeOptions::report_quota`] filled the window, is answered busy
+//!   and closed at accept instead of waiting invisibly in the backlog;
+//! - **rate limiting** — each connection charges its frames (by report
+//!   count) against a [`crate::limit::TokenBucket`] capped at
+//!   [`ServeOptions::max_rps_per_conn`]; an over-rate frame is shed
+//!   mid-stream (the connection stays open, the client re-sends);
+//! - **byte budgets** — [`ServeOptions::max_frame_bytes`] rejects
+//!   oversized length headers before allocating, and the commit queue is
+//!   byte-weighted ([`ldp_pool::chan::bounded_weighted`]) so
+//!   [`ServeOptions::memory_budget_bytes`] caps queued payloads *plus*
+//!   in-flight decode buffers (reserved before allocation);
+//! - **eviction** — a peer that stops draining acks past
+//!   [`ServeOptions::ack_deadline`] is disconnected, freeing its slot.
+//!
+//! A **supervisor** completes the story: the snapshot writer restarts
+//! itself after a panic (bounded retries), and an absorber panic quiesces
+//! the loop, attempts a final durable snapshot, and surfaces
+//! [`CollectorError::Panicked`] — the serve path fails loudly, never as a
+//! silent wedge.
 
 use crate::error::CollectorError;
 use crate::faults;
 use crate::io::write_snapshot_rotating;
+use crate::limit::TokenBucket;
 use crate::protocol;
 use crate::session::{BatchDecoder, CollectorSession, PreparedBatch};
 use ldp_core::snapshot::SnapshotSpool;
-use ldp_pool::chan::{bounded, Sender};
+use ldp_pool::chan::{bounded, bounded_weighted, Sender};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -75,10 +107,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Refuse absurd frames instead of attempting a pathological allocation
+/// Default cap on a single frame's payload ([`ServeOptions::max_frame_bytes`]):
+/// refuse absurd frames instead of attempting a pathological allocation
 /// (a 64 MiB frame at ~20 bytes/report is ≈3M reports, far beyond any
 /// sane batch).
-const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// How many consecutive panics the snapshot-writer supervisor tolerates
+/// before declaring the stage dead and winding the serve loop down.
+const MAX_WRITER_RESTARTS: u64 = 3;
 
 /// How long a blocking read waits before re-checking the shutdown flag —
 /// the granularity of "shutdown is checked between frames".
@@ -147,7 +184,20 @@ pub fn write_frame(stream: &mut TcpStream, payload: &str) -> std::io::Result<()>
 }
 
 /// Reads one frame; `Ok(None)` is the end-of-stream frame (`length = 0`).
+/// Frames above [`DEFAULT_MAX_FRAME_BYTES`] are refused; use
+/// [`read_frame_capped`] to choose the cap.
 pub fn read_frame(stream: &mut TcpStream) -> Result<Option<String>, CollectorError> {
+    read_frame_capped(stream, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with an explicit frame-size cap: an oversized length
+/// header is rejected **before** the payload buffer is allocated, so a
+/// hostile or corrupted length word can never trigger the allocation it
+/// names.
+pub fn read_frame_capped(
+    stream: &mut TcpStream,
+    max_frame_bytes: u32,
+) -> Result<Option<String>, CollectorError> {
     let mut len_bytes = [0u8; 4];
     stream
         .read_exact(&mut len_bytes)
@@ -156,9 +206,9 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<Option<String>, CollectorErr
     if len == 0 {
         return Ok(None);
     }
-    if len > MAX_FRAME_BYTES {
+    if len > max_frame_bytes {
         return Err(CollectorError::Protocol(format!(
-            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
         )));
     }
     let mut payload = vec![0u8; len as usize];
@@ -190,10 +240,22 @@ pub fn serve_connection(
     session: &mut dyn CollectorSession,
     policy: &SnapshotPolicy,
 ) -> Result<u64, CollectorError> {
+    serve_connection_capped(stream, session, policy, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// [`serve_connection`] with an explicit `--max-frame-bytes` cap — the
+/// serial engine's half of the frame-size defense (the concurrent engine
+/// takes the same cap through [`ServeOptions::max_frame_bytes`]).
+pub fn serve_connection_capped(
+    stream: &mut TcpStream,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+    max_frame_bytes: u32,
+) -> Result<u64, CollectorError> {
     let mut first = true;
     let mut sequenced: Option<String> = None;
     loop {
-        match read_frame(stream) {
+        match read_frame_capped(stream, max_frame_bytes) {
             Ok(Some(payload)) => {
                 if std::mem::take(&mut first) && protocol::is_hello(&payload) {
                     let hello = match protocol::parse_hello(&payload) {
@@ -270,17 +332,31 @@ pub fn serve_once(
     session: &mut dyn CollectorSession,
     policy: &SnapshotPolicy,
 ) -> Result<u64, CollectorError> {
+    serve_once_capped(listener, session, policy, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// [`serve_once`] with an explicit frame-size cap (`serve --serial
+/// --max-frame-bytes`).
+pub fn serve_once_capped(
+    listener: &TcpListener,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+    max_frame_bytes: u32,
+) -> Result<u64, CollectorError> {
     let (mut stream, _addr) = listener
         .accept()
         .map_err(|e| CollectorError::Io(format!("accept: {e}")))?;
-    serve_connection(&mut stream, session, policy)
+    serve_connection_capped(&mut stream, session, policy, max_frame_bytes)
 }
 
 /// Tuning for the concurrent [`serve`] loop.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Concurrent connection cap. Further connections wait in the TCP
-    /// backlog until a handler slot frees — backpressure, never a drop.
+    /// Concurrent connection cap. A connection arriving while every slot
+    /// is taken is **shed at accept** with `!busy <retry-ms>` and closed —
+    /// explicit backpressure the client can act on, instead of invisible
+    /// minutes in the TCP backlog. Nothing of a shed connection is ever
+    /// absorbed, so retrying is always safe.
     pub max_connections: usize,
     /// Total sessions to accept before returning (0 = keep serving until
     /// [`ServeOptions::shutdown`] is raised).
@@ -301,6 +377,33 @@ pub struct ServeOptions {
     /// [`ServeSummary::idle_disconnects`]. Mid-frame stalls are not
     /// affected (a slow frame is backpressure, not idleness).
     pub idle_timeout: Option<Duration>,
+    /// Largest accepted frame payload in bytes. An oversized length
+    /// header is rejected (`-` ack) **before** its allocation and counted
+    /// in [`ServeSummary::oversized_frames`].
+    pub max_frame_bytes: u32,
+    /// Per-connection rate cap in reports per second (`0.0` = unlimited).
+    /// Each connection owns a [`TokenBucket`] with `burst = rate`; an
+    /// over-rate frame is shed with `!busy` (nothing absorbed, connection
+    /// stays open) and counted in [`ServeSummary::rate_sheds`].
+    pub max_rps_per_conn: f64,
+    /// Byte budget for the decode→absorb pipeline (`0` = unbounded):
+    /// queued frame payloads **plus** in-flight decode buffers, which are
+    /// charged against the budget before they are allocated. Handlers
+    /// block (backpressure) when the budget is exhausted; the measured
+    /// high-water mark lands in [`ServeSummary::peak_queue_bytes`].
+    pub memory_budget_bytes: usize,
+    /// Absorbed-report quota for this window (`0` = unlimited). Once the
+    /// session count reaches it, *new* connections are shed with `!busy`
+    /// at accept (counted in [`ServeSummary::quota_sheds`]); already
+    /// admitted sessions finish normally.
+    pub report_quota: u64,
+    /// The retry hint carried by admission/quota `!busy` responses.
+    pub busy_retry: Duration,
+    /// How long an ack write may block before the peer is declared a slow
+    /// consumer and **evicted** (`None` = wait forever). The commit the
+    /// ack reported stays absorbed — a sequenced client re-learns it from
+    /// the cursor at its next hello, exactly like an ack lost to a crash.
+    pub ack_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -311,6 +414,12 @@ impl Default for ServeOptions {
             queue_depth: 32,
             shutdown: Arc::new(AtomicBool::new(false)),
             idle_timeout: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_rps_per_conn: 0.0,
+            memory_budget_bytes: 0,
+            report_quota: 0,
+            busy_retry: Duration::from_millis(200),
+            ack_deadline: None,
         }
     }
 }
@@ -338,6 +447,29 @@ pub struct ServeSummary {
     pub sessions_resumed: u64,
     /// Peers disconnected by [`ServeOptions::idle_timeout`].
     pub idle_disconnects: u64,
+    /// Connections shed with `!busy` at accept because every
+    /// [`ServeOptions::max_connections`] slot was taken.
+    pub admission_sheds: u64,
+    /// Connections shed with `!busy` at accept because
+    /// [`ServeOptions::report_quota`] was already met.
+    pub quota_sheds: u64,
+    /// Frames shed mid-stream with `!busy` by the per-connection
+    /// [`ServeOptions::max_rps_per_conn`] token bucket (nothing absorbed;
+    /// the client re-sends).
+    pub rate_sheds: u64,
+    /// Frames rejected because their length header exceeded
+    /// [`ServeOptions::max_frame_bytes`] — refused before allocation.
+    pub oversized_frames: u64,
+    /// Slow consumers disconnected by [`ServeOptions::ack_deadline`]
+    /// (plus any `ack-evict` faults the chaos schedule injected).
+    pub evictions: u64,
+    /// Times the supervisor restarted a panicked snapshot-writer stage.
+    pub supervisor_restarts: u64,
+    /// High-water mark, in bytes, of the decode→absorb pipeline's charged
+    /// memory (queued payloads + in-flight decode buffers) — compare
+    /// against [`ServeOptions::memory_budget_bytes`] to verify a sizing
+    /// plan.
+    pub peak_queue_bytes: u64,
     /// Faults fired by the `crate::faults` schedule during this call
     /// (always 0 unless a schedule was armed).
     pub faults_injected: u64,
@@ -397,6 +529,9 @@ enum FrameRead {
     /// The peer sent nothing for [`ServeOptions::idle_timeout`] at a
     /// frame boundary.
     IdleTimeout,
+    /// The length header exceeded [`ServeOptions::max_frame_bytes`]; the
+    /// payload was **not** read (and never allocated).
+    Oversized(u32),
 }
 
 enum Fill {
@@ -478,10 +613,17 @@ fn fill(
 /// the stream to have a read timeout set (the wake-up tick) and
 /// distinguishes the clean frame-boundary endings from protocol
 /// violations.
+///
+/// `before_alloc` runs between validating the length header and
+/// allocating the payload buffer — the handler charges the frame's bytes
+/// against the pipeline's memory budget there, so the budget covers the
+/// decode buffer from the instant it exists.
 fn read_frame_interruptible(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
     idle_timeout: Option<Duration>,
+    max_frame_bytes: u32,
+    before_alloc: &mut dyn FnMut(usize) -> Result<(), CollectorError>,
 ) -> Result<FrameRead, CollectorError> {
     if faults::hit("frame-read").is_some() {
         return Err(faults::error("frame-read"));
@@ -497,11 +639,10 @@ fn read_frame_interruptible(
     if len == 0 {
         return Ok(FrameRead::EndOfStream);
     }
-    if len > MAX_FRAME_BYTES {
-        return Err(CollectorError::Protocol(format!(
-            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
-        )));
+    if len > max_frame_bytes {
+        return Ok(FrameRead::Oversized(len));
     }
+    before_alloc(len as usize)?;
     let mut payload = vec![0u8; len as usize];
     match fill(stream, &mut payload, shutdown, false, None)? {
         Fill::Full => {}
@@ -523,17 +664,127 @@ enum SessionEnd {
     PeerClosed,
     /// The peer idled past [`ServeOptions::idle_timeout`] between frames.
     Idle,
+    /// The peer stopped draining acks past [`ServeOptions::ack_deadline`]
+    /// and was evicted (the committed state stands; only the ack was never
+    /// delivered — the crash-window semantics sequenced sessions already
+    /// handle).
+    Evicted,
+}
+
+/// What writing a success ack did.
+enum AckWrite {
+    /// Delivered.
+    Delivered,
+    /// The write timed out against [`ServeOptions::ack_deadline`] (or the
+    /// `ack-evict` failpoint simulated it): evict the slow consumer.
+    Evict,
 }
 
 /// Writes a success ack through the `ack-write` failpoint — the canonical
 /// crash window: the absorber has committed, the client has not heard.
-fn write_success_ack(stream: &mut TcpStream, ack: &[u8]) -> Result<(), CollectorError> {
+/// With an [`ServeOptions::ack_deadline`] armed (as a socket write
+/// timeout), a blocked write surfaces as [`AckWrite::Evict`] instead of
+/// holding the handler slot forever.
+fn write_success_ack(stream: &mut TcpStream, ack: &[u8]) -> Result<AckWrite, CollectorError> {
     if faults::hit("ack-write").is_some() {
         return Err(faults::error("ack-write"));
     }
-    stream
-        .write_all(ack)
-        .map_err(|e| CollectorError::Io(format!("writing ack: {e}")))
+    if faults::hit("ack-evict").is_some() {
+        return Ok(AckWrite::Evict);
+    }
+    match stream.write_all(ack) {
+        Ok(()) => Ok(AckWrite::Delivered),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(AckWrite::Evict)
+        }
+        Err(e) => Err(CollectorError::Io(format!("writing ack: {e}"))),
+    }
+}
+
+/// The per-connection limits [`serve`] distills from its [`ServeOptions`].
+struct ConnLimits {
+    max_frame_bytes: u32,
+    /// Reports/second cap for this connection's token bucket (`None` =
+    /// unlimited).
+    rate: Option<f64>,
+    ack_deadline: Option<Duration>,
+    idle_timeout: Option<Duration>,
+}
+
+/// The shed/evict tallies a handler reports into (a slice of the serve
+/// loop's counter block).
+struct ConnCounters<'a> {
+    rate_sheds: &'a AtomicU64,
+    oversized: &'a AtomicU64,
+}
+
+/// A byte-budget charge acquired before a payload allocation. Dropping
+/// the guard releases the charge (every early-out path: hello frames,
+/// rate sheds, decode failures, injected faults); [`ByteCharge::take`]
+/// transfers it to the queued commit instead, where the receiver releases
+/// it at pop.
+struct ByteCharge<'a> {
+    commits: &'a Sender<Commit>,
+    bytes: usize,
+}
+
+impl ByteCharge<'_> {
+    fn take(&mut self) -> usize {
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+impl Drop for ByteCharge<'_> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            self.commits.unreserve(self.bytes);
+        }
+    }
+}
+
+/// Writes a `!busy <retry-ms>` shed response. A peer too slow to take
+/// even the shed (write timeout) is evicted rather than waited on.
+fn write_busy(stream: &mut TcpStream, retry: Duration) -> Result<AckWrite, CollectorError> {
+    let retry_ms = u32::try_from(retry.as_millis().max(1)).unwrap_or(u32::MAX);
+    match stream.write_all(&protocol::encode_busy(retry_ms)) {
+        Ok(()) => Ok(AckWrite::Delivered),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(AckWrite::Evict)
+        }
+        Err(e) => Err(CollectorError::Io(format!("writing busy shed: {e}"))),
+    }
+}
+
+/// Best-effort `!busy` shed of a connection that was never admitted: tell
+/// the peer when to retry, then close. Write errors are ignored — the
+/// peer is being turned away either way, and a short write timeout keeps
+/// a hostile peer from stalling the acceptor.
+fn shed_at_accept(mut stream: TcpStream, retry: Duration) {
+    let retry_ms = u32::try_from(retry.as_millis().max(1)).unwrap_or(u32::MAX);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(&protocol::encode_busy(retry_ms));
+}
+
+/// Renders a caught panic payload for error reports (panics carry
+/// `String` or `&str` in practice; anything else gets a placeholder).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One connection's serve loop: read a frame, decode it *on this thread*
@@ -546,22 +797,58 @@ fn write_success_ack(stream: &mut TcpStream, ack: &[u8]) -> Result<(), Collector
 /// the dedup cursor is resolved by the absorber (racing a commit is
 /// impossible), the client's replay horizon is validated against it, and
 /// every later frame must carry its `seq` line.
+///
+/// Overload defenses ([`ConnLimits`]): oversized length headers are
+/// rejected before allocation; every payload's bytes are charged against
+/// the pipeline budget before its buffer exists; over-rate frames are
+/// shed with `!busy` (nothing absorbed — the peer re-sends the same
+/// frame); ack writes past the deadline evict the slow consumer.
 fn handle_connection(
     stream: &mut TcpStream,
     decoder: &dyn BatchDecoder,
     commits: &Sender<Commit>,
     shutdown: &AtomicBool,
-    idle_timeout: Option<Duration>,
+    limits: &ConnLimits,
+    counters: &ConnCounters<'_>,
 ) -> Result<SessionEnd, CollectorError> {
     stream
         .set_read_timeout(Some(READ_TICK))
         .map_err(|e| CollectorError::Io(format!("set_read_timeout: {e}")))?;
+    if limits.ack_deadline.is_some() {
+        stream
+            .set_write_timeout(limits.ack_deadline)
+            .map_err(|e| CollectorError::Io(format!("set_write_timeout: {e}")))?;
+    }
+    let mut bucket = limits
+        .rate
+        .map(|rate| TokenBucket::new(rate, rate, Instant::now()));
     let absorber_gone =
         || CollectorError::Io("the absorber stopped before the session ended".into());
     let mut first = true;
     let mut sequenced: Option<String> = None;
     loop {
-        match read_frame_interruptible(stream, shutdown, idle_timeout)? {
+        let mut reserved = 0usize;
+        let read = {
+            let mut before_alloc = |len: usize| {
+                commits.reserve(len).map_err(|_| absorber_gone())?;
+                reserved = len;
+                Ok(())
+            };
+            read_frame_interruptible(
+                stream,
+                shutdown,
+                limits.idle_timeout,
+                limits.max_frame_bytes,
+                &mut before_alloc,
+            )
+        };
+        // From here to queue handoff the frame's bytes are charged; the
+        // guard releases them on every path that doesn't push a batch.
+        let mut charge = ByteCharge {
+            commits,
+            bytes: reserved,
+        };
+        match read? {
             FrameRead::Payload(text) => {
                 if std::mem::take(&mut first) && protocol::is_hello(&text) {
                     let hello = match protocol::parse_hello(&text) {
@@ -587,7 +874,10 @@ fn handle_connection(
                             hello.session, hello.horizon, resume.cursor
                         )));
                     }
-                    write_success_ack(stream, &protocol::encode_hello_ack(resume.cursor))?;
+                    match write_success_ack(stream, &protocol::encode_hello_ack(resume.cursor))? {
+                        AckWrite::Delivered => {}
+                        AckWrite::Evict => return Ok(SessionEnd::Evicted),
+                    }
                     sequenced = Some(hello.session);
                     continue;
                 }
@@ -601,6 +891,20 @@ fn handle_connection(
                         }
                     },
                 };
+                if let Some(bucket) = &mut bucket {
+                    let cost = body.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+                    if let Err(wait) = bucket.admit_at(cost.max(1), Instant::now()) {
+                        // Over rate: shed the frame untouched. The charge
+                        // guard frees its bytes; the connection stays open
+                        // and the peer re-sends this same frame after the
+                        // hint — safe because nothing was absorbed.
+                        counters.rate_sheds.fetch_add(1, Ordering::SeqCst);
+                        match write_busy(stream, wait)? {
+                            AckWrite::Delivered => continue,
+                            AckWrite::Evict => return Ok(SessionEnd::Evicted),
+                        }
+                    }
+                }
                 if faults::hit("decode").is_some() {
                     let _ = stream.write_all(b"-");
                     return Err(faults::error("decode"));
@@ -616,15 +920,22 @@ fn handle_connection(
                     return Err(faults::error("commit-push"));
                 }
                 let (ack_tx, ack_rx) = bounded(1);
+                let weight = charge.take();
                 commits
-                    .push(Commit::Batch {
-                        batch,
-                        seq,
-                        ack: ack_tx,
-                    })
+                    .push_reserved(
+                        Commit::Batch {
+                            batch,
+                            seq,
+                            ack: ack_tx,
+                        },
+                        weight,
+                    )
                     .map_err(|_| absorber_gone())?;
                 match ack_rx.pop() {
-                    Some(Ok(_outcome)) => write_success_ack(stream, b"+")?,
+                    Some(Ok(_outcome)) => match write_success_ack(stream, b"+")? {
+                        AckWrite::Delivered => {}
+                        AckWrite::Evict => return Ok(SessionEnd::Evicted),
+                    },
                     Some(Err(e)) => {
                         let _ = stream.write_all(b"-");
                         return Err(e);
@@ -642,7 +953,10 @@ fn handle_connection(
                     .map_err(|_| absorber_gone())?;
                 match ack_rx.pop() {
                     Some(Ok(_)) => {
-                        write_success_ack(stream, b"+")?;
+                        match write_success_ack(stream, b"+")? {
+                            AckWrite::Delivered => {}
+                            AckWrite::Evict => return Ok(SessionEnd::Evicted),
+                        }
                         return Ok(SessionEnd::EndOfStream);
                     }
                     Some(Err(e)) => {
@@ -655,6 +969,14 @@ fn handle_connection(
             FrameRead::ShutdownRequested => return Ok(SessionEnd::Shutdown),
             FrameRead::PeerClosed => return Ok(SessionEnd::PeerClosed),
             FrameRead::IdleTimeout => return Ok(SessionEnd::Idle),
+            FrameRead::Oversized(len) => {
+                counters.oversized.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.write_all(b"-");
+                return Err(CollectorError::Protocol(format!(
+                    "frame of {len} bytes exceeds the {}-byte limit",
+                    limits.max_frame_bytes
+                )));
+            }
         }
     }
 }
@@ -665,10 +987,11 @@ fn handle_connection(
 /// The structure (see the module docs and `docs/ARCHITECTURE.md`): an
 /// acceptor service polls the listener and spawns one handler per
 /// connection (at most `max_connections` at a time — excess connections
-/// queue in the TCP backlog); handlers decode and validate frames on
-/// their own threads and feed prepared batches through a bounded queue;
-/// the calling thread is the single absorber, merging batches into the
-/// session in queue order and publishing cadence snapshots to a
+/// are shed at accept with `!busy` and retry later); handlers decode and
+/// validate frames on their own threads, charge payload bytes against the
+/// pipeline budget, and feed prepared batches through the byte-budgeted
+/// queue; the calling thread is the single absorber, merging batches into
+/// the session in queue order and publishing cadence snapshots to a
 /// latest-wins spool; a writer service persists them (rotating per the
 /// policy) off the hot path. A final snapshot is written synchronously
 /// before returning.
@@ -676,10 +999,22 @@ fn handle_connection(
 /// Because every commit is an exact state merge, the final window is
 /// **bit-identical** to a single-connection ingest of the same frames in
 /// any order — the property the stress suite pins. Per-session failures
-/// (rejected frames, protocol violations, disconnects) are counted in
-/// the [`ServeSummary`], never fatal to the loop; `Err` is reserved for
-/// collector-side failures (listener I/O, snapshot persistence, a
-/// panicked service).
+/// (rejected frames, protocol violations, disconnects, sheds, evictions)
+/// are counted in the [`ServeSummary`], never fatal to the loop; `Err` is
+/// reserved for collector-side failures (listener I/O, snapshot
+/// persistence, a panicked stage).
+///
+/// # Supervision
+///
+/// The absorber runs under a supervisor: if it panics, the loop quiesces
+/// (shutdown raised, every blocked handler fails fast), a final durable
+/// snapshot covering **every acked frame** is still attempted, and serve
+/// returns [`CollectorError::Panicked`] instead of wedging. A panicked
+/// snapshot-writer stage is restarted in place a bounded number of times
+/// (counted in [`ServeSummary::supervisor_restarts`]) before the window
+/// gives up
+/// loudly — the generation it was persisting is retried, never dropped,
+/// so durability waiters cannot hang.
 pub fn serve(
     listener: &TcpListener,
     session: &mut dyn CollectorSession,
@@ -689,7 +1024,8 @@ pub fn serve(
     let start_count = session.count();
     let decoder = session.batch_decoder();
     let max_connections = options.max_connections.max(1);
-    let (commit_tx, commit_rx) = bounded::<Commit>(options.queue_depth.max(1));
+    let (commit_tx, commit_rx) =
+        bounded_weighted::<Commit>(options.queue_depth.max(1), options.memory_budget_bytes);
     // Connection permits: the acceptor takes one per live session,
     // handlers return theirs on exit. MPSC fits exactly: many handlers
     // push permits back, one acceptor pops them.
@@ -706,10 +1042,21 @@ pub fn serve(
     let duplicates = AtomicU64::new(0);
     let resumed = AtomicU64::new(0);
     let idle_disconnects = AtomicU64::new(0);
+    let admission_sheds = AtomicU64::new(0);
+    let quota_sheds = AtomicU64::new(0);
+    let rate_sheds = AtomicU64::new(0);
+    let oversized_frames = AtomicU64::new(0);
+    let evictions = AtomicU64::new(0);
+    let supervisor_restarts = AtomicU64::new(0);
+    let peak_queue_bytes = AtomicU64::new(0);
+    // The absorber publishes the running window count here so the
+    // acceptor can enforce the report quota without touching the session.
+    let absorbed_total = AtomicU64::new(start_count);
     let faults_before = faults::injected();
     let last_session_error: Mutex<Option<String>> = Mutex::new(None);
     let writer_error: Mutex<Option<CollectorError>> = Mutex::new(None);
     let accept_error: Mutex<Option<CollectorError>> = Mutex::new(None);
+    let absorber_panic: Mutex<Option<String>> = Mutex::new(None);
     listener
         .set_nonblocking(true)
         .map_err(|e| CollectorError::Io(format!("set_nonblocking: {e}")))?;
@@ -719,23 +1066,51 @@ pub fn serve(
         // I/O while the stream is live. On a persist failure it poisons
         // the spool (so a sequenced flush waiting on durability fails
         // instead of hanging) and raises shutdown: a window that can no
-        // longer persist should wind down, not keep acking.
+        // longer persist should wind down, not keep acking. A *panic*
+        // during persist is supervised: the same generation is retried up
+        // to MAX_WRITER_RESTARTS times (a durability waiter must never
+        // hang on a generation that was taken but never marked), then the
+        // stage gives up through the same poison-and-shutdown path.
         let spool_ref = &spool;
         let writer_error_ref = &writer_error;
         let writer_shutdown = Arc::clone(&options.shutdown);
+        let restarts_ref = &supervisor_restarts;
         scope.spawn("snapshot-writer", move || {
-            while let Some((generation, text)) = spool_ref.take_tagged() {
-                if let Err(e) = policy.persist(&text) {
-                    *writer_error_ref.lock().expect("writer error lock") = Some(e);
-                    spool_ref.poison();
-                    writer_shutdown.store(true, Ordering::SeqCst);
-                    return;
+            let give_up = |e: CollectorError| {
+                *writer_error_ref.lock().expect("writer error lock") = Some(e);
+                spool_ref.poison();
+                writer_shutdown.store(true, Ordering::SeqCst);
+            };
+            'generations: while let Some((generation, text)) = spool_ref.take_tagged() {
+                loop {
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        policy.persist(&text)
+                    }));
+                    match attempt {
+                        Ok(Ok(())) => {
+                            spool_ref.mark_written(generation);
+                            continue 'generations;
+                        }
+                        Ok(Err(e)) => return give_up(e),
+                        Err(panic) => {
+                            let nth = restarts_ref.fetch_add(1, Ordering::SeqCst) + 1;
+                            if nth >= MAX_WRITER_RESTARTS {
+                                return give_up(CollectorError::Panicked(format!(
+                                    "snapshot writer panicked {nth} times; last: {}",
+                                    panic_message(panic.as_ref())
+                                )));
+                            }
+                        }
+                    }
                 }
-                spool_ref.mark_written(generation);
             }
         });
 
-        // Stage 1: the acceptor and its per-connection handlers.
+        // Stage 1: the acceptor and its per-connection handlers. A peer
+        // that cannot be admitted — no free handler slot, quota met, or
+        // an `admission` fault armed — is accepted just long enough to be
+        // told `!busy <retry-ms>` and closed: explicit, retryable
+        // backpressure instead of invisible time in the TCP backlog.
         {
             let commit_tx = commit_tx.clone();
             let decoder = Arc::clone(&decoder);
@@ -744,10 +1119,23 @@ pub fn serve(
             let completed_ref = &completed;
             let failed_ref = &failed;
             let idle_ref = &idle_disconnects;
+            let admission_sheds_ref = &admission_sheds;
+            let quota_sheds_ref = &quota_sheds;
+            let rate_sheds_ref = &rate_sheds;
+            let oversized_ref = &oversized_frames;
+            let evictions_ref = &evictions;
+            let absorbed_ref = &absorbed_total;
             let last_error_ref = &last_session_error;
             let accept_error_ref = &accept_error;
             let session_limit = options.connections;
-            let idle_timeout = options.idle_timeout;
+            let report_quota = options.report_quota;
+            let busy_retry = options.busy_retry;
+            let limits = Arc::new(ConnLimits {
+                max_frame_bytes: options.max_frame_bytes,
+                rate: (options.max_rps_per_conn > 0.0).then_some(options.max_rps_per_conn),
+                ack_deadline: options.ack_deadline,
+                idle_timeout: options.idle_timeout,
+            });
             scope.spawn("acceptor", move || {
                 let mut permit_held = false;
                 loop {
@@ -757,37 +1145,55 @@ pub fn serve(
                     if session_limit > 0 && accepted_ref.load(Ordering::SeqCst) >= session_limit {
                         break;
                     }
-                    if !permit_held {
-                        match permit_rx.try_pop() {
-                            Some(()) => permit_held = true,
-                            None => {
-                                // All handler slots busy: let the backlog
-                                // queue the peers (backpressure, no drop).
-                                std::thread::sleep(ACCEPT_TICK);
-                                continue;
-                            }
-                        }
+                    let quota_met =
+                        report_quota > 0 && absorbed_ref.load(Ordering::SeqCst) >= report_quota;
+                    if !permit_held && !quota_met {
+                        permit_held = permit_rx.try_pop().is_some();
                     }
                     match listener.accept() {
                         Ok((mut stream, _addr)) => {
+                            // The listener's nonblocking flag is inherited
+                            // by accepted sockets on some platforms; both
+                            // the shed write and handler reads want
+                            // blocking I/O with explicit timeouts.
+                            let _ = stream.set_nonblocking(false);
+                            if quota_met {
+                                quota_sheds_ref.fetch_add(1, Ordering::SeqCst);
+                                shed_at_accept(stream, busy_retry);
+                                continue;
+                            }
+                            if !permit_held {
+                                admission_sheds_ref.fetch_add(1, Ordering::SeqCst);
+                                shed_at_accept(stream, busy_retry);
+                                continue;
+                            }
+                            if faults::hit("admission").is_some() {
+                                // Injected admission pressure: shed this
+                                // peer as if the fleet were full (the
+                                // permit stays held for the next one).
+                                admission_sheds_ref.fetch_add(1, Ordering::SeqCst);
+                                shed_at_accept(stream, busy_retry);
+                                continue;
+                            }
                             permit_held = false;
                             accepted_ref.fetch_add(1, Ordering::SeqCst);
                             let commit_tx = commit_tx.clone();
                             let permit_tx = permit_tx.clone();
                             let decoder = Arc::clone(&decoder);
                             let shutdown = Arc::clone(&shutdown);
+                            let limits = Arc::clone(&limits);
                             scope.spawn("conn", move || {
-                                // The listener's nonblocking flag is
-                                // inherited by accepted sockets on some
-                                // platforms; handlers want blocking reads
-                                // with a timeout tick instead.
-                                let _ = stream.set_nonblocking(false);
+                                let counters = ConnCounters {
+                                    rate_sheds: rate_sheds_ref,
+                                    oversized: oversized_ref,
+                                };
                                 match handle_connection(
                                     &mut stream,
                                     decoder.as_ref(),
                                     &commit_tx,
                                     &shutdown,
-                                    idle_timeout,
+                                    &limits,
+                                    &counters,
                                 ) {
                                     Ok(SessionEnd::EndOfStream) => {
                                         completed_ref.fetch_add(1, Ordering::SeqCst);
@@ -804,6 +1210,11 @@ pub fn serve(
                                         *last_error_ref.lock().expect("last error lock") = Some(
                                             "peer idled past --idle-timeout between frames".into(),
                                         );
+                                    }
+                                    Ok(SessionEnd::Evicted) => {
+                                        evictions_ref.fetch_add(1, Ordering::SeqCst);
+                                        *last_error_ref.lock().expect("last error lock") =
+                                            Some("slow consumer evicted past --ack-deadline (committed state stands)".into());
                                     }
                                     Err(e) => {
                                         failed_ref.fetch_add(1, Ordering::SeqCst);
@@ -830,85 +1241,115 @@ pub fn serve(
 
         // Stage 2: this thread is the absorber — the single owner of the
         // session. Drop the original sender so the queue disconnects
-        // once the acceptor and every handler are done.
+        // once the acceptor and every handler are done. The loop runs
+        // under the supervisor's catch_unwind: a panic here must quiesce
+        // the pipeline and still reach the final-snapshot path below, not
+        // wedge every handler blocked on an ack.
         drop(commit_tx);
-        while let Some(commit) = commit_rx.pop() {
-            match commit {
-                Commit::Hello { session: id, ack } => {
-                    let cursor = session.session_cursor(&id);
-                    if cursor > 0 {
-                        resumed.fetch_add(1, Ordering::SeqCst);
+        let absorber = std::panic::AssertUnwindSafe(|| {
+            while let Some(commit) = commit_rx.pop() {
+                match commit {
+                    Commit::Hello { session: id, ack } => {
+                        let cursor = session.session_cursor(&id);
+                        if cursor > 0 {
+                            resumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let _ = ack.push(SessionResume { cursor });
                     }
-                    let _ = ack.push(SessionResume { cursor });
-                }
-                Commit::Batch { batch, seq, ack } => {
-                    let before = session.count();
-                    let result = match seq {
-                        None => session
-                            .absorb_prepared(batch)
-                            .map(|_| BatchOutcome::Absorbed),
-                        Some((id, n)) => {
-                            let cursor = session.session_cursor(&id);
-                            if n < cursor {
-                                // Replay of a committed frame: the dedup
-                                // cursor is exactly why this acks `+`
-                                // without touching the window.
-                                duplicates.fetch_add(1, Ordering::SeqCst);
-                                Ok(BatchOutcome::Duplicate)
-                            } else if n > cursor {
-                                Err(CollectorError::Protocol(format!(
-                                    "session {id:?}: frame seq {n} skips ahead of cursor {cursor}"
-                                )))
-                            } else {
-                                session.absorb_prepared(batch).map(|_| {
-                                    session.set_session_cursor(&id, n + 1);
-                                    BatchOutcome::Absorbed
-                                })
+                    Commit::Batch { batch, seq, ack } => {
+                        if faults::hit("absorb").is_some() {
+                            // The injected failure stands in for a bug in
+                            // the merge itself; with the `panic` action it
+                            // exercises the supervisor's containment.
+                            let _ = ack.push(Err(faults::error("absorb")));
+                            continue;
+                        }
+                        let before = session.count();
+                        let result = match seq {
+                            None => session
+                                .absorb_prepared(batch)
+                                .map(|_| BatchOutcome::Absorbed),
+                            Some((id, n)) => {
+                                let cursor = session.session_cursor(&id);
+                                if n < cursor {
+                                    // Replay of a committed frame: the dedup
+                                    // cursor is exactly why this acks `+`
+                                    // without touching the window.
+                                    duplicates.fetch_add(1, Ordering::SeqCst);
+                                    Ok(BatchOutcome::Duplicate)
+                                } else if n > cursor {
+                                    Err(CollectorError::Protocol(format!(
+                                        "session {id:?}: frame seq {n} skips ahead of cursor {cursor}"
+                                    )))
+                                } else {
+                                    session.absorb_prepared(batch).map(|_| {
+                                        session.set_session_cursor(&id, n + 1);
+                                        BatchOutcome::Absorbed
+                                    })
+                                }
+                            }
+                        };
+                        if matches!(result, Ok(BatchOutcome::Absorbed)) {
+                            absorbed_total.store(session.count(), Ordering::SeqCst);
+                            if policy.due(before, session.count()) {
+                                spool.publish(session.snapshot_text());
                             }
                         }
-                    };
-                    if matches!(result, Ok(BatchOutcome::Absorbed))
-                        && policy.due(before, session.count())
-                    {
-                        spool.publish(session.snapshot_text());
+                        let _ = ack.push(result);
                     }
-                    let _ = ack.push(result);
-                }
-                Commit::Flush { sequenced, ack } => {
-                    let result = if policy.path.is_some() {
-                        let generation = spool.publish(session.snapshot_text());
-                        if sequenced && !spool.wait_written(generation) {
-                            // The writer died: the cursor the client is
-                            // about to trust was never persisted. Fail
-                            // the flush so the client keeps its replay
-                            // buffer.
-                            Err(CollectorError::Io(
-                                "the final session snapshot could not be persisted".into(),
-                            ))
+                    Commit::Flush { sequenced, ack } => {
+                        let result = if policy.path.is_some() {
+                            let generation = spool.publish(session.snapshot_text());
+                            if sequenced && !spool.wait_written(generation) {
+                                // The writer died: the cursor the client is
+                                // about to trust was never persisted. Fail
+                                // the flush so the client keeps its replay
+                                // buffer.
+                                Err(CollectorError::Io(
+                                    "the final session snapshot could not be persisted".into(),
+                                ))
+                            } else {
+                                Ok(session.count())
+                            }
                         } else {
                             Ok(session.count())
-                        }
-                    } else {
-                        Ok(session.count())
-                    };
-                    let _ = ack.push(result);
+                        };
+                        let _ = ack.push(result);
+                    }
                 }
             }
+        });
+        if let Err(panic) = std::panic::catch_unwind(absorber) {
+            *absorber_panic.lock().expect("absorber panic lock") =
+                Some(panic_message(panic.as_ref()));
+            // Quiesce: stop accepting, fail every blocked or future
+            // handler push fast (dropping the receiver disconnects the
+            // queue), and let the scope drain.
+            options.shutdown.store(true, Ordering::SeqCst);
         }
+        peak_queue_bytes.store(commit_rx.peak_bytes() as u64, Ordering::SeqCst);
+        drop(commit_rx);
         spool.close();
     });
     // Handlers want blocking accepts again if serve_once follows.
     let _ = listener.set_nonblocking(false);
+    // The final durable snapshot, synchronous and attempted on *every*
+    // exit path — a contained panic must still leave each acked frame on
+    // disk: `serve` never returns with the window less persisted than the
+    // policy promises.
+    let final_snapshot = policy.apply(session, session.count(), true);
     scope_result.map_err(|e| CollectorError::Io(format!("serve service failure: {e}")))?;
+    if let Some(msg) = absorber_panic.into_inner().expect("absorber panic lock") {
+        final_snapshot?;
+        return Err(CollectorError::Panicked(format!("absorber: {msg}")));
+    }
     if let Some(e) = accept_error.into_inner().expect("accept error lock") {
         return Err(e);
     }
     if let Some(e) = writer_error.into_inner().expect("writer error lock") {
         return Err(e);
     }
-    // The final durable snapshot, synchronous: `serve` never returns with
-    // the window less persisted than the policy promises.
-    policy.apply(session, session.count(), true)?;
+    final_snapshot?;
     Ok(ServeSummary {
         accepted: accepted.into_inner(),
         completed: completed.into_inner(),
@@ -918,6 +1359,13 @@ pub fn serve(
         duplicates_suppressed: duplicates.into_inner(),
         sessions_resumed: resumed.into_inner(),
         idle_disconnects: idle_disconnects.into_inner(),
+        admission_sheds: admission_sheds.into_inner(),
+        quota_sheds: quota_sheds.into_inner(),
+        rate_sheds: rate_sheds.into_inner(),
+        oversized_frames: oversized_frames.into_inner(),
+        evictions: evictions.into_inner(),
+        supervisor_restarts: supervisor_restarts.into_inner(),
+        peak_queue_bytes: peak_queue_bytes.into_inner(),
         faults_injected: faults::injected() - faults_before,
         last_session_error: last_session_error.into_inner().expect("last error lock"),
     })

@@ -283,8 +283,10 @@ fn truncation_at_every_byte_boundary_fails_only_that_session() {
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
+    // Every client connects at once and none retries a `!busy` shed, so
+    // the fleet must fit the admission limit for the counts to be exact.
     let options = ServeOptions {
-        max_connections: 8,
+        max_connections: cuts + 1,
         connections: (cuts + 1) as u64,
         ..ServeOptions::default()
     };

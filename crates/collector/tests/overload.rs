@@ -1,0 +1,542 @@
+//! Overload suite: graceful degradation under pressure.
+//!
+//! Four layers of drill, all asserting the same posture — an overloaded
+//! collector **sheds loudly and early** (`!busy <retry-ms>`) instead of
+//! queueing invisibly, stays inside its configured memory budget, and a
+//! panicked pipeline stage is contained by the supervisor with a durable
+//! final snapshot, never a wedge:
+//!
+//! 1. socket-level shed semantics: admission, quota, per-connection
+//!    rate, and the frame-size cap, each observed as raw bytes;
+//! 2. a sequenced fleet at twice the admission *and* rate capacity,
+//!    with faults at the shed/evict seams, finishing bit-identical to a
+//!    fault-free serial ingest;
+//! 3. a deliberately panicked absorber (`LDP_FAULTS=absorb=panic`)
+//!    contained with a clear error and a snapshot covering every acked
+//!    frame, proven by restart-and-resume;
+//! 4. a panicked snapshot writer restarted in place — and, past the
+//!    restart budget, a loud failure that still wrote a final snapshot.
+
+use ldp_collector::server::{serve, write_frame, ServeOptions, SnapshotPolicy};
+use ldp_collector::{build_session, faults, protocol, CollectorError};
+use ldp_loadgen::{generate_frames, run, Plan};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The fault schedule is process-global; every test that runs a serve
+/// loop holds this lock so a concurrent test's schedule is never
+/// consumed by this one's failpoints.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp-overload-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn no_snapshots() -> SnapshotPolicy {
+    SnapshotPolicy {
+        path: None,
+        every: 0,
+        keep: 0,
+    }
+}
+
+/// Serial reference: one session ingesting every generated frame in
+/// order; exact merges make any faulted run comparable bit for bit.
+fn reference_finalize(spec: &str, frames: &[Vec<String>]) -> (String, u64) {
+    let mut session = build_session(spec).unwrap();
+    for conn in frames {
+        for frame in conn {
+            session.ingest_text(frame).unwrap();
+        }
+    }
+    (session.finalize_text().unwrap(), session.count())
+}
+
+fn read_ack(stream: &mut TcpStream) -> u8 {
+    let mut ack = [0u8; 1];
+    stream.read_exact(&mut ack).unwrap();
+    ack[0]
+}
+
+/// Reads a 5-byte `!busy` shed frame and returns the retry hint in ms.
+fn read_busy_hint(stream: &mut TcpStream) -> u32 {
+    let mut raw = [0u8; 5];
+    stream.read_exact(&mut raw).unwrap();
+    assert_eq!(raw[0], protocol::BUSY_BYTE, "expected a !busy shed frame");
+    protocol::decode_busy_ms([raw[1], raw[2], raw[3], raw[4]])
+}
+
+/// Chunks one generated log into `n`-line frame payloads.
+fn frames_of(log: &str, n: usize) -> Vec<String> {
+    log.lines()
+        .collect::<Vec<_>>()
+        .chunks(n)
+        .map(|c| c.join("\n"))
+        .collect()
+}
+
+#[test]
+fn a_full_fleet_sheds_at_accept_with_the_configured_retry_hint() {
+    let _guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions {
+        max_connections: 1,
+        busy_retry: Duration::from_millis(150),
+        ..ServeOptions::default() // connections: 0 — until shutdown
+    };
+    let shutdown = Arc::clone(&options.shutdown);
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let summary = serve(&listener, session.as_mut(), &no_snapshots(), &options).unwrap();
+        (summary, session.count())
+    });
+
+    // A takes the only slot and keeps its session open mid-stream.
+    let generator = build_session("grr:eps=1,d=8").unwrap();
+    let log = generator.gen_reports(20, 31).unwrap();
+    let mut a = TcpStream::connect(addr).unwrap();
+    write_frame(&mut a, &log).unwrap();
+    assert_eq!(read_ack(&mut a), b'+');
+
+    // B arrives while the fleet is full: not backlog purgatory but an
+    // explicit 5-byte shed carrying the operator's --busy-retry-ms.
+    let mut b = TcpStream::connect(addr).unwrap();
+    assert_eq!(read_busy_hint(&mut b), 150);
+    let mut sink = [0u8; 1];
+    assert_eq!(b.read(&mut sink).unwrap(), 0, "shed connection is closed");
+    drop(b);
+
+    // A's session was never disturbed by the shed next door.
+    a.write_all(&0u32.to_be_bytes()).unwrap();
+    assert_eq!(read_ack(&mut a), b'+');
+    drop(a);
+
+    shutdown.store(true, Ordering::SeqCst);
+    let (summary, count) = server.join().unwrap();
+    assert_eq!(summary.admission_sheds, 1);
+    assert_eq!(summary.accepted, 1, "a shed connection is not an accept");
+    assert_eq!(summary.completed, 1);
+    assert_eq!(count, 20);
+}
+
+#[test]
+fn a_met_report_quota_sheds_new_connections_but_not_admitted_ones() {
+    let _guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions {
+        report_quota: 50,
+        busy_retry: Duration::from_millis(120),
+        ..ServeOptions::default()
+    };
+    let shutdown = Arc::clone(&options.shutdown);
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let summary = serve(&listener, session.as_mut(), &no_snapshots(), &options).unwrap();
+        (summary, session.count())
+    });
+
+    // An admitted session may finish past the quota: the quota gates
+    // *admission*, it never truncates a stream mid-flight.
+    let generator = build_session("grr:eps=1,d=8").unwrap();
+    let log = generator.gen_reports(60, 37).unwrap();
+    let mut a = TcpStream::connect(addr).unwrap();
+    for frame in frames_of(&log, 20) {
+        write_frame(&mut a, &frame).unwrap();
+        assert_eq!(read_ack(&mut a), b'+', "admitted sessions finish");
+    }
+    a.write_all(&0u32.to_be_bytes()).unwrap();
+    assert_eq!(read_ack(&mut a), b'+');
+    drop(a);
+
+    // Give the acceptor a tick to observe the crossed quota, then probe.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut b = TcpStream::connect(addr).unwrap();
+    assert_eq!(read_busy_hint(&mut b), 120);
+    drop(b);
+
+    shutdown.store(true, Ordering::SeqCst);
+    let (summary, count) = server.join().unwrap();
+    assert_eq!(summary.quota_sheds, 1);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(count, 60, "the admitted session's tail is never dropped");
+}
+
+#[test]
+fn an_over_rate_frame_is_shed_mid_stream_and_safely_resent() {
+    let _guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions {
+        connections: 1,
+        max_rps_per_conn: 20.0,
+        ..ServeOptions::default()
+    };
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let summary = serve(&listener, session.as_mut(), &no_snapshots(), &options).unwrap();
+        (summary, session.count())
+    });
+
+    let generator = build_session("grr:eps=1,d=8").unwrap();
+    let log = generator.gen_reports(120, 41).unwrap();
+    let frames = frames_of(&log, 60);
+    let mut stream = TcpStream::connect(addr).unwrap();
+
+    // Frame 1 drains the whole burst allowance; it is absorbed in full
+    // (the clamp caps the *charge*, never truncates the payload).
+    write_frame(&mut stream, &frames[0]).unwrap();
+    assert_eq!(read_ack(&mut stream), b'+');
+
+    // Frame 2 arrives with an empty bucket: shed mid-stream with a hint,
+    // the connection stays open, and nothing of the frame was absorbed.
+    write_frame(&mut stream, &frames[1]).unwrap();
+    let hint = read_busy_hint(&mut stream);
+    assert!(
+        (500..=1_500).contains(&hint),
+        "a drained 20-token bucket refills in ~1s, hint said {hint}ms"
+    );
+
+    // Honoring the hint makes the very same bytes admissible: the shed
+    // is a *pause*, not a reject, so a blind resend is always safe.
+    std::thread::sleep(Duration::from_millis(u64::from(hint) + 150));
+    write_frame(&mut stream, &frames[1]).unwrap();
+    assert_eq!(read_ack(&mut stream), b'+');
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    assert_eq!(read_ack(&mut stream), b'+');
+    drop(stream);
+
+    let (summary, count) = server.join().unwrap();
+    assert_eq!(summary.rate_sheds, 1);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(count, 120, "the shed frame landed exactly once");
+}
+
+#[test]
+fn an_oversized_length_header_is_refused_before_allocation() {
+    let _guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions {
+        connections: 1,
+        max_frame_bytes: 64,
+        ..ServeOptions::default()
+    };
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let summary = serve(&listener, session.as_mut(), &no_snapshots(), &options).unwrap();
+        (summary, session.count())
+    });
+
+    // Only the 4-byte header goes out: the reject must not depend on the
+    // payload ever existing, because the server must not buffer for it.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&1_000_000u32.to_be_bytes()).unwrap();
+    assert_eq!(read_ack(&mut stream), b'-', "oversized header gets -");
+    let mut sink = [0u8; 1];
+    assert_eq!(stream.read(&mut sink).unwrap(), 0, "and the session ends");
+    drop(stream);
+
+    let (summary, count) = server.join().unwrap();
+    assert_eq!(summary.oversized_frames, 1);
+    assert_eq!(summary.failed, 1);
+    assert_eq!(count, 0);
+}
+
+/// The tentpole drill: a sequenced fleet at 2x the admission limit and
+/// well past the per-connection rate cap, with faults injected at the
+/// shed and evict seams, under a byte budget two frames deep. The window
+/// must finalize bit-identical to a fault-free serial ingest, with zero
+/// duplicate absorbs and the measured peak charge inside the budget.
+#[test]
+fn an_overloaded_faulted_fleet_is_bit_identical_and_stays_inside_its_budget() {
+    let guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = "sw-ems:eps=1,d=32";
+    let plan = Plan {
+        spec: spec.into(),
+        connections: 8,
+        frames_per_connection: 6,
+        reports_per_frame: 40,
+        seed: 9,
+        session: Some("surge".into()),
+        retry_budget: Duration::from_secs(60),
+        ..Plan::default()
+    };
+    let frames = generate_frames(&plan).unwrap();
+    let (expected, expected_count) = reference_finalize(spec, &frames);
+    // Two of the largest sequenced frames (payload + `seq N\n` prefix).
+    let budget = 2 * (frames.iter().flatten().map(|f| f.len()).max().unwrap() + 16);
+
+    // `admission=err` sheds one admittable connection at accept;
+    // `ack-evict=err` turns one successful ack write into an eviction.
+    faults::install("admission=err@5,ack-evict=err@9").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let options = ServeOptions {
+        max_connections: 4,
+        max_rps_per_conn: 100.0,
+        memory_budget_bytes: budget,
+        busy_retry: Duration::from_millis(50),
+        ..ServeOptions::default() // connections: 0 — until shutdown
+    };
+    let shutdown = Arc::clone(&options.shutdown);
+    let server = std::thread::spawn({
+        let spec = spec.to_string();
+        move || {
+            let mut session = build_session(&spec).unwrap();
+            let summary = serve(&listener, session.as_mut(), &no_snapshots(), &options).unwrap();
+            (summary, session.finalize_text().unwrap(), session.count())
+        }
+    });
+
+    let report = run(&addr, &plan).unwrap();
+    shutdown.store(true, Ordering::SeqCst);
+    let (summary, finalized, count) = server.join().unwrap();
+    faults::clear();
+    drop(guard);
+
+    assert_eq!(report.reports, plan.total_reports());
+    assert_eq!(summary.faults_injected, 2, "both seam faults fired");
+    assert!(report.sheds > 0, "clients should have seen !busy");
+    assert!(summary.admission_sheds >= 1, "at least the injected shed");
+    assert!(
+        summary.rate_sheds > 0,
+        "240 reports/conn against a 100-token bucket must shed"
+    );
+    assert_eq!(summary.evictions, 1, "exactly the injected eviction");
+    assert!(summary.peak_queue_bytes > 0);
+    assert!(
+        summary.peak_queue_bytes <= budget as u64,
+        "peak pipeline charge {} exceeded the {budget}-byte budget",
+        summary.peak_queue_bytes
+    );
+    assert_eq!(count, expected_count, "lost or doubled reports");
+    assert_eq!(
+        finalized, expected,
+        "the overloaded run must be bit-identical to the fault-free reference"
+    );
+}
+
+/// Acceptance drill: a deliberately panicked absorber is contained by
+/// the supervisor — serve exits with a clear error *and* a durable final
+/// snapshot covering every acked frame, proven by restarting on the same
+/// listener and resuming the same fleet to a bit-identical window.
+#[test]
+fn a_panicked_absorber_is_contained_and_the_window_resumes_from_its_snapshot() {
+    let guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("absorber-panic");
+    let snap = dir.join("window.snap");
+    let spec = "grr:eps=1,d=16";
+    let plan = Plan {
+        spec: spec.into(),
+        connections: 3,
+        frames_per_connection: 4,
+        reports_per_frame: 25,
+        seed: 17,
+        session: Some("contain".into()),
+        retry_budget: Duration::from_secs(30),
+        ..Plan::default()
+    };
+    let frames = generate_frames(&plan).unwrap();
+    let (expected, expected_count) = reference_finalize(spec, &frames);
+
+    // The 12th batch commit — the last frame of the fleet — panics in
+    // the absorber before it can be absorbed or acked.
+    faults::install("absorb=panic@12").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let options = ServeOptions::default();
+    let policy = SnapshotPolicy {
+        path: Some(snap.clone()),
+        every: 0,
+        keep: 0,
+    };
+    let server1 = std::thread::spawn({
+        let spec = spec.to_string();
+        move || {
+            let mut session = build_session(&spec).unwrap();
+            let err = serve(&listener, session.as_mut(), &policy, &options).unwrap_err();
+            (listener, err, session.count())
+        }
+    });
+    // The fleet keeps retrying right through the contained crash.
+    let client = std::thread::spawn({
+        let plan = plan.clone();
+        move || run(&addr, &plan).unwrap()
+    });
+
+    let (listener, err, count_at_panic) = server1.join().unwrap();
+    faults::clear();
+    assert!(
+        matches!(err, CollectorError::Panicked(_)),
+        "expected a contained panic, got: {err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("absorber"), "names the stage: {msg}");
+    assert!(msg.contains("injected panic"), "carries the cause: {msg}");
+    assert!(
+        count_at_panic < expected_count,
+        "the panicked batch must not have been absorbed"
+    );
+
+    // The final snapshot written on the way down covers every acked
+    // frame: a fresh session restores to exactly the crash-time count.
+    let mut resumed = build_session(spec).unwrap();
+    resumed
+        .restore(&std::fs::read_to_string(&snap).unwrap())
+        .unwrap();
+    assert_eq!(resumed.count(), count_at_panic, "acked frames are durable");
+
+    // Restart on the same listener; the fleet finishes the window.
+    let options2 = ServeOptions::default();
+    let shutdown2 = Arc::clone(&options2.shutdown);
+    let policy2 = SnapshotPolicy {
+        path: Some(snap.clone()),
+        every: 0,
+        keep: 0,
+    };
+    let server2 = std::thread::spawn(move || {
+        let summary = serve(&listener, resumed.as_mut(), &policy2, &options2).unwrap();
+        (summary, resumed.finalize_text().unwrap(), resumed.count())
+    });
+    let report = client.join().unwrap();
+    shutdown2.store(true, Ordering::SeqCst);
+    let (summary2, finalized, count) = server2.join().unwrap();
+    drop(guard);
+
+    assert_eq!(report.reports, plan.total_reports());
+    assert!(summary2.sessions_resumed >= 1, "cursors crossed the crash");
+    assert_eq!(count, expected_count, "lost or doubled reports");
+    assert_eq!(
+        finalized, expected,
+        "resume after a contained panic must be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_panicked_snapshot_writer_is_restarted_on_the_same_generation() {
+    let guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("writer-restart");
+    let snap = dir.join("window.snap");
+
+    // The second cadence write panics mid-persist; the supervisor must
+    // retry the *same* generation so no durability waiter ever hangs.
+    faults::install("snap-write=panic@2").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions {
+        connections: 1,
+        ..ServeOptions::default()
+    };
+    let policy = SnapshotPolicy {
+        path: Some(snap.clone()),
+        every: 100,
+        keep: 0,
+    };
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let summary = serve(&listener, session.as_mut(), &policy, &options).unwrap();
+        (summary, session.count())
+    });
+
+    let generator = build_session("grr:eps=1,d=8").unwrap();
+    let log = generator.gen_reports(400, 23).unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for frame in frames_of(&log, 100) {
+        write_frame(&mut stream, &frame).unwrap();
+        assert_eq!(read_ack(&mut stream), b'+');
+        // Let the writer drain each cadence publish before the next, so
+        // the panic deterministically lands on a writer-thread persist.
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    assert_eq!(read_ack(&mut stream), b'+');
+    drop(stream);
+
+    let (summary, count) = server.join().unwrap();
+    faults::clear();
+    drop(guard);
+    assert_eq!(summary.supervisor_restarts, 1, "one contained restart");
+    assert_eq!(count, 400);
+    // The retried generation (and the final snapshot) landed intact.
+    let mut recovered = build_session("grr:eps=1,d=8").unwrap();
+    recovered
+        .restore(&std::fs::read_to_string(&snap).unwrap())
+        .unwrap();
+    assert_eq!(recovered.count(), 400);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_writer_past_its_restart_budget_fails_loudly_with_a_final_snapshot() {
+    let guard = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("writer-give-up");
+    let snap = dir.join("window.snap");
+
+    // Three consecutive panics on the same generation exhaust the
+    // restart budget: the spool is poisoned, shutdown is raised, and
+    // serve returns a loud error — never a silent wedge.
+    faults::install("snap-write=panic@1,snap-write=panic@2,snap-write=panic@3").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = ServeOptions::default();
+    let policy = SnapshotPolicy {
+        path: Some(snap.clone()),
+        every: 100,
+        keep: 0,
+    };
+    let server = std::thread::spawn(move || {
+        let mut session = build_session("grr:eps=1,d=8").unwrap();
+        let err = serve(&listener, session.as_mut(), &policy, &options).unwrap_err();
+        (err, session.count())
+    });
+
+    // A client that tolerates the abrupt end the give-up forces.
+    let generator = build_session("grr:eps=1,d=8").unwrap();
+    let log = generator.gen_reports(400, 27).unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut acked = 0u64;
+    for frame in frames_of(&log, 100) {
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+        let mut ack = [0u8; 1];
+        match stream.read_exact(&mut ack) {
+            Ok(()) if ack[0] == b'+' => acked += 100,
+            _ => break,
+        }
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    drop(stream);
+
+    let (err, count) = server.join().unwrap();
+    faults::clear();
+    drop(guard);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("snapshot writer panicked"),
+        "the error names the stage and the budget: {msg}"
+    );
+    assert!(acked >= 100, "the first cadence frame was acked");
+    // Even on the give-up path, the final snapshot covers every acked
+    // frame — written by the serve thread, not the dead writer.
+    let mut recovered = build_session("grr:eps=1,d=8").unwrap();
+    recovered
+        .restore(&std::fs::read_to_string(&snap).unwrap())
+        .unwrap();
+    assert_eq!(recovered.count(), count);
+    assert!(
+        recovered.count() >= acked,
+        "acked frames are in the snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,95 @@
+//! Snapshot-format compatibility: PR 8's overload machinery must not
+//! change a single byte of the snapshot container.
+//!
+//! The fixtures under `tests/fixtures/` were written by the pre-PR-8
+//! binary (`gen --mechanism grr:eps=1,d=16 --n 120 --seed 9` piped
+//! through `ingest`, with and without sequenced-session cursors). A
+//! current session must restore them, re-emit them byte-identically,
+//! and — rebuilt from scratch over the same reports — write those exact
+//! bytes again. `inspect` must print nothing new for them either.
+
+use ldp_collector::build_session;
+use std::process::Command;
+
+const SPEC: &str = "grr:eps=1,d=16";
+const GRR_FIXTURE: &str = include_str!("fixtures/pre_pr8_grr.snap");
+const SESSIONS_FIXTURE: &str = include_str!("fixtures/pre_pr8_sessions.snap");
+
+#[test]
+fn restoring_a_pre_pr8_snapshot_round_trips_byte_identically() {
+    let mut session = build_session(SPEC).unwrap();
+    session.restore(GRR_FIXTURE).unwrap();
+    assert_eq!(session.count(), 120);
+    assert_eq!(
+        session.snapshot_text(),
+        GRR_FIXTURE,
+        "restore -> snapshot must reproduce the pre-PR-8 bytes"
+    );
+
+    let mut session = build_session(SPEC).unwrap();
+    session.restore(SESSIONS_FIXTURE).unwrap();
+    assert_eq!(session.count(), 120);
+    assert_eq!(
+        session.snapshot_text(),
+        SESSIONS_FIXTURE,
+        "sequenced-session cursors must round-trip untouched"
+    );
+}
+
+#[test]
+fn a_freshly_ingested_window_still_writes_the_pre_pr8_bytes() {
+    let generator = build_session(SPEC).unwrap();
+    let log = generator.gen_reports(120, 9).unwrap();
+
+    let mut session = build_session(SPEC).unwrap();
+    session.ingest_text(&log).unwrap();
+    assert_eq!(
+        session.snapshot_text(),
+        GRR_FIXTURE,
+        "a fresh ingest must emit the pre-PR-8 snapshot byte for byte"
+    );
+
+    // The sessions fixture is the same window ingested as two sequenced
+    // sessions: fix-a took three frames, fix-b two.
+    session.set_session_cursor("fix-a", 3);
+    session.set_session_cursor("fix-b", 2);
+    assert_eq!(
+        session.snapshot_text(),
+        SESSIONS_FIXTURE,
+        "cursor bookkeeping must not disturb the container format"
+    );
+}
+
+#[test]
+fn inspect_prints_nothing_new_for_a_pre_pr8_snapshot() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/pre_pr8_sessions.snap"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_ldp-collector"))
+        .args(["inspect", fixture])
+        .output()
+        .expect("spawn ldp-collector");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let keys: Vec<&str> = stdout
+        .lines()
+        .skip(1) // the "<path>:" heading
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "version",
+            "mechanism",
+            "fingerprint",
+            "reports",
+            "body",
+            "sessions",
+            "fix-a",
+            "fix-b",
+            "checksum",
+        ],
+        "inspect grew or reordered fields:\n{stdout}"
+    );
+}

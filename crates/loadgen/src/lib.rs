@@ -123,6 +123,16 @@ pub struct RunReport {
     /// Sequenced frames re-sent below a connection's high-water mark —
     /// the at-least-once duplicates the collector must suppress.
     pub frames_resent: u64,
+    /// `!busy` shed responses honored (admission, quota, or rate — the
+    /// collector absorbed nothing, the generator waited the hint and
+    /// retried). Distinct from [`RunReport::rejected_frames`], which are
+    /// permanent `-` verdicts.
+    pub sheds: u64,
+    /// Connections the collector closed mid-session on an otherwise
+    /// healthy socket — the slow-consumer eviction signature (sequenced
+    /// runs recover by re-handshaking; counted separately from
+    /// [`RunReport::reconnects`] causes like crashes).
+    pub evictions: u64,
     /// Wall-clock for the whole run (connect to last end-of-stream ack).
     pub elapsed: Duration,
     /// Acked reports per second of wall-clock.
@@ -225,6 +235,8 @@ struct ConnStats {
     connect_attempts: u64,
     reconnects: u64,
     frames_resent: u64,
+    sheds: u64,
+    evictions: u64,
     /// Distinct frames this connection got committed (drives the
     /// report count; resends count once).
     acked_unique: u64,
@@ -239,10 +251,25 @@ impl ConnStats {
             connect_attempts: 0,
             reconnects: 0,
             frames_resent: 0,
+            sheds: 0,
+            evictions: 0,
             acked_unique: 0,
             latencies_us: Vec::with_capacity(capacity),
         }
     }
+}
+
+/// Sleeps out a `!busy` retry hint (capped at [`BACKOFF_CAP`] so a bogus
+/// hint cannot park a connection), after the shared backoff has charged
+/// its budget — the hint is the server's pacing, the budget is the
+/// client's patience.
+fn sleep_busy_hint(stream: &mut TcpStream, stats: &mut ConnStats) -> std::io::Result<()> {
+    let mut raw = [0u8; 4];
+    stream.read_exact(&mut raw)?;
+    stats.sheds += 1;
+    let hint = Duration::from_millis(u64::from(protocol::decode_busy_ms(raw)));
+    std::thread::sleep(hint.min(BACKOFF_CAP));
+    Ok(())
 }
 
 /// Connects under `backoff` — load runs routinely start while the
@@ -273,9 +300,13 @@ fn connect_with_retry(
 
 /// Streams `frames` over one bare session: frame, ack, repeat,
 /// end-of-stream. `frame_interval` paces sends against the connection's
-/// own start time (zero = as fast as acks allow). No retry after the
-/// connect: bare framing is at-least-once, so resending on error could
-/// double-count.
+/// own start time (zero = as fast as acks allow). No retry after an io
+/// error once a frame has been acked: bare framing is at-least-once, so
+/// resending on error could double-count. The two *safe* retries are
+/// honored: a `!busy` shed (the collector promises nothing was absorbed —
+/// wait the hint and re-send the same frame), and a connection that dies
+/// before any frame was acked (the admission-shed signature — reconnect
+/// and replay from the top).
 fn drive_connection(
     addr: &str,
     frames: &[String],
@@ -287,7 +318,8 @@ fn drive_connection(
     let mut stream = connect_with_retry(addr, &mut backoff, &mut stats.connect_attempts)?;
     let io = |what: &str, e: std::io::Error| CollectorError::Io(format!("{what}: {e}"));
     let started = Instant::now();
-    for (i, payload) in frames.iter().enumerate() {
+    let mut i = 0usize;
+    while i < frames.len() {
         if !frame_interval.is_zero() {
             let due = frame_interval * i as u32;
             let now = started.elapsed();
@@ -295,21 +327,60 @@ fn drive_connection(
                 std::thread::sleep(due - now);
             }
         }
+        // A connection shed at admission gets `!busy` and a close before
+        // its first frame is looked at; with zero acked frames,
+        // reconnecting and replaying from the top cannot double-count.
+        let retry_from_scratch = |stats: &mut ConnStats,
+                                  backoff: &mut Backoff,
+                                  what: &str,
+                                  e: std::io::Error|
+         -> Result<TcpStream, CollectorError> {
+            if stats.acked_unique > 0 || !backoff.wait() {
+                return Err(io(what, e));
+            }
+            connect_with_retry(addr, backoff, &mut stats.connect_attempts)
+        };
         let sent = Instant::now();
-        write_frame(&mut stream, payload).map_err(|e| io("write frame", e))?;
+        if let Err(e) = write_frame(&mut stream, &frames[i]) {
+            stream = retry_from_scratch(&mut stats, &mut backoff, "write frame", e)?;
+            i = 0;
+            continue;
+        }
         let mut ack = [0u8; 1];
-        stream.read_exact(&mut ack).map_err(|e| io("read ack", e))?;
-        stats
-            .latencies_us
-            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        stats.frames += 1;
+        if let Err(e) = stream.read_exact(&mut ack) {
+            stream = retry_from_scratch(&mut stats, &mut backoff, "read ack", e)?;
+            i = 0;
+            continue;
+        }
         match ack[0] {
-            b'+' => stats.acked_unique += 1,
+            b'+' => {
+                stats
+                    .latencies_us
+                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                stats.frames += 1;
+                stats.acked_unique += 1;
+                backoff.reset();
+                i += 1;
+            }
             b'-' => {
                 // A rejected frame ends the session server-side; count it
                 // and stop rather than erroring the whole run.
+                stats.frames += 1;
                 stats.rejected += 1;
                 return Ok(stats);
+            }
+            protocol::BUSY_BYTE => {
+                // Transient shed: nothing was absorbed, re-sending this
+                // same frame is safe. Budget-bounded, then the hint.
+                if !backoff.wait() {
+                    return Err(CollectorError::Io(
+                        "collector kept shedding !busy (retry budget exhausted)".into(),
+                    ));
+                }
+                if let Err(e) = sleep_busy_hint(&mut stream, &mut stats) {
+                    stream = retry_from_scratch(&mut stats, &mut backoff, "read busy hint", e)?;
+                    i = 0;
+                }
             }
             other => {
                 return Err(CollectorError::Protocol(format!(
@@ -364,22 +435,41 @@ fn drive_sequenced(
         let mut stream = connect_with_retry(addr, &mut backoff, &mut stats.connect_attempts)?;
         // Handshake. Horizon 0: the generator holds every frame in
         // memory, so it can always replay from the beginning.
-        let handshake =
-            write_frame(&mut stream, &protocol::encode_hello(session_id, 0)).and_then(|()| {
-                let mut first = [0u8; 1];
-                stream.read_exact(&mut first)?;
-                if first[0] != b'+' {
-                    return Ok(None);
-                }
+        let mut first = [0u8; 1];
+        let handshake = write_frame(&mut stream, &protocol::encode_hello(session_id, 0))
+            .and_then(|()| stream.read_exact(&mut first));
+        if handshake.is_err() {
+            // Torn mid-handshake: nothing was committed under this
+            // connection; back off and re-handshake.
+            if !backoff.wait() {
+                return Err(give_up("hello not accepted"));
+            }
+            continue 'session;
+        }
+        let cursor = match first[0] {
+            b'+' => {
                 let mut raw = [0u8; 8];
-                stream.read_exact(&mut raw)?;
-                Ok(Some(u64::from_be_bytes(raw)))
-            });
-        let cursor = match handshake {
-            Ok(Some(cursor)) => cursor,
-            // Refused (`-`) or torn mid-handshake: nothing was committed
-            // under this connection; back off and re-handshake.
-            Ok(None) | Err(_) => {
+                match stream.read_exact(&mut raw) {
+                    Ok(()) => u64::from_be_bytes(raw),
+                    Err(_) => {
+                        if !backoff.wait() {
+                            return Err(give_up("hello not accepted"));
+                        }
+                        continue 'session;
+                    }
+                }
+            }
+            protocol::BUSY_BYTE => {
+                // Shed at admission or over quota: wait the server's hint
+                // (budget-bounded) and try the whole handshake again.
+                if !backoff.wait() {
+                    return Err(give_up("shed with !busy"));
+                }
+                let _ = sleep_busy_hint(&mut stream, &mut stats);
+                continue 'session;
+            }
+            // Refused (`-`): back off and re-handshake.
+            _ => {
                 if !backoff.wait() {
                     return Err(give_up("hello not accepted"));
                 }
@@ -394,11 +484,9 @@ fn drive_sequenced(
         if initial_cursor.is_none() {
             initial_cursor = Some(cursor);
         }
-        for (i, payload) in frames
-            .iter()
-            .enumerate()
-            .skip((cursor as usize).min(frames.len()))
-        {
+        let mut i = (cursor as usize).min(frames.len());
+        while i < frames.len() {
+            let payload = &frames[i];
             let seq = i as u64;
             if !options.frame_interval.is_zero() {
                 let due = options.frame_interval * i as u32;
@@ -410,43 +498,70 @@ fn drive_sequenced(
             if seq < watermark {
                 stats.frames_resent += 1;
             }
-            let sent = Instant::now();
-            if write_frame(&mut stream, &protocol::encode_seq_frame(seq, payload)).is_err() {
-                if !backoff.wait() {
-                    return Err(give_up("write frame"));
-                }
-                continue 'session;
-            }
-            watermark = watermark.max(seq + 1);
-            let mut ack = [0u8; 1];
-            if stream.read_exact(&mut ack).is_err() {
-                if !backoff.wait() {
-                    return Err(give_up("read ack"));
-                }
-                continue 'session;
-            }
-            stats
-                .latencies_us
-                .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-            stats.frames += 1;
-            match ack[0] {
-                b'+' => backoff.reset(),
-                b'-' => {
-                    // The collector could not commit this frame (injected
-                    // fault, restart-induced gap, …). Its cursor still
-                    // tells the truth: re-handshake and resume from it.
-                    stats.rejected += 1;
+            // Inner retry: a `!busy` shed re-sends this same frame on
+            // this same connection without counting another resend (the
+            // collector absorbed nothing, so it is not a duplicate the
+            // cursor must suppress).
+            loop {
+                let sent = Instant::now();
+                if write_frame(&mut stream, &protocol::encode_seq_frame(seq, payload)).is_err() {
                     if !backoff.wait() {
-                        return Err(give_up("frame rejected"));
+                        return Err(give_up("write frame"));
                     }
                     continue 'session;
                 }
-                other => {
-                    return Err(CollectorError::Protocol(format!(
-                        "unexpected ack byte {other:#04x}"
-                    )))
+                watermark = watermark.max(seq + 1);
+                let mut ack = [0u8; 1];
+                if let Err(e) = stream.read_exact(&mut ack) {
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        // A clean close where an ack was due is the
+                        // slow-consumer eviction signature; the commit
+                        // may stand, so re-handshake and let the cursor
+                        // say what to resend.
+                        stats.evictions += 1;
+                    }
+                    if !backoff.wait() {
+                        return Err(give_up("read ack"));
+                    }
+                    continue 'session;
+                }
+                match ack[0] {
+                    b'+' => {
+                        stats
+                            .latencies_us
+                            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        stats.frames += 1;
+                        backoff.reset();
+                        break;
+                    }
+                    b'-' => {
+                        // The collector could not commit this frame
+                        // (injected fault, restart-induced gap, …). Its
+                        // cursor still tells the truth: re-handshake and
+                        // resume from it.
+                        stats.frames += 1;
+                        stats.rejected += 1;
+                        if !backoff.wait() {
+                            return Err(give_up("frame rejected"));
+                        }
+                        continue 'session;
+                    }
+                    protocol::BUSY_BYTE => {
+                        if !backoff.wait() {
+                            return Err(give_up("shed with !busy"));
+                        }
+                        if sleep_busy_hint(&mut stream, &mut stats).is_err() {
+                            continue 'session;
+                        }
+                    }
+                    other => {
+                        return Err(CollectorError::Protocol(format!(
+                            "unexpected ack byte {other:#04x}"
+                        )))
+                    }
                 }
             }
+            i += 1;
         }
         // End of stream. In a sequenced session the `+` arrives only
         // after the final snapshot is durable — a `-` (flush failed) or a
@@ -584,6 +699,8 @@ pub fn run_frames_with(
     let mut connect_attempts = 0u64;
     let mut reconnects = 0u64;
     let mut frames_resent = 0u64;
+    let mut sheds = 0u64;
+    let mut evictions = 0u64;
     let mut unique = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for result in results {
@@ -593,6 +710,8 @@ pub fn run_frames_with(
         connect_attempts += stats.connect_attempts;
         reconnects += stats.reconnects;
         frames_resent += stats.frames_resent;
+        sheds += stats.sheds;
+        evictions += stats.evictions;
         unique += stats.acked_unique;
         latencies.extend(stats.latencies_us);
     }
@@ -606,6 +725,8 @@ pub fn run_frames_with(
         connect_attempts,
         reconnects,
         frames_resent,
+        sheds,
+        evictions,
         elapsed,
         reports_per_sec: reports as f64 / elapsed.as_secs_f64().max(1e-9),
         ack_p50_us: percentile(&latencies, 0.50),

@@ -105,6 +105,8 @@ fn try_main(args: &[String]) -> Result<(), CollectorError> {
     println!("connect-attempts  {:>12}", report.connect_attempts);
     println!("reconnects        {:>12}", report.reconnects);
     println!("frames-resent     {:>12}", report.frames_resent);
+    println!("busy-sheds        {:>12}", report.sheds);
+    println!("evictions         {:>12}", report.evictions);
     println!("reports           {:>12}", report.reports);
     println!("elapsed-ms        {:>12}", report.elapsed.as_millis());
     println!("reports-per-sec   {:>12.1}", report.reports_per_sec);

@@ -17,6 +17,19 @@
 //!   remaining values and then returns `None`;
 //! - when the [`Receiver`] is dropped, every blocked and future
 //!   [`Sender::push`] returns [`SendError`] carrying the rejected value.
+//!
+//! # Byte-weighted bounds
+//!
+//! A count bound alone cannot cap memory: 32 queued frames may be 32 KiB
+//! or 2 GiB. A channel from [`bounded_weighted`] adds a **byte budget**
+//! shared by queued values *and* outstanding [`Sender::reserve`]
+//! reservations, so a producer can charge a payload's bytes against the
+//! budget **before allocating its buffer** — the budget then covers
+//! in-flight decode buffers, not just what sits in the queue. One
+//! oversized value is still admitted whenever no bytes are outstanding
+//! (backpressure **blocks, never drops**, even when a single item exceeds
+//! the whole budget), and [`Receiver::peak_bytes`] records the high-water
+//! mark for capacity verification.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -25,17 +38,41 @@ use std::sync::Arc;
 /// The channel's shared core.
 struct Chan<T> {
     state: Mutex<State<T>>,
-    /// Producers park here while the buffer is full.
+    /// Producers park here while the buffer is full or the byte budget is
+    /// exhausted.
     not_full: Condvar,
     /// The consumer parks here while the buffer is empty.
     not_empty: Condvar,
 }
 
 struct State<T> {
-    buf: VecDeque<T>,
+    /// Each buffered value carries the byte weight it was charged.
+    buf: VecDeque<(T, usize)>,
     capacity: usize,
+    /// Byte budget shared by queued weights and outstanding reservations
+    /// (`usize::MAX` = unweighted channel).
+    byte_budget: usize,
+    /// Bytes currently charged: queued weights + reservations not yet
+    /// pushed or released.
+    used_bytes: usize,
+    /// High-water mark of `used_bytes` over the channel's lifetime.
+    peak_bytes: usize,
     senders: usize,
     receiver_alive: bool,
+}
+
+impl<T> State<T> {
+    /// Whether `bytes` more can be charged right now. An oversized charge
+    /// is admitted whenever nothing else is outstanding, so progress never
+    /// deadlocks on a budget smaller than one item.
+    fn admits_bytes(&self, bytes: usize) -> bool {
+        self.used_bytes == 0 || self.used_bytes.saturating_add(bytes) <= self.byte_budget
+    }
+
+    fn charge(&mut self, bytes: usize) {
+        self.used_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+    }
 }
 
 /// The value a [`Sender::push`] could not deliver because the receiver was
@@ -55,10 +92,26 @@ impl<T> std::fmt::Display for SendError<T> {
 /// [`Receiver`] is the consumer end.
 #[must_use]
 pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    bounded_weighted(capacity, 0)
+}
+
+/// Creates a bounded MPSC channel with **two** bounds: at most `capacity`
+/// values and at most `byte_budget` charged bytes (queued weights plus
+/// outstanding [`Sender::reserve`] reservations). `byte_budget = 0` means
+/// unweighted — byte charges are tracked but never block.
+#[must_use]
+pub fn bounded_weighted<T>(capacity: usize, byte_budget: usize) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
         state: Mutex::new(State {
             buf: VecDeque::new(),
             capacity: capacity.max(1),
+            byte_budget: if byte_budget == 0 {
+                usize::MAX
+            } else {
+                byte_budget
+            },
+            used_bytes: 0,
+            peak_bytes: 0,
             senders: 1,
             receiver_alive: true,
         }),
@@ -85,13 +138,75 @@ impl<T> Sender<T> {
     /// the backpressure edge. Returns `Err` with the value if the receiver
     /// has been dropped (nothing is ever silently discarded).
     pub fn push(&self, value: T) -> Result<(), SendError<T>> {
+        self.push_weighted(value, 0)
+    }
+
+    /// Delivers `value` charged at `bytes`, blocking while the channel is
+    /// full **or** the byte budget is exhausted. The charge is released
+    /// when the receiver pops the value. A value heavier than the whole
+    /// budget is admitted once nothing else is charged — blocks, never
+    /// drops.
+    pub fn push_weighted(&self, value: T, bytes: usize) -> Result<(), SendError<T>> {
         let mut state = self.chan.state.lock();
         loop {
             if !state.receiver_alive {
                 return Err(SendError(value));
             }
+            if state.buf.len() < state.capacity && state.admits_bytes(bytes) {
+                state.charge(bytes);
+                state.buf.push_back((value, bytes));
+                drop(state);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            self.chan.not_full.wait(&mut state);
+        }
+    }
+
+    /// Charges `bytes` against the byte budget **without queueing
+    /// anything yet**, blocking while the budget is exhausted. Call this
+    /// *before* allocating a payload buffer so the budget covers in-flight
+    /// decode memory; follow up with [`Sender::push_reserved`] to hand the
+    /// decoded value over (the charge transfers to the queued value) or
+    /// [`Sender::unreserve`] to release the charge on an error path.
+    ///
+    /// Returns `Err` when the receiver is gone (nothing was charged).
+    pub fn reserve(&self, bytes: usize) -> Result<(), SendError<()>> {
+        let mut state = self.chan.state.lock();
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(()));
+            }
+            if state.admits_bytes(bytes) {
+                state.charge(bytes);
+                return Ok(());
+            }
+            self.chan.not_full.wait(&mut state);
+        }
+    }
+
+    /// Releases a charge previously acquired with [`Sender::reserve`]
+    /// without delivering a value (the producer's error path).
+    pub fn unreserve(&self, bytes: usize) {
+        let mut state = self.chan.state.lock();
+        state.used_bytes = state.used_bytes.saturating_sub(bytes);
+        drop(state);
+        self.chan.not_full.notify_all();
+    }
+
+    /// Delivers a value whose `bytes` were already charged via
+    /// [`Sender::reserve`], blocking only on the count bound (the byte
+    /// budget is already owned). On `Err` the reservation is released and
+    /// the value handed back.
+    pub fn push_reserved(&self, value: T, bytes: usize) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock();
+        loop {
+            if !state.receiver_alive {
+                state.used_bytes = state.used_bytes.saturating_sub(bytes);
+                return Err(SendError(value));
+            }
             if state.buf.len() < state.capacity {
-                state.buf.push_back(value);
+                state.buf.push_back((value, bytes));
                 drop(state);
                 self.chan.not_empty.notify_one();
                 return Ok(());
@@ -108,8 +223,8 @@ impl<T> Sender<T> {
         if !state.receiver_alive {
             return Err(TrySendError { value, full: false });
         }
-        if state.buf.len() < state.capacity {
-            state.buf.push_back(value);
+        if state.buf.len() < state.capacity && state.admits_bytes(0) {
+            state.buf.push_back((value, 0));
             drop(state);
             self.chan.not_empty.notify_one();
             Ok(())
@@ -164,9 +279,13 @@ impl<T> Receiver<T> {
     pub fn pop(&self) -> Option<T> {
         let mut state = self.chan.state.lock();
         loop {
-            if let Some(value) = state.buf.pop_front() {
+            if let Some((value, bytes)) = state.buf.pop_front() {
+                state.used_bytes = state.used_bytes.saturating_sub(bytes);
                 drop(state);
-                self.chan.not_full.notify_one();
+                // Waiters are a mix of count-bound and byte-budget
+                // blockers; wake them all so whichever can now proceed
+                // does (notify_one could wake only one that still can't).
+                self.chan.not_full.notify_all();
                 return Some(value);
             }
             if state.senders == 0 {
@@ -180,12 +299,14 @@ impl<T> Receiver<T> {
     /// available right now", not necessarily disconnection.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.chan.state.lock();
-        let value = state.buf.pop_front();
-        if value.is_some() {
+        if let Some((value, bytes)) = state.buf.pop_front() {
+            state.used_bytes = state.used_bytes.saturating_sub(bytes);
             drop(state);
-            self.chan.not_full.notify_one();
+            self.chan.not_full.notify_all();
+            Some(value)
+        } else {
+            None
         }
-        value
     }
 
     /// Values currently buffered.
@@ -205,13 +326,51 @@ impl<T> Receiver<T> {
     pub fn capacity(&self) -> usize {
         self.chan.state.lock().capacity
     }
+
+    /// Bytes currently charged against the budget (queued weights plus
+    /// outstanding reservations).
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.chan.state.lock().used_bytes
+    }
+
+    /// High-water mark of charged bytes over the channel's lifetime — the
+    /// number to compare against the budget when verifying a capacity
+    /// plan.
+    #[must_use]
+    pub fn peak_bytes(&self) -> usize {
+        self.chan.state.lock().peak_bytes
+    }
+
+    /// The byte budget this channel enforces (`usize::MAX` when
+    /// unweighted).
+    #[must_use]
+    pub fn byte_budget(&self) -> usize {
+        self.chan.state.lock().byte_budget
+    }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.chan.state.lock().receiver_alive = false;
+        let drained = {
+            let mut state = self.chan.state.lock();
+            state.receiver_alive = false;
+            let drained: Vec<(T, usize)> = state.buf.drain(..).collect();
+            for (_, bytes) in &drained {
+                state.used_bytes = state.used_bytes.saturating_sub(*bytes);
+            }
+            drained
+        };
         // Unblock every producer parked on a full buffer.
         self.chan.not_full.notify_all();
+        // Undelivered values can never be delivered now, so their
+        // destructors must run *here*, not when the last sender goes away:
+        // a queued value may hold the only sender of a reply channel that
+        // a producer thread is blocked on, and that producer also holds a
+        // Sender to *this* channel — waiting for it to drop first is a
+        // deadlock. Dropping outside the lock keeps destructors free to
+        // take other locks.
+        drop(drained);
     }
 }
 
@@ -341,5 +500,144 @@ mod tests {
         assert_eq!(rx.capacity(), 1);
         tx.push(42).unwrap();
         assert_eq!(rx.pop(), Some(42));
+    }
+
+    #[test]
+    fn unweighted_channels_never_block_on_bytes() {
+        let (tx, rx) = bounded(4);
+        assert_eq!(rx.byte_budget(), usize::MAX);
+        tx.push_weighted(1, usize::MAX / 2).unwrap();
+        tx.push_weighted(2, usize::MAX / 2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.used_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_budget_blocks_and_releases_on_pop() {
+        let (tx, rx) = bounded_weighted(8, 100);
+        tx.push_weighted("a", 60).unwrap();
+        let second_delivered = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.push_weighted("b", 60).unwrap(); // 120 > 100: must wait
+                second_delivered.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(80));
+            assert!(
+                !second_delivered.load(Ordering::SeqCst),
+                "push_weighted must block while the byte budget is exhausted"
+            );
+            assert_eq!(rx.pop(), Some("a"));
+            while !second_delivered.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert_eq!(rx.pop(), Some("b"));
+        assert_eq!(rx.used_bytes(), 0);
+        assert!(rx.peak_bytes() <= 100, "peak {} > budget", rx.peak_bytes());
+    }
+
+    #[test]
+    fn oversized_item_is_admitted_when_nothing_is_charged() {
+        // Blocks-never-drops even when one item exceeds the whole budget.
+        let (tx, rx) = bounded_weighted(2, 10);
+        tx.push_weighted(vec![0u8; 50], 50).unwrap();
+        assert_eq!(rx.pop().unwrap().len(), 50);
+        assert_eq!(rx.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_charges_before_the_value_exists() {
+        let (tx, rx) = bounded_weighted(8, 100);
+        tx.reserve(70).unwrap();
+        assert_eq!(rx.used_bytes(), 70);
+        // A second reservation must wait for the first to resolve.
+        let reserved = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.reserve(70).unwrap();
+                reserved.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(80));
+            assert!(!reserved.load(Ordering::SeqCst), "reserve must block");
+            // Resolving the first reservation as a push keeps its charge…
+            tx.push_reserved("first", 70).unwrap();
+            // …until the consumer pops it, which admits the waiter.
+            assert_eq!(rx.pop(), Some("first"));
+            while !reserved.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        // Error path: an unreserve releases the charge without a value.
+        tx.unreserve(70);
+        assert_eq!(rx.used_bytes(), 0);
+        // The two 70-byte charges never overlapped, so the peak is 70.
+        assert_eq!(rx.peak_bytes(), 70);
+    }
+
+    #[test]
+    fn depth_one_small_budget_soak_blocks_never_drops() {
+        // Six writers through the narrowest possible channel: depth 1 and
+        // a budget smaller than two payloads. Byte accounting must not
+        // break the blocks-never-drops guarantee, and the recorded peak
+        // must respect the budget (no payload here exceeds it alone).
+        const WRITERS: usize = 6;
+        const PER_WRITER: usize = 50;
+        const PAYLOAD: usize = 64;
+        let (tx, rx) = bounded_weighted(1, PAYLOAD + PAYLOAD / 2);
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        tx.reserve(PAYLOAD).unwrap();
+                        tx.push_reserved((w, i), PAYLOAD).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<(usize, usize)> = std::iter::from_fn(|| rx.pop()).collect();
+            got.sort_unstable();
+            let mut expected: Vec<(usize, usize)> = (0..WRITERS)
+                .flat_map(|w| (0..PER_WRITER).map(move |i| (w, i)))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "every value must arrive exactly once");
+            assert!(
+                rx.peak_bytes() <= PAYLOAD + PAYLOAD / 2,
+                "peak {} exceeded the byte budget",
+                rx.peak_bytes()
+            );
+        });
+    }
+
+    #[test]
+    fn dropping_the_receiver_drops_undelivered_values() {
+        // A queued value may hold the only sender of a reply channel that
+        // some other thread is blocked popping (the collector's commit
+        // queue carries per-frame ack senders exactly like this). When the
+        // receiver is dropped, the undelivered value's destructor must run
+        // so the reply waiter observes a disconnect instead of wedging.
+        let (tx, rx) = bounded(4);
+        let (reply_tx, reply_rx) = bounded::<()>(1);
+        assert!(tx.push(reply_tx).is_ok());
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| reply_rx.pop());
+            std::thread::sleep(Duration::from_millis(50));
+            drop(rx); // must drop the queued reply sender
+            assert_eq!(waiter.join().unwrap(), None);
+        });
+        // And the channel itself reports the disconnect to new pushes.
+        assert!(tx.push(bounded::<()>(1).0).is_err());
+    }
+
+    #[test]
+    fn dropped_receiver_fails_reserve_and_push_reserved() {
+        let (tx, rx) = bounded_weighted(2, 100);
+        tx.reserve(40).unwrap();
+        drop(rx);
+        assert_eq!(tx.push_reserved(1, 40), Err(SendError(1)));
+        assert_eq!(tx.reserve(10), Err(SendError(())));
     }
 }
