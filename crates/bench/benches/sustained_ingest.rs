@@ -71,11 +71,19 @@ fn bench_sustained(c: &mut Criterion) {
         (8, 512)
     };
 
-    for connections in [1usize, 8] {
+    for connections in [1usize, 8, 64] {
+        // The c64 point probes session-count scaling on the reactor, not
+        // raw volume: shrink the per-connection load so one iteration
+        // stays comparable to the c8 point.
+        let fpc = if connections == 64 {
+            (frames_per_connection / 4).max(1)
+        } else {
+            frames_per_connection
+        };
         let plan = Plan {
             spec: SPEC.into(),
             connections,
-            frames_per_connection,
+            frames_per_connection: fpc,
             reports_per_frame,
             seed: 42,
             rate: 0.0,

@@ -12,6 +12,7 @@
 //! entry      = point "=" action ["@" nth]
 //! point      = frame-read | decode | commit-push | ack-write
 //!            | snap-write | snap-rename | absorb | admission | ack-evict
+//!            | accept
 //! action     = err | exit | panic | torn | stall:<millis>
 //! nth        = 1-based hit count at which the fault fires (default 1)
 //! ```
@@ -51,7 +52,10 @@ pub const FAULT_EXIT_CODE: i32 = 42;
 /// acceptor as a connection is about to be admitted (forcing a busy-shed
 /// of an otherwise-admittable peer); `ack-evict` fires as a success ack is
 /// about to be written and simulates a slow-consumer ack-deadline expiry
-/// (the connection is evicted instead of acked).
+/// (the connection is evicted instead of acked); `accept` fires inside
+/// the accept loop itself and simulates the listener's own syscall
+/// failing (the `EMFILE`/`ENFILE` fd-exhaustion path — the serve loop
+/// must back off and keep listening, not crash).
 pub const FAULT_POINTS: &[&str] = &[
     "frame-read",
     "decode",
@@ -62,6 +66,7 @@ pub const FAULT_POINTS: &[&str] = &[
     "absorb",
     "admission",
     "ack-evict",
+    "accept",
 ];
 
 /// What an armed fault does when it fires.

@@ -61,7 +61,9 @@ pub mod error;
 pub mod faults;
 pub mod io;
 pub mod limit;
+pub mod machine;
 pub mod protocol;
+mod reactor_serve;
 pub mod registry;
 pub mod server;
 pub mod session;
@@ -69,7 +71,7 @@ pub mod session;
 pub use error::CollectorError;
 pub use registry::build_session;
 pub use server::{
-    serve, serve_connection, serve_connection_capped, serve_once, serve_once_capped, ServeOptions,
-    ServeSummary, SnapshotPolicy, DEFAULT_MAX_FRAME_BYTES,
+    serve, serve_connection, serve_connection_capped, serve_once, serve_once_capped, serve_routed,
+    summary_json, ServeOptions, ServeSummary, SnapshotPolicy, WindowRoute, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use session::{ingest_lines, ingest_resuming, CollectorSession, Session};

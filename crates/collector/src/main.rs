@@ -15,7 +15,9 @@
 //!                        [--max-frame-bytes B] [--max-rps-per-conn R]
 //!                        [--memory-budget-bytes B] [--report-quota N]
 //!                        [--busy-retry-ms MS] [--ack-deadline-ms MS]
-//!                        [--shutdown-file PATH] [--serial] [--finalize]
+//!                        [--shutdown-file PATH] [--reactor-threads N]
+//!                        [--window NAME=SPEC]... [--summary-json PATH]
+//!                        [--threads-per-conn] [--serial] [--finalize]
 //! ```
 //!
 //! See `docs/OPERATIONS.md` for the operator's guide and worked examples
@@ -24,7 +26,8 @@
 use ldp_collector::io::{read_to_string, write_snapshot_atomic};
 use ldp_collector::registry::{build_session, MECHANISMS};
 use ldp_collector::server::{
-    serve, serve_once_capped, ServeOptions, SnapshotPolicy, DEFAULT_MAX_FRAME_BYTES,
+    serve_once_capped, serve_routed, summary_json, ServeOptions, SnapshotPolicy, WindowRoute,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 use ldp_collector::session::{ingest_lines, CollectorSession};
 use ldp_collector::CollectorError;
@@ -95,7 +98,9 @@ fn print_help() {
     println!("           [--max-frame-bytes B] [--max-rps-per-conn R]");
     println!("           [--memory-budget-bytes B] [--report-quota N]");
     println!("           [--busy-retry-ms MS] [--ack-deadline-ms MS]");
-    println!("           [--shutdown-file PATH] [--serial] [--finalize]");
+    println!("           [--shutdown-file PATH] [--reactor-threads N]");
+    println!("           [--window NAME=SPEC]... [--summary-json PATH]");
+    println!("           [--threads-per-conn] [--serial] [--finalize]");
     println!("           concurrent length-delimited TCP ingestion");
     println!();
     println!("mechanism specs (name:key=value,...):");
@@ -147,6 +152,16 @@ impl Flags {
             .rev()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable flag (`--window a=.. --window b=..`),
+    /// in the order given.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn require(&self, name: &str) -> Result<&str, CollectorError> {
@@ -339,7 +354,7 @@ fn spawn_shutdown_watcher(path: PathBuf, shutdown: Arc<AtomicBool>) {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
-    let flags = Flags::parse(args, &["finalize", "resume", "serial"])?;
+    let flags = Flags::parse(args, &["finalize", "resume", "serial", "threads-per-conn"])?;
     let mut session = session_for(&flags)?;
     let snapshot_path = flags.get("snapshot").map(PathBuf::from);
     if flags.has("resume") {
@@ -400,22 +415,67 @@ fn cmd_serve(args: &[String]) -> Result<(), CollectorError> {
                 0 => None,
                 ms => Some(std::time::Duration::from_millis(ms)),
             },
+            threads_per_conn: flags.has("threads-per-conn"),
+            reactor_threads: flags.u64_or("reactor-threads", 0)? as usize,
         };
+        // Routed windows: `--window name=spec` each gets its own
+        // session, absorber, and snapshot file `<snapshot>.<name>`.
+        let mut windows = Vec::new();
+        for decl in flags.get_all("window") {
+            let (name, spec) = decl.split_once('=').ok_or_else(|| {
+                CollectorError::Spec(format!("--window wants name=mechanism-spec, got {decl:?}"))
+            })?;
+            let window_path = policy.path.as_ref().map(|p| {
+                let mut os = p.clone().into_os_string();
+                os.push(format!(".{name}"));
+                PathBuf::from(os)
+            });
+            windows.push(WindowRoute {
+                name: name.to_string(),
+                session: build_session(spec)?,
+                policy: SnapshotPolicy {
+                    path: window_path,
+                    every: policy.every,
+                    keep: policy.keep,
+                },
+            });
+        }
         if options.connections == 0 && flags.get("shutdown-file").is_none() {
             eprintln!("serving until killed (no --connections limit or --shutdown-file)");
         }
         if let Some(path) = flags.get("shutdown-file") {
             spawn_shutdown_watcher(PathBuf::from(path), Arc::clone(&options.shutdown));
         }
-        let summary = serve(&listener, session.as_mut(), &policy, &options)?;
+        let summary = serve_routed(&listener, session.as_mut(), &policy, &options, &mut windows)?;
+        if let Some(path) = flags.get("summary-json") {
+            std::fs::write(path, summary_json(&summary))
+                .map_err(|e| CollectorError::Io(format!("writing {path}: {e}")))?;
+        }
+        // With routed windows, `session.count()` is only the default
+        // window's state; calling it "total" next to the cross-window
+        // report count would mislead.
+        let scope = if summary.window_reports.is_empty() {
+            "total"
+        } else {
+            "in the default window"
+        };
         eprintln!(
-            "served {} sessions ({} completed, {} failed): {} reports, {} total",
+            "served {} sessions ({} completed, {} failed): {} reports, {} {scope}",
             summary.accepted,
             summary.completed,
             summary.failed,
             summary.reports,
             session.count()
         );
+        for (name, reports) in &summary.window_reports {
+            eprintln!("window {name}: {reports} reports");
+        }
+        if summary.accept_errors > 0 {
+            eprintln!(
+                "accept: {} transient failures survived with backoff (check ulimit -n)",
+                summary.accept_errors
+            );
+        }
         if summary.sessions_resumed > 0 || summary.duplicates_suppressed > 0 {
             eprintln!(
                 "sequenced: {} sessions resumed, {} duplicate frames suppressed",

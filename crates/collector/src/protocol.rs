@@ -45,6 +45,11 @@ pub struct Hello {
     /// still re-send. The collector rejects the hello when its cursor is
     /// below this — resuming would silently skip frames.
     pub horizon: u64,
+    /// The named estimation window this session's reports belong to,
+    /// when the collector serves several (`serve --window name=spec`).
+    /// `None` routes to the collector's default window — the only one a
+    /// single-window collector has.
+    pub window: Option<String>,
 }
 
 /// Renders a hello frame payload:
@@ -58,6 +63,23 @@ pub struct Hello {
 pub fn encode_hello(session: &str, horizon: u64) -> String {
     debug_assert!(valid_session_id(session));
     format!("{HELLO_MAGIC} v{HELLO_VERSION}\nsession {session}\nseq {horizon}\n")
+}
+
+/// Renders a hello frame payload with an optional window route appended
+/// as a fourth line (`window <name>`). With `window = None` this is
+/// byte-identical to [`encode_hello`] — the window line is an optional
+/// extension of the same v1 grammar, so routed clients interoperate with
+/// single-window collectors by simply omitting it.
+#[must_use]
+pub fn encode_hello_routed(session: &str, horizon: u64, window: Option<&str>) -> String {
+    let mut text = encode_hello(session, horizon);
+    if let Some(name) = window {
+        debug_assert!(valid_session_id(name));
+        text.push_str("window ");
+        text.push_str(name);
+        text.push('\n');
+    }
+    text
 }
 
 /// Whether a frame payload claims to be a hello (first token only —
@@ -96,12 +118,23 @@ pub fn parse_hello(payload: &str) -> Result<Hello, CollectorError> {
         .and_then(|l| l.strip_prefix("seq "))
         .and_then(|n| n.parse().ok())
         .ok_or_else(|| bad("missing or malformed seq line".into()))?;
+    let mut window = None;
+    if let Some(line) = lines.next() {
+        let name = line
+            .strip_prefix("window ")
+            .ok_or_else(|| bad(format!("trailing line {line:?}")))?;
+        if !valid_session_id(name) {
+            return Err(bad(format!("invalid window name {name:?}")));
+        }
+        window = Some(name.to_string());
+    }
     if let Some(extra) = lines.next() {
         return Err(bad(format!("trailing line {extra:?}")));
     }
     Ok(Hello {
         session: session.to_string(),
         horizon,
+        window,
     })
 }
 
@@ -184,7 +217,26 @@ mod tests {
             parse_hello(&text).unwrap(),
             Hello {
                 session: "phone-7".into(),
-                horizon: 3
+                horizon: 3,
+                window: None
+            }
+        );
+    }
+
+    #[test]
+    fn routed_hello_round_trips_and_defaults_off() {
+        assert_eq!(
+            encode_hello_routed("phone-7", 3, None),
+            encode_hello("phone-7", 3),
+            "no window must stay byte-identical to the plain hello"
+        );
+        let text = encode_hello_routed("phone-7", 3, Some("coarse"));
+        assert_eq!(
+            parse_hello(&text).unwrap(),
+            Hello {
+                session: "phone-7".into(),
+                horizon: 3,
+                window: Some("coarse".into())
             }
         );
     }
@@ -196,6 +248,8 @@ mod tests {
         assert!(parse_hello("ldp-hello v1\nsession bad id\nseq 0\n").is_err());
         assert!(parse_hello("ldp-hello v1\nsession a\nseq x\n").is_err());
         assert!(parse_hello("ldp-hello v1\nsession a\nseq 0\nextra\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nsession a\nseq 0\nwindow bad name\n").is_err());
+        assert!(parse_hello("ldp-hello v1\nsession a\nseq 0\nwindow w\nextra\n").is_err());
         assert!(parse_hello("not a hello").is_err());
         assert!(!is_hello("grr 3"));
     }

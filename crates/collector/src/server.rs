@@ -119,14 +119,19 @@ const MAX_WRITER_RESTARTS: u64 = 3;
 
 /// How long a blocking read waits before re-checking the shutdown flag —
 /// the granularity of "shutdown is checked between frames".
-const READ_TICK: Duration = Duration::from_millis(100);
+pub(crate) const READ_TICK: Duration = Duration::from_millis(100);
 
 /// How long the acceptor sleeps between polls of a quiet listen socket.
-const ACCEPT_TICK: Duration = Duration::from_millis(20);
+pub(crate) const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// Longest the acceptor sleeps after a transient accept failure
+/// (fd exhaustion). The backoff doubles from [`ACCEPT_TICK`] up to this
+/// cap and resets on the next successful accept.
+pub(crate) const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
 
 /// Once shutdown is requested, how many silent read ticks a handler
 /// tolerates mid-frame before abandoning the stalled peer (~5 s).
-const SHUTDOWN_GRACE_TICKS: u32 = 50;
+pub(crate) const SHUTDOWN_GRACE_TICKS: u32 = 50;
 
 /// When (and where) the ingestion loop persists the window.
 #[derive(Debug, Clone, Default)]
@@ -265,6 +270,12 @@ pub fn serve_connection_capped(
                             return Err(e);
                         }
                     };
+                    if let Some(name) = hello.window.as_deref().filter(|w| *w != "default") {
+                        let _ = stream.write_all(b"-");
+                        return Err(CollectorError::Protocol(format!(
+                            "hello names unknown window {name:?} (serving: default)"
+                        )));
+                    }
                     let cursor = session.session_cursor(&hello.session);
                     if hello.horizon > cursor {
                         let _ = stream.write_all(b"-");
@@ -404,6 +415,21 @@ pub struct ServeOptions {
     /// ack reported stays absorbed — a sequenced client re-learns it from
     /// the cursor at its next hello, exactly like an ack lost to a crash.
     pub ack_deadline: Option<Duration>,
+    /// Run the legacy thread-per-connection engine instead of the epoll
+    /// reactor (`serve --threads-per-conn`). The default engine runs
+    /// [`ServeOptions::reactor_threads`] nonblocking reactor threads and
+    /// multiplexes every connection across them; this escape hatch keeps
+    /// the one-thread-per-session engine available for debugging and for
+    /// platforms `ldp-reactor` does not build on. The
+    /// `LDP_SERVE_ENGINE` environment variable (`reactor` / `threaded`)
+    /// overrides this flag — the CI compat lanes use it to run the whole
+    /// suite under either engine without code changes.
+    pub threads_per_conn: bool,
+    /// Reactor threads for the default engine (`0` = the shared pool
+    /// sizing, [`ldp_pool::configured_threads`]). Each thread owns an
+    /// epoll instance and a share of the connections; see
+    /// `docs/OPERATIONS.md` ("Scaling the listener") for sizing.
+    pub reactor_threads: usize,
 }
 
 impl Default for ServeOptions {
@@ -420,6 +446,8 @@ impl Default for ServeOptions {
             report_quota: 0,
             busy_retry: Duration::from_millis(200),
             ack_deadline: None,
+            threads_per_conn: false,
+            reactor_threads: 0,
         }
     }
 }
@@ -470,49 +498,154 @@ pub struct ServeSummary {
     /// against [`ServeOptions::memory_budget_bytes`] to verify a sizing
     /// plan.
     pub peak_queue_bytes: u64,
+    /// Transient accept-loop failures survived with backoff — fd
+    /// exhaustion (`EMFILE`/`ENFILE`) and injected `accept` faults. The
+    /// listener keeps listening through these; a nonzero count is the
+    /// operator's cue to raise `ulimit -n` (see `docs/OPERATIONS.md`).
+    pub accept_errors: u64,
     /// Faults fired by the `crate::faults` schedule during this call
     /// (always 0 unless a schedule was armed).
     pub faults_injected: u64,
+    /// Per-window `(name, reports absorbed)` when this serve ran with
+    /// routed windows ([`serve_routed`]); empty for a single-window
+    /// serve. [`ServeSummary::reports`] is the total across windows.
+    pub window_reports: Vec<(String, u64)>,
     /// The last per-session error, for operator logs.
     pub last_session_error: Option<String>,
 }
 
+/// Renders a [`ServeSummary`] as one stable JSON object (the
+/// `serve --summary-json <path>` artifact): every counter, the
+/// per-window report counts as a `"window_reports"` object, and the last
+/// session error (or `null`). Written by hand because the workspace
+/// vendors no JSON serializer — the shape is pinned by a unit test.
+#[must_use]
+pub fn summary_json(summary: &ServeSummary) -> String {
+    fn escape(text: &str) -> String {
+        let mut out = String::with_capacity(text.len() + 2);
+        for c in text.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut json = String::from("{");
+    let counters: [(&str, u64); 17] = [
+        ("accepted", summary.accepted),
+        ("completed", summary.completed),
+        ("failed", summary.failed),
+        ("reports", summary.reports),
+        ("snapshots_superseded", summary.snapshots_superseded),
+        ("duplicates_suppressed", summary.duplicates_suppressed),
+        ("sessions_resumed", summary.sessions_resumed),
+        ("idle_disconnects", summary.idle_disconnects),
+        ("admission_sheds", summary.admission_sheds),
+        ("quota_sheds", summary.quota_sheds),
+        ("rate_sheds", summary.rate_sheds),
+        ("oversized_frames", summary.oversized_frames),
+        ("evictions", summary.evictions),
+        ("supervisor_restarts", summary.supervisor_restarts),
+        ("peak_queue_bytes", summary.peak_queue_bytes),
+        ("accept_errors", summary.accept_errors),
+        ("faults_injected", summary.faults_injected),
+    ];
+    for (key, value) in counters {
+        json.push_str(&format!("\"{key}\":{value},"));
+    }
+    json.push_str("\"window_reports\":{");
+    for (i, (name, reports)) in summary.window_reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\":{reports}", escape(name)));
+    }
+    json.push_str("},");
+    match &summary.last_session_error {
+        Some(msg) => json.push_str(&format!("\"last_session_error\":\"{}\"", escape(msg))),
+        None => json.push_str("\"last_session_error\":null"),
+    }
+    json.push('}');
+    json
+}
+
 /// How a sequenced session resumes, as the absorber reports it.
-struct SessionResume {
+pub(crate) struct SessionResume {
     /// The next sequence number the window expects for the id.
-    cursor: u64,
+    pub(crate) cursor: u64,
 }
 
 /// What the absorber did with a sequenced batch.
-enum BatchOutcome {
+pub(crate) enum BatchOutcome {
     /// Committed; the cursor advanced.
     Absorbed,
     /// A replay of an already-committed sequence: acked, not absorbed.
     Duplicate,
 }
 
+/// The absorber's answer to one [`Commit`].
+pub(crate) enum CommitReply {
+    /// Answer to [`Commit::Hello`].
+    Hello(SessionResume),
+    /// Answer to [`Commit::Batch`].
+    Batch(Result<BatchOutcome, CollectorError>),
+    /// Answer to [`Commit::Flush`].
+    Flush(Result<u64, CollectorError>),
+}
+
+/// The absorber's completion callback for one [`Commit`] — the seam that
+/// lets both engines share one absorber: the threaded engine's callback
+/// fills a oneshot channel its handler blocks on; the reactor engine's
+/// posts to the owning reactor thread's mailbox and wakes it.
+///
+/// Dropping an unresolved `Done` fires it with `None` ("the absorber
+/// stopped before answering") — a commit drained and dropped by a dying
+/// queue can never strand its connection.
+pub(crate) struct Done(Option<Box<dyn FnOnce(Option<CommitReply>) + Send>>);
+
+impl Done {
+    pub(crate) fn new(f: impl FnOnce(Option<CommitReply>) + Send + 'static) -> Done {
+        Done(Some(Box::new(f)))
+    }
+
+    pub(crate) fn resolve(mut self, reply: CommitReply) {
+        if let Some(f) = self.0.take() {
+            f(Some(reply));
+        }
+    }
+}
+
+impl Drop for Done {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(None);
+        }
+    }
+}
+
 /// One unit of work for the absorber.
-enum Commit {
+pub(crate) enum Commit {
     /// A sequenced session's hello: resolve the dedup cursor (serialized
     /// with absorption, so the answer can never race a commit).
-    Hello {
-        session: String,
-        ack: Sender<SessionResume>,
-    },
-    /// A decoded batch plus the oneshot the handler acks on. `seq` is the
-    /// sequenced session's `(id, sequence)` — `None` for bare sessions.
+    Hello { session: String, done: Done },
+    /// A decoded batch plus the completion the handler acks on. `seq` is
+    /// the sequenced session's `(id, sequence)` — `None` for bare
+    /// sessions.
     Batch {
         batch: PreparedBatch,
         seq: Option<(String, u64)>,
-        ack: Sender<Result<BatchOutcome, CollectorError>>,
+        done: Done,
     },
     /// A session's end-of-stream: publish a snapshot, ack the total.
     /// For a sequenced session the ack waits until the snapshot is
     /// durable — the client retires its replay buffer on this ack.
-    Flush {
-        sequenced: bool,
-        ack: Sender<Result<u64, CollectorError>>,
-    },
+    Flush { sequenced: bool, done: Done },
 }
 
 /// What an interruptible frame read yielded.
@@ -769,21 +902,166 @@ fn write_busy(stream: &mut TcpStream, retry: Duration) -> Result<AckWrite, Colle
 /// the peer when to retry, then close. Write errors are ignored — the
 /// peer is being turned away either way, and a short write timeout keeps
 /// a hostile peer from stalling the acceptor.
-fn shed_at_accept(mut stream: TcpStream, retry: Duration) {
+pub(crate) fn shed_at_accept(mut stream: TcpStream, retry: Duration) {
     let retry_ms = u32::try_from(retry.as_millis().max(1)).unwrap_or(u32::MAX);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = stream.write_all(&protocol::encode_busy(retry_ms));
 }
 
+/// Whether an accept error is the process (`EMFILE`) or host (`ENFILE`)
+/// running out of file descriptors — transient pressure the accept loop
+/// must survive with backoff, never a reason to drop live sessions.
+pub(crate) fn is_fd_exhaustion(e: &std::io::Error) -> bool {
+    matches!(
+        e.raw_os_error(),
+        Some(23 /* ENFILE */) | Some(24 /* EMFILE */)
+    )
+}
+
 /// Renders a caught panic payload for error reports (panics carry
 /// `String` or `&str` in practice; anything else gets a placeholder).
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<String>() {
         s.clone()
     } else if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// The counters and stages one window's absorber reports into — shared
+/// between the threaded engine (one window) and the reactor engine (one
+/// per routed window).
+pub(crate) struct AbsorberShared<'a> {
+    pub(crate) policy: &'a SnapshotPolicy,
+    pub(crate) spool: &'a SnapshotSpool,
+    pub(crate) duplicates: &'a AtomicU64,
+    pub(crate) resumed: &'a AtomicU64,
+    /// The window's running report count, published for the acceptor's
+    /// quota check.
+    pub(crate) absorbed_total: &'a AtomicU64,
+}
+
+/// Applies one [`Commit`] to the window — **the** serialization point:
+/// cursor dedup, state merge, cadence publish, and durability waits all
+/// happen here, in queue order, whichever engine queued the commit.
+pub(crate) fn absorb_commit(
+    session: &mut dyn CollectorSession,
+    shared: &AbsorberShared<'_>,
+    commit: Commit,
+) {
+    match commit {
+        Commit::Hello { session: id, done } => {
+            let cursor = session.session_cursor(&id);
+            if cursor > 0 {
+                shared.resumed.fetch_add(1, Ordering::SeqCst);
+            }
+            done.resolve(CommitReply::Hello(SessionResume { cursor }));
+        }
+        Commit::Batch { batch, seq, done } => {
+            if faults::hit("absorb").is_some() {
+                // The injected failure stands in for a bug in the merge
+                // itself; with the `panic` action it exercises the
+                // supervisor's containment.
+                done.resolve(CommitReply::Batch(Err(faults::error("absorb"))));
+                return;
+            }
+            let before = session.count();
+            let result = match seq {
+                None => session
+                    .absorb_prepared(batch)
+                    .map(|_| BatchOutcome::Absorbed),
+                Some((id, n)) => {
+                    let cursor = session.session_cursor(&id);
+                    if n < cursor {
+                        // Replay of a committed frame: the dedup cursor is
+                        // exactly why this acks `+` without touching the
+                        // window.
+                        shared.duplicates.fetch_add(1, Ordering::SeqCst);
+                        Ok(BatchOutcome::Duplicate)
+                    } else if n > cursor {
+                        Err(CollectorError::Protocol(format!(
+                            "session {id:?}: frame seq {n} skips ahead of cursor {cursor}"
+                        )))
+                    } else {
+                        session.absorb_prepared(batch).map(|_| {
+                            session.set_session_cursor(&id, n + 1);
+                            BatchOutcome::Absorbed
+                        })
+                    }
+                }
+            };
+            if matches!(result, Ok(BatchOutcome::Absorbed)) {
+                shared
+                    .absorbed_total
+                    .store(session.count(), Ordering::SeqCst);
+                if shared.policy.due(before, session.count()) {
+                    shared.spool.publish(session.snapshot_text());
+                }
+            }
+            done.resolve(CommitReply::Batch(result));
+        }
+        Commit::Flush { sequenced, done } => {
+            let result = if shared.policy.path.is_some() {
+                let generation = shared.spool.publish(session.snapshot_text());
+                if sequenced && !shared.spool.wait_written(generation) {
+                    // The writer died: the cursor the client is about to
+                    // trust was never persisted. Fail the flush so the
+                    // client keeps its replay buffer.
+                    Err(CollectorError::Io(
+                        "the final session snapshot could not be persisted".into(),
+                    ))
+                } else {
+                    Ok(session.count())
+                }
+            } else {
+                Ok(session.count())
+            };
+            done.resolve(CommitReply::Flush(result));
+        }
+    }
+}
+
+/// One window's snapshot-writer stage: drain the spool, persist each
+/// taken generation under the policy, retry a panicking persist in place
+/// (bounded by [`MAX_WRITER_RESTARTS`]), and on giving up poison the
+/// spool and raise shutdown so durability waiters fail instead of
+/// hanging. Shared verbatim by both engines; the reactor engine runs one
+/// per routed window.
+pub(crate) fn run_writer(
+    spool: &SnapshotSpool,
+    policy: &SnapshotPolicy,
+    writer_error: &Mutex<Option<CollectorError>>,
+    shutdown: &AtomicBool,
+    restarts: &AtomicU64,
+) {
+    let give_up = |e: CollectorError| {
+        *writer_error.lock().expect("writer error lock") = Some(e);
+        spool.poison();
+        shutdown.store(true, Ordering::SeqCst);
+    };
+    'generations: while let Some((generation, text)) = spool.take_tagged() {
+        loop {
+            let attempt =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| policy.persist(&text)));
+            match attempt {
+                Ok(Ok(())) => {
+                    spool.mark_written(generation);
+                    continue 'generations;
+                }
+                Ok(Err(e)) => return give_up(e),
+                Err(panic) => {
+                    let nth = restarts.fetch_add(1, Ordering::SeqCst) + 1;
+                    if nth >= MAX_WRITER_RESTARTS {
+                        return give_up(CollectorError::Panicked(format!(
+                            "snapshot writer panicked {nth} times; last: {}",
+                            panic_message(panic.as_ref())
+                        )));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -858,14 +1136,26 @@ fn handle_connection(
                             return Err(e);
                         }
                     };
-                    let (ack_tx, ack_rx) = bounded(1);
+                    if let Some(name) = hello.window.as_deref().filter(|w| *w != "default") {
+                        let _ = stream.write_all(b"-");
+                        return Err(CollectorError::Protocol(format!(
+                            "hello names unknown window {name:?} (serving: default)"
+                        )));
+                    }
+                    let (ack_tx, ack_rx) = bounded::<Option<CommitReply>>(1);
+                    let done = Done::new(move |reply| {
+                        let _ = ack_tx.push(reply);
+                    });
                     commits
                         .push(Commit::Hello {
                             session: hello.session.clone(),
-                            ack: ack_tx,
+                            done,
                         })
                         .map_err(|_| absorber_gone())?;
-                    let resume = ack_rx.pop().ok_or_else(absorber_gone)?;
+                    let resume = match ack_rx.pop().flatten() {
+                        Some(CommitReply::Hello(resume)) => resume,
+                        _ => return Err(absorber_gone()),
+                    };
                     if hello.horizon > resume.cursor {
                         let _ = stream.write_all(b"-");
                         return Err(CollectorError::Protocol(format!(
@@ -919,51 +1209,52 @@ fn handle_connection(
                 if faults::hit("commit-push").is_some() {
                     return Err(faults::error("commit-push"));
                 }
-                let (ack_tx, ack_rx) = bounded(1);
+                let (ack_tx, ack_rx) = bounded::<Option<CommitReply>>(1);
+                let done = Done::new(move |reply| {
+                    let _ = ack_tx.push(reply);
+                });
                 let weight = charge.take();
                 commits
-                    .push_reserved(
-                        Commit::Batch {
-                            batch,
-                            seq,
-                            ack: ack_tx,
-                        },
-                        weight,
-                    )
+                    .push_reserved(Commit::Batch { batch, seq, done }, weight)
                     .map_err(|_| absorber_gone())?;
-                match ack_rx.pop() {
-                    Some(Ok(_outcome)) => match write_success_ack(stream, b"+")? {
-                        AckWrite::Delivered => {}
-                        AckWrite::Evict => return Ok(SessionEnd::Evicted),
-                    },
-                    Some(Err(e)) => {
+                match ack_rx.pop().flatten() {
+                    Some(CommitReply::Batch(Ok(_outcome))) => {
+                        match write_success_ack(stream, b"+")? {
+                            AckWrite::Delivered => {}
+                            AckWrite::Evict => return Ok(SessionEnd::Evicted),
+                        }
+                    }
+                    Some(CommitReply::Batch(Err(e))) => {
                         let _ = stream.write_all(b"-");
                         return Err(e);
                     }
-                    None => return Err(absorber_gone()),
+                    _ => return Err(absorber_gone()),
                 }
             }
             FrameRead::EndOfStream => {
-                let (ack_tx, ack_rx) = bounded(1);
+                let (ack_tx, ack_rx) = bounded::<Option<CommitReply>>(1);
+                let done = Done::new(move |reply| {
+                    let _ = ack_tx.push(reply);
+                });
                 commits
                     .push(Commit::Flush {
                         sequenced: sequenced.is_some(),
-                        ack: ack_tx,
+                        done,
                     })
                     .map_err(|_| absorber_gone())?;
-                match ack_rx.pop() {
-                    Some(Ok(_)) => {
+                match ack_rx.pop().flatten() {
+                    Some(CommitReply::Flush(Ok(_))) => {
                         match write_success_ack(stream, b"+")? {
                             AckWrite::Delivered => {}
                             AckWrite::Evict => return Ok(SessionEnd::Evicted),
                         }
                         return Ok(SessionEnd::EndOfStream);
                     }
-                    Some(Err(e)) => {
+                    Some(CommitReply::Flush(Err(e))) => {
                         let _ = stream.write_all(b"-");
                         return Err(e);
                     }
-                    None => return Err(absorber_gone()),
+                    _ => return Err(absorber_gone()),
                 }
             }
             FrameRead::ShutdownRequested => return Ok(SessionEnd::Shutdown),
@@ -981,17 +1272,43 @@ fn handle_connection(
     }
 }
 
+/// A named estimation window served next to the default one by
+/// [`serve_routed`]: its own session (mechanism + state), its own
+/// snapshot policy, its own absorber/snapshot pipeline. A sequenced
+/// client routes to it with the hello's `window <name>` line.
+pub struct WindowRoute {
+    /// The route name clients put on their hello's `window` line (same
+    /// charset as session ids).
+    pub name: String,
+    /// The window's session — exclusively owned by its absorber while
+    /// serve runs.
+    pub session: Box<dyn CollectorSession>,
+    /// When and where this window snapshots (independent of the default
+    /// window's policy).
+    pub policy: SnapshotPolicy,
+}
+
 /// Serves many concurrent framed TCP sessions — the `serve` subcommand's
-/// default engine.
+/// engine dispatcher.
+///
+/// The default engine is the nonblocking **epoll reactor**
+/// (`ldp-reactor`): [`ServeOptions::reactor_threads`] threads each own an
+/// epoll instance and multiplex their share of the connections through
+/// the resumable protocol machine ([`crate::machine`]), so thousands of
+/// mostly-idle sessions cost file descriptors, not stacks. Set
+/// [`ServeOptions::threads_per_conn`] (or `LDP_SERVE_ENGINE=threaded`)
+/// for the legacy one-thread-per-session engine; `LDP_SERVE_ENGINE=reactor`
+/// forces the reactor. Both engines share the same absorber, snapshot
+/// writer, overload defenses, and failpoints — the whole chaos and stress
+/// suite holds bit-identically under either.
 ///
 /// The structure (see the module docs and `docs/ARCHITECTURE.md`): an
-/// acceptor service polls the listener and spawns one handler per
-/// connection (at most `max_connections` at a time — excess connections
-/// are shed at accept with `!busy` and retry later); handlers decode and
-/// validate frames on their own threads, charge payload bytes against the
-/// pipeline budget, and feed prepared batches through the byte-budgeted
-/// queue; the calling thread is the single absorber, merging batches into
-/// the session in queue order and publishing cadence snapshots to a
+/// acceptor admits connections (shedding `!busy` beyond
+/// `max_connections` or past the report quota, and surviving fd
+/// exhaustion with backoff); per-connection decode charges payload bytes
+/// against the pipeline budget and feeds prepared batches through the
+/// byte-budgeted queue; a single absorber merges batches into the
+/// session in queue order and publishes cadence snapshots to a
 /// latest-wins spool; a writer service persists them (rotating per the
 /// policy) off the hot path. A final snapshot is written synchronously
 /// before returning.
@@ -1016,6 +1333,54 @@ fn handle_connection(
 /// loudly — the generation it was persisting is retried, never dropped,
 /// so durability waiters cannot hang.
 pub fn serve(
+    listener: &TcpListener,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+    options: &ServeOptions,
+) -> Result<ServeSummary, CollectorError> {
+    serve_routed(listener, session, policy, options, &mut [])
+}
+
+/// [`serve`] with additional named windows: a hello frame carrying
+/// `window <name>` routes its whole session to that window's own
+/// absorber/snapshot pipeline; sessions without the line (and bare
+/// at-least-once sessions) land in the default window. Requires the
+/// reactor engine — the thread-per-connection escape hatch predates
+/// routing and refuses a routed configuration rather than silently
+/// merging windows.
+pub fn serve_routed(
+    listener: &TcpListener,
+    session: &mut dyn CollectorSession,
+    policy: &SnapshotPolicy,
+    options: &ServeOptions,
+    windows: &mut [WindowRoute],
+) -> Result<ServeSummary, CollectorError> {
+    let threaded = match std::env::var("LDP_SERVE_ENGINE").as_deref() {
+        Ok("threaded") => true,
+        Ok("reactor") => false,
+        Ok(other) => {
+            return Err(CollectorError::Spec(format!(
+                "LDP_SERVE_ENGINE must be \"reactor\" or \"threaded\", not {other:?}"
+            )))
+        }
+        Err(_) => options.threads_per_conn,
+    };
+    if threaded {
+        if !windows.is_empty() {
+            return Err(CollectorError::Spec(
+                "--window routing requires the reactor engine (drop --threads-per-conn)".into(),
+            ));
+        }
+        return serve_threaded(listener, session, policy, options);
+    }
+    crate::reactor_serve::serve_reactor(listener, session, policy, options, windows)
+}
+
+/// The legacy engine: one blocking handler thread per connection. Kept
+/// behind `serve --threads-per-conn` / `LDP_SERVE_ENGINE=threaded`; the
+/// shared absorber, writer, and admission logic make it behaviorally
+/// identical to the reactor for single-window serving.
+pub(crate) fn serve_threaded(
     listener: &TcpListener,
     session: &mut dyn CollectorSession,
     policy: &SnapshotPolicy,
@@ -1047,6 +1412,7 @@ pub fn serve(
     let rate_sheds = AtomicU64::new(0);
     let oversized_frames = AtomicU64::new(0);
     let evictions = AtomicU64::new(0);
+    let accept_errors = AtomicU64::new(0);
     let supervisor_restarts = AtomicU64::new(0);
     let peak_queue_bytes = AtomicU64::new(0);
     // The absorber publishes the running window count here so the
@@ -1076,34 +1442,13 @@ pub fn serve(
         let writer_shutdown = Arc::clone(&options.shutdown);
         let restarts_ref = &supervisor_restarts;
         scope.spawn("snapshot-writer", move || {
-            let give_up = |e: CollectorError| {
-                *writer_error_ref.lock().expect("writer error lock") = Some(e);
-                spool_ref.poison();
-                writer_shutdown.store(true, Ordering::SeqCst);
-            };
-            'generations: while let Some((generation, text)) = spool_ref.take_tagged() {
-                loop {
-                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        policy.persist(&text)
-                    }));
-                    match attempt {
-                        Ok(Ok(())) => {
-                            spool_ref.mark_written(generation);
-                            continue 'generations;
-                        }
-                        Ok(Err(e)) => return give_up(e),
-                        Err(panic) => {
-                            let nth = restarts_ref.fetch_add(1, Ordering::SeqCst) + 1;
-                            if nth >= MAX_WRITER_RESTARTS {
-                                return give_up(CollectorError::Panicked(format!(
-                                    "snapshot writer panicked {nth} times; last: {}",
-                                    panic_message(panic.as_ref())
-                                )));
-                            }
-                        }
-                    }
-                }
-            }
+            run_writer(
+                spool_ref,
+                policy,
+                writer_error_ref,
+                &writer_shutdown,
+                restarts_ref,
+            );
         });
 
         // Stage 1: the acceptor and its per-connection handlers. A peer
@@ -1124,6 +1469,7 @@ pub fn serve(
             let rate_sheds_ref = &rate_sheds;
             let oversized_ref = &oversized_frames;
             let evictions_ref = &evictions;
+            let accept_errors_ref = &accept_errors;
             let absorbed_ref = &absorbed_total;
             let last_error_ref = &last_session_error;
             let accept_error_ref = &accept_error;
@@ -1138,6 +1484,7 @@ pub fn serve(
             });
             scope.spawn("acceptor", move || {
                 let mut permit_held = false;
+                let mut accept_backoff = ACCEPT_TICK;
                 loop {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
@@ -1150,8 +1497,17 @@ pub fn serve(
                     if !permit_held && !quota_met {
                         permit_held = permit_rx.try_pop().is_some();
                     }
+                    if faults::hit("accept").is_some() {
+                        // An injected accept failure (standing in for fd
+                        // exhaustion): back off and keep listening.
+                        accept_errors_ref.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(accept_backoff);
+                        accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                        continue;
+                    }
                     match listener.accept() {
                         Ok((mut stream, _addr)) => {
+                            accept_backoff = ACCEPT_TICK;
                             // The listener's nonblocking flag is inherited
                             // by accepted sockets on some platforms; both
                             // the shed write and handler reads want
@@ -1229,6 +1585,16 @@ pub fn serve(
                             std::thread::sleep(ACCEPT_TICK);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) if is_fd_exhaustion(&e) => {
+                            // EMFILE/ENFILE: the process (or host) is out of
+                            // file descriptors. Crashing would drop every
+                            // live session over a transient condition —
+                            // instead back off (capped) and retry; handler
+                            // exits return fds continuously.
+                            accept_errors_ref.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(accept_backoff);
+                            accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                        }
                         Err(e) => {
                             *accept_error_ref.lock().expect("accept error lock") =
                                 Some(CollectorError::Io(format!("accept: {e}")));
@@ -1247,76 +1613,15 @@ pub fn serve(
         // wedge every handler blocked on an ack.
         drop(commit_tx);
         let absorber = std::panic::AssertUnwindSafe(|| {
+            let shared = AbsorberShared {
+                policy,
+                spool: &spool,
+                duplicates: &duplicates,
+                resumed: &resumed,
+                absorbed_total: &absorbed_total,
+            };
             while let Some(commit) = commit_rx.pop() {
-                match commit {
-                    Commit::Hello { session: id, ack } => {
-                        let cursor = session.session_cursor(&id);
-                        if cursor > 0 {
-                            resumed.fetch_add(1, Ordering::SeqCst);
-                        }
-                        let _ = ack.push(SessionResume { cursor });
-                    }
-                    Commit::Batch { batch, seq, ack } => {
-                        if faults::hit("absorb").is_some() {
-                            // The injected failure stands in for a bug in
-                            // the merge itself; with the `panic` action it
-                            // exercises the supervisor's containment.
-                            let _ = ack.push(Err(faults::error("absorb")));
-                            continue;
-                        }
-                        let before = session.count();
-                        let result = match seq {
-                            None => session
-                                .absorb_prepared(batch)
-                                .map(|_| BatchOutcome::Absorbed),
-                            Some((id, n)) => {
-                                let cursor = session.session_cursor(&id);
-                                if n < cursor {
-                                    // Replay of a committed frame: the dedup
-                                    // cursor is exactly why this acks `+`
-                                    // without touching the window.
-                                    duplicates.fetch_add(1, Ordering::SeqCst);
-                                    Ok(BatchOutcome::Duplicate)
-                                } else if n > cursor {
-                                    Err(CollectorError::Protocol(format!(
-                                        "session {id:?}: frame seq {n} skips ahead of cursor {cursor}"
-                                    )))
-                                } else {
-                                    session.absorb_prepared(batch).map(|_| {
-                                        session.set_session_cursor(&id, n + 1);
-                                        BatchOutcome::Absorbed
-                                    })
-                                }
-                            }
-                        };
-                        if matches!(result, Ok(BatchOutcome::Absorbed)) {
-                            absorbed_total.store(session.count(), Ordering::SeqCst);
-                            if policy.due(before, session.count()) {
-                                spool.publish(session.snapshot_text());
-                            }
-                        }
-                        let _ = ack.push(result);
-                    }
-                    Commit::Flush { sequenced, ack } => {
-                        let result = if policy.path.is_some() {
-                            let generation = spool.publish(session.snapshot_text());
-                            if sequenced && !spool.wait_written(generation) {
-                                // The writer died: the cursor the client is
-                                // about to trust was never persisted. Fail
-                                // the flush so the client keeps its replay
-                                // buffer.
-                                Err(CollectorError::Io(
-                                    "the final session snapshot could not be persisted".into(),
-                                ))
-                            } else {
-                                Ok(session.count())
-                            }
-                        } else {
-                            Ok(session.count())
-                        };
-                        let _ = ack.push(result);
-                    }
-                }
+                absorb_commit(session, &shared, commit);
             }
         });
         if let Err(panic) = std::panic::catch_unwind(absorber) {
@@ -1366,7 +1671,9 @@ pub fn serve(
         evictions: evictions.into_inner(),
         supervisor_restarts: supervisor_restarts.into_inner(),
         peak_queue_bytes: peak_queue_bytes.into_inner(),
+        accept_errors: accept_errors.into_inner(),
         faults_injected: faults::injected() - faults_before,
+        window_reports: Vec::new(),
         last_session_error: last_session_error.into_inner().expect("last error lock"),
     })
 }

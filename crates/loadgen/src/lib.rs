@@ -77,6 +77,10 @@ pub struct Plan {
     /// budget refills each time the session makes progress, so it bounds
     /// *consecutive* futility, not run length.
     pub retry_budget: Duration,
+    /// Route every sequenced session to this named collector window
+    /// (the hello's `window` line; requires [`Plan::session`]). `None`
+    /// lands in the default window.
+    pub window: Option<String>,
 }
 
 impl Default for Plan {
@@ -90,6 +94,7 @@ impl Default for Plan {
             rate: 0.0,
             session: None,
             retry_budget: DEFAULT_RETRY_BUDGET,
+            window: None,
         }
     }
 }
@@ -156,6 +161,8 @@ pub struct DriveOptions {
     pub session: Option<String>,
     /// Backoff sleep budget (see [`Plan::retry_budget`]).
     pub retry_budget: Duration,
+    /// Named collector window for sequenced hellos (see [`Plan::window`]).
+    pub window: Option<String>,
 }
 
 /// Per-connection frame payloads for `plan` — valid wire-report lines
@@ -436,8 +443,9 @@ fn drive_sequenced(
         // Handshake. Horizon 0: the generator holds every frame in
         // memory, so it can always replay from the beginning.
         let mut first = [0u8; 1];
-        let handshake = write_frame(&mut stream, &protocol::encode_hello(session_id, 0))
-            .and_then(|()| stream.read_exact(&mut first));
+        let hello = protocol::encode_hello_routed(session_id, 0, options.window.as_deref());
+        let handshake =
+            write_frame(&mut stream, &hello).and_then(|()| stream.read_exact(&mut first));
         if handshake.is_err() {
             // Torn mid-handshake: nothing was committed under this
             // connection; back off and re-handshake.
@@ -634,6 +642,7 @@ pub fn run(addr: &str, plan: &Plan) -> Result<RunReport, CollectorError> {
             frame_interval,
             session: plan.session.clone(),
             retry_budget: plan.retry_budget,
+            window: plan.window.clone(),
         },
     )
 }
@@ -655,6 +664,7 @@ pub fn run_frames(
             frame_interval,
             session: None,
             retry_budget: DEFAULT_RETRY_BUDGET,
+            window: None,
         },
     )
 }
@@ -665,6 +675,11 @@ pub fn run_frames_with(
     frames: &[Vec<String>],
     options: &DriveOptions,
 ) -> Result<RunReport, CollectorError> {
+    if options.window.is_some() && options.session.is_none() {
+        return Err(CollectorError::Spec(
+            "--window routing needs a sequenced session (--session PREFIX)".into(),
+        ));
+    }
     let started = Instant::now();
     let results: Vec<Result<ConnStats, CollectorError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = frames

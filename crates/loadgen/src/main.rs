@@ -4,7 +4,7 @@
 //! ```text
 //! ldp-loadgen --connect 127.0.0.1:7070 --mechanism sw-ems:eps=1,d=1024 \
 //!     --connections 8 --frames 16 --reports-per-frame 512 --rate 0 \
-//!     [--session PREFIX] [--retry-budget-ms 15000]
+//!     [--session PREFIX] [--window NAME] [--retry-budget-ms 15000]
 //! ```
 //!
 //! `--rate` is the target aggregate reports/second (0 = as fast as acks
@@ -29,7 +29,7 @@ fn usage() {
         "usage: ldp-loadgen --connect <addr> --mechanism <spec> \
          [--connections N] [--frames N] [--reports-per-frame N] \
          [--rate REPORTS_PER_SEC] [--seed N] \
-         [--session PREFIX] [--retry-budget-ms MS]"
+         [--session PREFIX] [--window NAME] [--retry-budget-ms MS]"
     );
 }
 
@@ -83,6 +83,7 @@ fn try_main(args: &[String]) -> Result<(), CollectorError> {
             "rate" => plan.rate = parse(&name, &value)?,
             "seed" => plan.seed = parse(&name, &value)?,
             "session" => plan.session = Some(value),
+            "window" => plan.window = Some(value),
             "retry-budget-ms" => {
                 plan.retry_budget = std::time::Duration::from_millis(parse(&name, &value)?);
             }

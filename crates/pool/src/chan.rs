@@ -232,6 +232,49 @@ impl<T> Sender<T> {
             Err(TrySendError { value, full: true })
         }
     }
+
+    /// Non-blocking variant of [`Sender::reserve`]: charges `bytes` only
+    /// if the budget admits them right now. `Ok(true)` means the charge
+    /// was taken; `Ok(false)` means the budget is currently exhausted
+    /// (nothing charged, try again later); `Err` means the receiver is
+    /// gone (nothing charged). This is the reactor's edge — an event
+    /// loop cannot park on a condvar, so it retries when the consumer
+    /// next signals progress.
+    pub fn try_reserve(&self, bytes: usize) -> Result<bool, SendError<()>> {
+        let mut state = self.chan.state.lock();
+        if !state.receiver_alive {
+            return Err(SendError(()));
+        }
+        if state.admits_bytes(bytes) {
+            state.charge(bytes);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Non-blocking variant of [`Sender::push_reserved`]: queues a value
+    /// whose `bytes` were already charged, only if a count slot is free
+    /// right now. On a full channel the value comes back with
+    /// `full = true` and the reservation is **kept** (the producer still
+    /// owns the charge and will retry); on a dropped receiver the value
+    /// comes back with `full = false` and the reservation is released
+    /// (it can never be delivered).
+    pub fn try_push_reserved(&self, value: T, bytes: usize) -> Result<(), TrySendError<T>> {
+        let mut state = self.chan.state.lock();
+        if !state.receiver_alive {
+            state.used_bytes = state.used_bytes.saturating_sub(bytes);
+            return Err(TrySendError { value, full: false });
+        }
+        if state.buf.len() < state.capacity {
+            state.buf.push_back((value, bytes));
+            drop(state);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError { value, full: true })
+        }
+    }
 }
 
 /// The value and cause of a failed [`Sender::try_push`].
@@ -630,6 +673,43 @@ mod tests {
         });
         // And the channel itself reports the disconnect to new pushes.
         assert!(tx.push(bounded::<()>(1).0).is_err());
+    }
+
+    #[test]
+    fn try_reserve_charges_only_when_the_budget_admits() {
+        let (tx, rx) = bounded_weighted::<()>(8, 100);
+        assert_eq!(tx.try_reserve(60), Ok(true));
+        assert_eq!(rx.used_bytes(), 60);
+        // Budget exhausted: nothing charged, caller should retry later.
+        assert_eq!(tx.try_reserve(60), Ok(false));
+        assert_eq!(rx.used_bytes(), 60);
+        tx.unreserve(60);
+        // Oversized single charge admitted when nothing is outstanding.
+        assert_eq!(tx.try_reserve(500), Ok(true));
+        tx.unreserve(500);
+        drop(rx);
+        assert_eq!(tx.try_reserve(1), Err(SendError(())));
+    }
+
+    #[test]
+    fn try_push_reserved_keeps_the_charge_on_full_releases_on_disconnect() {
+        let (tx, rx) = bounded_weighted(1, 100);
+        tx.reserve(30).unwrap();
+        tx.reserve(30).unwrap();
+        tx.try_push_reserved("a", 30).unwrap();
+        // Count bound hit: the value comes back, the charge stays ours.
+        let err = tx.try_push_reserved("b", 30).unwrap_err();
+        assert!(err.full);
+        assert_eq!(err.value, "b");
+        assert_eq!(rx.used_bytes(), 60, "full retry keeps the reservation");
+        assert_eq!(rx.pop(), Some("a"));
+        tx.try_push_reserved("b", 30).unwrap();
+        assert_eq!(rx.pop(), Some("b"));
+        // Disconnect: the value comes back and the charge is released.
+        tx.reserve(30).unwrap();
+        drop(rx);
+        let err = tx.try_push_reserved("c", 30).unwrap_err();
+        assert!(!err.full);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! A thin safe wrapper over one epoll instance.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What a registration wants to be told about.
+///
+/// The reactor registers every connection edge-triggered with both
+/// directions armed ([`Interest::edge_rw`]) and drains readiness to
+/// `WouldBlock` — no per-state `epoll_ctl` churn. Level-triggered
+/// read-only ([`Interest::level_read`]) fits always-drained fds like the
+/// wakeup eventfd and the listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report readability (`EPOLLIN`, plus `EPOLLRDHUP` so a peer
+    /// half-close wakes the slot).
+    pub readable: bool,
+    /// Report writability (`EPOLLOUT`).
+    pub writable: bool,
+    /// Edge-triggered (`EPOLLET`): one wakeup per readiness *change*;
+    /// the owner must drain to `WouldBlock` before sleeping again.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Edge-triggered, both directions — the connection-slot default.
+    #[must_use]
+    pub fn edge_rw() -> Self {
+        Interest {
+            readable: true,
+            writable: true,
+            edge: true,
+        }
+    }
+
+    /// Level-triggered, read only — wakers and listeners.
+    #[must_use]
+    pub fn level_read() -> Self {
+        Interest {
+            readable: true,
+            writable: false,
+            edge: false,
+        }
+    }
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One readiness report from [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (or the peer half-closed — read to find out which).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// `EPOLLERR`/`EPOLLHUP`: the fd is dead; the owner should read to
+    /// collect the error and retire the slot.
+    pub closed: bool,
+}
+
+/// Reusable buffer of kernel-filled events, sized once per reactor.
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    filled: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait (clamped to
+    /// ≥ 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Events {
+            raw: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            filled: 0,
+        }
+    }
+
+    /// Iterates the events the last [`Epoll::wait`] filled in.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.filled].iter().map(|raw| {
+            let bits = raw.events;
+            Event {
+                token: raw.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            }
+        })
+    }
+
+    /// How many events the last wait reported.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether the last wait reported nothing (timeout).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+}
+
+/// One `epoll_create1` instance. Registrations are keyed by caller-chosen
+/// `u64` tokens (the reactor uses slab tokens); the fd is closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// A fresh epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        Ok(Epoll {
+            fd: sys::epoll_create1()?,
+        })
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.bits(),
+            data: token,
+        };
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_ADD, fd, Some(&mut ev))
+    }
+
+    /// Changes an existing registration's token or interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.bits(),
+            data: token,
+        };
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_MOD, fd, Some(&mut ev))
+    }
+
+    /// Removes a registration. Closing the fd deregisters implicitly;
+    /// this exists for slots that outlive an fd's interest.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or a signal interrupts — `EINTR`
+    /// returns cleanly with zero events, like a timeout. Fills `events`
+    /// and returns the count.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => i32::try_from(d.as_millis()).unwrap_or(i32::MAX),
+        };
+        events.filled = 0;
+        match sys::epoll_wait(self.fd, &mut events.raw, timeout_ms) {
+            Ok(n) => {
+                events.filled = n;
+                Ok(n)
+            }
+            Err(e) if e.raw_os_error() == Some(crate::sys::EINTR) => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = sys::close(self.fd);
+    }
+}
+
+// SAFETY: the epoll fd is just an integer handle; every syscall on it is
+// thread-safe per the kernel contract.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}

@@ -1,0 +1,170 @@
+//! Generation-tagged connection slots.
+
+/// A slab of connection slots addressed by `u64` tokens that double as
+/// epoll registration tokens.
+///
+/// A token packs the slot index (low 32 bits) with a per-slot
+/// **generation** (high 32 bits) that bumps on every reuse, so a stale
+/// event or completion addressed to a retired connection misses cleanly
+/// instead of landing on whoever inherited the slot — the classic
+/// use-after-close hazard of index-only tokens.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts a value, returning its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                slot.value = Some(value);
+                pack(index, slot.generation)
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("slab exceeds 2^32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    value: Some(value),
+                });
+                pack(index, 0)
+            }
+        }
+    }
+
+    /// The value a live token addresses (`None` if it was removed or the
+    /// slot was since reused).
+    #[must_use]
+    pub fn get(&self, token: u64) -> Option<&T> {
+        let (index, generation) = unpack(token);
+        self.slots
+            .get(index as usize)
+            .filter(|s| s.generation == generation)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable access under the same liveness rule as [`Slab::get`].
+    #[must_use]
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let (index, generation) = unpack(token);
+        self.slots
+            .get_mut(index as usize)
+            .filter(|s| s.generation == generation)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Removes and returns the value; the slot's generation bumps so the
+    /// token (and any copies of it in flight) are dead from here on.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let (index, generation) = unpack(token);
+        let slot = self.slots.get_mut(index as usize)?;
+        if slot.generation != generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(index);
+        self.len -= 1;
+        value
+    }
+
+    /// Live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tokens of every live slot (snapshot — safe to mutate the slab
+    /// while iterating the returned list).
+    #[must_use]
+    pub fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(i, s)| pack(i as u32, s.generation))
+            .collect()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn pack(index: u32, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(index)
+}
+
+fn unpack(token: u64) -> (u32, u32) {
+    (token as u32, (token >> 32) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        *slab.get_mut(b).unwrap() = "b2";
+        assert_eq!(slab.remove(b), Some("b2"));
+        assert_eq!(slab.get(b), None);
+        assert_eq!(slab.len(), 1);
+        let mut tokens = slab.tokens();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![a]);
+    }
+
+    #[test]
+    fn a_reused_slot_kills_the_old_token() {
+        let mut slab = Slab::new();
+        let old = slab.insert(1);
+        assert_eq!(slab.remove(old), Some(1));
+        let new = slab.insert(2);
+        // Same slot index, different generation.
+        assert_eq!(new as u32, old as u32);
+        assert_ne!(new, old);
+        assert_eq!(slab.get(old), None, "stale token must miss");
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_a_clean_miss() {
+        let mut slab = Slab::new();
+        let t = slab.insert(7);
+        assert_eq!(slab.remove(t), Some(7));
+        assert_eq!(slab.remove(t), None);
+        assert!(slab.is_empty());
+    }
+}

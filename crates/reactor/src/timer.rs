@@ -1,0 +1,144 @@
+//! Deadline bookkeeping for connection slots.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// A deadline set for connection timers — idle timeouts, ack deadlines,
+/// shutdown grace — keyed by `(token, kind)` so one connection can hold
+/// several independent timers.
+///
+/// Internally a min-heap with **lazy deletion**: [`TimerWheel::set`] and
+/// [`TimerWheel::clear`] update a live-deadline map in O(log n) / O(1),
+/// and stale heap entries (re-armed or cleared timers) are discarded when
+/// they surface. The reactor asks [`TimerWheel::next_deadline`] for its
+/// `epoll_wait` timeout and drains [`TimerWheel::pop_due`] after every
+/// wake.
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(Instant, u64, u32)>>,
+    live: HashMap<(u64, u32), Instant>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+        }
+    }
+
+    /// Arms (or re-arms) the `(token, kind)` timer to fire at `at`.
+    pub fn set(&mut self, token: u64, kind: u32, at: Instant) {
+        self.live.insert((token, kind), at);
+        self.heap.push(Reverse((at, token, kind)));
+    }
+
+    /// Disarms the `(token, kind)` timer if armed.
+    pub fn clear(&mut self, token: u64, kind: u32) {
+        self.live.remove(&(token, kind));
+    }
+
+    /// The earliest live deadline, after discarding stale heap entries.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(Reverse((at, token, kind))) = self.heap.peek().copied() {
+            if self.live.get(&(token, kind)) == Some(&at) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Takes one timer that is due at `now` (disarming it), or `None`
+    /// when nothing is due — call in a loop after each wake.
+    pub fn pop_due(&mut self, now: Instant) -> Option<(u64, u32)> {
+        while let Some(Reverse((at, token, kind))) = self.heap.peek().copied() {
+            if self.live.get(&(token, kind)) != Some(&at) {
+                self.heap.pop();
+                continue;
+            }
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            self.live.remove(&(token, kind));
+            return Some((token, kind));
+        }
+        None
+    }
+
+    /// Live (armed) timers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether nothing is armed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_in_deadline_order_and_disarms() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        wheel.set(1, 0, base + Duration::from_millis(30));
+        wheel.set(2, 0, base + Duration::from_millis(10));
+        wheel.set(3, 1, base + Duration::from_millis(20));
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(10))
+        );
+        let late = base + Duration::from_millis(60);
+        assert_eq!(wheel.pop_due(late), Some((2, 0)));
+        assert_eq!(wheel.pop_due(late), Some((3, 1)));
+        assert_eq!(wheel.pop_due(late), Some((1, 0)));
+        assert_eq!(wheel.pop_due(late), None);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn rearm_supersedes_and_clear_disarms() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        wheel.set(7, 0, base + Duration::from_millis(5));
+        wheel.set(7, 0, base + Duration::from_millis(50)); // re-arm later
+        wheel.set(8, 0, base + Duration::from_millis(5));
+        wheel.clear(8, 0);
+        let mid = base + Duration::from_millis(20);
+        assert_eq!(wheel.pop_due(mid), None, "stale entries must not fire");
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(50))
+        );
+        assert_eq!(
+            wheel.pop_due(base + Duration::from_millis(60)),
+            Some((7, 0))
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn nothing_due_before_the_deadline() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        wheel.set(1, 2, base + Duration::from_secs(10));
+        assert_eq!(wheel.pop_due(base), None);
+        assert_eq!(wheel.len(), 1);
+    }
+}
