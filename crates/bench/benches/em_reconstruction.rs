@@ -18,12 +18,24 @@
 //!   `Aggregator::push_slice` vs. one-shot `Mechanism::aggregate` through
 //!   the unified `ldp-core` API; per-report cost = ns / `N`. The three
 //!   must stay at parity: the API redesign is free on the hot path.
+//! - `absorb/{family}_n{N}`: bulk `Aggregator::push_slice` absorption of
+//!   `N` pre-randomized reports per mechanism family — the SIMD/unrolled
+//!   kernel path; per-report cost = ns / `N`.
+//! - `absorb_push/{family}_n{N}`: the same ingest through per-report
+//!   `Aggregator::push` — the scalar serial baseline the kernels are
+//!   measured against (speedup = absorb_push / absorb).
+//! - `absorb_pooled/{family}_n{N}_w{W}`: bulk ingest through the
+//!   pool-sharded `Aggregator::push_slice_sharded` fan-out with `W`
+//!   shards on the shared `ldp-pool` worker pool.
 //!
 //! `BENCH_SMOKE=1` switches to a seconds-long configuration for CI.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_cfo::{Grr, Hrr, Olh, Oue};
 use ldp_core::{Aggregator, Client, Mechanism};
 use ldp_experiments::{run_grid, ExperimentConfig, Method};
+use ldp_hierarchy::{HaarHrr, HierarchicalHistogram};
+use ldp_mean::{Hybrid, Pm};
 use ldp_numeric::Histogram;
 use ldp_sw::{
     bootstrap, optimal_b, reconstruct, transition_matrix, BandedBaselineOperator, BootstrapConfig,
@@ -241,12 +253,134 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pre-randomized report streams for the absorb benches, one per family.
+fn absorb_reports<M: Mechanism>(mech: &M, inputs: &[M::Input], seed: u64) -> Vec<M::Report>
+where
+    M::Input: Sized,
+{
+    let client = Client::new(mech);
+    let mut rng = ldp_numeric::SplitMix64::new(seed);
+    inputs
+        .iter()
+        .map(|v| client.randomize(v, &mut rng).unwrap())
+        .collect()
+}
+
+fn bench_absorb(c: &mut Criterion) {
+    let n: usize = if smoke() { 10_000 } else { 100_000 };
+    let unit: Vec<f64> = (0..n).map(|i| (i % 9973) as f64 / 9973.0).collect();
+    let signed: Vec<f64> = (0..n)
+        .map(|i| ((i * 31) % 2001) as f64 / 1000.0 - 1.0)
+        .collect();
+    let cat = |d: usize| -> Vec<usize> { (0..n).map(|i| (i * 13) % d).collect() };
+
+    let grr = Grr::new(64, 1.0).unwrap();
+    let grr_reports = absorb_reports(&grr, &cat(64), 41);
+    let olh = Olh::new(64, 1.0).unwrap();
+    let olh_reports = absorb_reports(&olh, &cat(64), 42);
+    let oue = Oue::new(1024, 1.0).unwrap();
+    let oue_reports = absorb_reports(&oue, &cat(1024), 43);
+    let hrr = Hrr::new(256, 1.0).unwrap();
+    let hrr_reports = absorb_reports(&hrr, &cat(256), 44);
+    let sw = SwMechanism::ems(1.0, 256).unwrap();
+    let sw_reports = absorb_reports(&sw, &unit, 45);
+    let pm = Pm::new(1.0).unwrap();
+    let pm_reports = absorb_reports(&pm, &signed, 46);
+    let hybrid = Hybrid::new(2.0).unwrap();
+    let hybrid_reports = absorb_reports(&hybrid, &signed, 47);
+    let hh = HierarchicalHistogram::new(4, 256, 1.0).unwrap();
+    let hh_reports = absorb_reports(&hh, &cat(256), 48);
+    let haar = HaarHrr::new(256, 1.0).unwrap();
+    let haar_reports = absorb_reports(&haar, &cat(256), 49);
+
+    macro_rules! each_family {
+        ($m:ident) => {
+            $m!(grr, grr_reports);
+            $m!(olh, olh_reports);
+            $m!(oue, oue_reports);
+            $m!(hrr, hrr_reports);
+            $m!(sw, sw_reports);
+            $m!(pm, pm_reports);
+            $m!(hybrid, hybrid_reports);
+            $m!(hh, hh_reports);
+            $m!(haar, haar_reports);
+        };
+    }
+
+    let configure = |group: &mut criterion::BenchmarkGroup| {
+        if smoke() {
+            group
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(50))
+                .measurement_time(Duration::from_millis(200));
+        } else {
+            group
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(300))
+                .measurement_time(Duration::from_secs(2));
+        }
+    };
+
+    let mut group = c.benchmark_group("absorb");
+    configure(&mut group);
+    macro_rules! slice_bench {
+        ($mech:ident, $reports:ident) => {
+            group.bench_function(format!("{}_n{n}", stringify!($mech)), |b| {
+                b.iter(|| {
+                    let mut agg = Aggregator::new(&$mech);
+                    agg.push_slice(black_box(&$reports)).unwrap();
+                    agg.count()
+                })
+            });
+        };
+    }
+    each_family!(slice_bench);
+    group.finish();
+
+    let mut group = c.benchmark_group("absorb_push");
+    configure(&mut group);
+    macro_rules! push_bench {
+        ($mech:ident, $reports:ident) => {
+            group.bench_function(format!("{}_n{n}", stringify!($mech)), |b| {
+                b.iter(|| {
+                    let mut agg = Aggregator::new(&$mech);
+                    for r in black_box(&$reports) {
+                        agg.push(r).unwrap();
+                    }
+                    agg.count()
+                })
+            });
+        };
+    }
+    each_family!(push_bench);
+    group.finish();
+
+    let mut group = c.benchmark_group("absorb_pooled");
+    configure(&mut group);
+    macro_rules! pooled_bench {
+        ($mech:ident, $reports:ident) => {
+            for w in [2usize, 4] {
+                group.bench_function(format!("{}_n{n}_w{w}", stringify!($mech)), |b| {
+                    b.iter(|| {
+                        let mut agg = Aggregator::new(&$mech);
+                        agg.push_slice_sharded(black_box(&$reports), w).unwrap();
+                        agg.count()
+                    })
+                });
+            }
+        };
+    }
+    each_family!(pooled_bench);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_em,
     bench_batch,
     bench_grid,
     bench_bootstrap,
-    bench_streaming
+    bench_streaming,
+    bench_absorb
 );
 criterion_main!(benches);

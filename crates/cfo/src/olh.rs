@@ -96,6 +96,31 @@ impl Olh {
         }
     }
 
+    /// Bulk [`Olh::add_support`]: hoists the report-independent inner hash
+    /// `mix64(v)` out of the per-report scan (it is recomputed `d` times
+    /// per report on the serial path) and runs a 4-wide branch-free
+    /// unrolled match loop. Exact u64 additions in the same per-report
+    /// order — bit-identical to serial absorption.
+    pub(crate) fn add_support_slice(&self, support: &mut [u64], reports: &[OlhReport]) {
+        let value_mix: Vec<u64> = (0..support.len()).map(|v| mix64(v as u64)).collect();
+        let g = self.g as u64;
+        for report in reports {
+            let seed = report.seed;
+            let y = report.y;
+            let mut counts = support.chunks_exact_mut(4);
+            let mut mixes = value_mix.chunks_exact(4);
+            for (s4, m4) in (&mut counts).zip(&mut mixes) {
+                s4[0] += u64::from((mix64(seed ^ m4[0]) % g) as u32 == y);
+                s4[1] += u64::from((mix64(seed ^ m4[1]) % g) as u32 == y);
+                s4[2] += u64::from((mix64(seed ^ m4[2]) % g) as u32 == y);
+                s4[3] += u64::from((mix64(seed ^ m4[3]) % g) as u32 == y);
+            }
+            for (s, m) in counts.into_remainder().iter_mut().zip(mixes.remainder()) {
+                *s += u64::from((mix64(seed ^ m) % g) as u32 == y);
+            }
+        }
+    }
+
     /// Debiases support counts into frequency estimates; shared by both
     /// aggregation paths so they are bit-identical.
     pub(crate) fn estimate_from_support(&self, support: &[u64], n: u64) -> Vec<f64> {

@@ -66,10 +66,6 @@ impl OueReport {
         debug_assert!(i < self.len);
         self.bits[i / 64] >> (i % 64) & 1 == 1
     }
-
-    fn set(&mut self, i: usize) {
-        self.bits[i / 64] |= 1 << (i % 64);
-    }
 }
 
 /// The OUE frequency oracle.
@@ -150,11 +146,24 @@ impl FrequencyOracle for Oue {
             bits: vec![0u64; self.d.div_ceil(64)],
             len: self.d,
         };
-        for i in 0..self.d {
-            let keep_prob = if i == value { self.p } else { self.q };
-            if rng.gen::<f64>() < keep_prob {
-                report.set(i);
+        // One unit draw per position, filled a packed word at a time so
+        // batched generators (SplitMix64's counter-based fill) amortize the
+        // stream. The draw order — and therefore the report — is identical
+        // to a per-position `gen::<f64>() < keep_prob` loop.
+        let mut draws = [0.0f64; 64];
+        for (w, word) in report.bits.iter_mut().enumerate() {
+            let base = w * 64;
+            let n = (self.d - base).min(64);
+            let draws = &mut draws[..n];
+            rng.fill_unit_f64s(draws);
+            let mut bits = 0u64;
+            for (i, &u) in draws.iter().enumerate() {
+                let keep_prob = if base + i == value { self.p } else { self.q };
+                if u < keep_prob {
+                    bits |= 1 << i;
+                }
             }
+            *word = bits;
         }
         Ok(report)
     }
@@ -199,6 +208,28 @@ mod tests {
             saw_set |= r.get(129);
         }
         assert!(saw_set);
+    }
+
+    #[test]
+    fn randomize_matches_the_scalar_draw_loop() {
+        // The word-at-a-time batched randomizer must replay the scalar
+        // per-position `gen::<f64>() < keep_prob` loop exactly: same bits,
+        // same generator state afterwards.
+        for d in [2usize, 7, 63, 64, 65, 130, 257] {
+            let o = Oue::new(d, 1.0).unwrap();
+            let value = d / 2;
+            let mut rng = SplitMix64::new(9000 + d as u64);
+            let r = o.randomize(value, &mut rng).unwrap();
+
+            let mut reference = SplitMix64::new(9000 + d as u64);
+            let q = 1.0 / (1.0f64.exp() + 1.0);
+            for i in 0..d {
+                let keep_prob = if i == value { 0.5 } else { q };
+                let bit = reference.gen::<f64>() < keep_prob;
+                assert_eq!(r.get(i), bit, "d = {d}, bit {i}");
+            }
+            assert_eq!(rng, reference, "generator state after randomize, d = {d}");
+        }
     }
 
     #[test]

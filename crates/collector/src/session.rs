@@ -169,17 +169,20 @@ where
     M::State: Send + 'static,
 {
     fn prepare(&self, text: &str) -> Result<PreparedBatch, CollectorError> {
-        let mut state = self.mechanism.empty_state();
-        let mut reports = 0u64;
+        // Decode the whole frame first, then absorb through the bulk
+        // `absorb_slice` path so every family's vectorized kernel (OUE
+        // bit-count, HRR scatter, ExactSum bulk add, SW bucket pass)
+        // carries the serve path too. Bit-identical to per-line absorbs.
+        let mut reports = Vec::new();
         for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
-            let report = M::Report::decode(line)?;
-            self.mechanism.absorb(&mut state, &report)?;
-            reports += 1;
+            reports.push(M::Report::decode(line)?);
         }
+        let mut state = self.mechanism.empty_state();
+        self.mechanism.absorb_slice(&mut state, &reports)?;
         Ok(PreparedBatch {
             payload: Box::new(state),
             fingerprint: self.mechanism.fingerprint(),
-            reports,
+            reports: reports.len() as u64,
         })
     }
 }

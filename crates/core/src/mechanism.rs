@@ -372,6 +372,88 @@ impl<M: Mechanism> Aggregator<M> {
         }
     }
 
+    /// Pool-sharded bulk ingestion: splits `reports` into `shards`
+    /// contiguous chunks in index order, absorbs each chunk into a private
+    /// state on the shared worker pool ([`ldp_pool::global`]), then folds
+    /// the shard states back in ascending index order through the same
+    /// fingerprint-checked [`Aggregator::merge`] machinery the collector
+    /// uses. Because every family's `merge_state` is exact (integer counts
+    /// or [`ldp_numeric::ExactSum`] expansions), the result is
+    /// **bit-identical** to [`Aggregator::push_slice`] for any shard count
+    /// and any pool size — the workspace `pool_determinism` suite pins
+    /// this for every mechanism family. Like `push_slice`, absorbs
+    /// nothing if any report is malformed.
+    ///
+    /// # Errors
+    /// Any shard's absorb error (the first in index order) is returned,
+    /// as is a worker-pool failure; `self` is unchanged on error.
+    pub fn push_slice_sharded(
+        &mut self,
+        reports: &[M::Report],
+        shards: usize,
+    ) -> Result<(), CoreError>
+    where
+        M: Sync,
+        M::Report: Sync,
+        M::State: Send,
+    {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        if shards == 0 {
+            return Err(CoreError::Aggregation(
+                "pooled absorb requires at least one shard".into(),
+            ));
+        }
+        let chunk = reports.len().div_ceil(shards).max(1);
+        let chunks: Vec<&[M::Report]> = reports.chunks(chunk).collect();
+        let mechanism = &self.mechanism;
+        let results = ldp_pool::global()
+            .run(chunks.len(), |i| {
+                let mut state = mechanism.empty_state();
+                mechanism
+                    .absorb_slice(&mut state, chunks[i])
+                    .map(|()| state)
+            })
+            .map_err(|e| CoreError::Aggregation(format!("worker pool failure: {e}")))?;
+        // Surface the first absorb error in index order, all-or-nothing.
+        let mut states = Vec::with_capacity(results.len());
+        for result in results {
+            states.push(result?);
+        }
+        let mut shard_aggs = chunks
+            .iter()
+            .zip(states)
+            .map(|(c, state)| Aggregator::from_parts(mechanism, state, c.len() as u64));
+        let mut merged = shard_aggs.next().expect("at least one shard");
+        for shard in shard_aggs {
+            merged.merge(&shard)?;
+        }
+        let checkpoint = self.state.clone();
+        match mechanism.merge_state(&mut self.state, merged.state()) {
+            Ok(()) => {
+                self.count += merged.count();
+                Ok(())
+            }
+            Err(e) => {
+                self.state = checkpoint;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Aggregator::push_slice_sharded`] with one shard per configured
+    /// worker ([`ldp_pool::configured_threads`]) — the drop-in pooled
+    /// variant of [`Aggregator::push_slice`].
+    pub fn push_slice_pooled(&mut self, reports: &[M::Report]) -> Result<(), CoreError>
+    where
+        M: Sync,
+        M::Report: Sync,
+        M::State: Send,
+    {
+        self.push_slice_sharded(reports, ldp_pool::configured_threads().max(1))
+    }
+
     /// Merges another shard collected for the same configuration.
     pub fn merge(&mut self, other: &Aggregator<M>) -> Result<(), CoreError> {
         if self.mechanism.fingerprint() != other.mechanism.fingerprint() {

@@ -266,6 +266,12 @@ impl Mechanism for HaarHrr {
             .absorb(&mut state.levels[m - 1], &report.report)
     }
 
+    // absorb_slice keeps the default report-at-a-time loop: each absorb is
+    // a single spectrum scatter-add, and benchmarking showed that grouping
+    // reports by coefficient height to ride the HRR block kernel costs
+    // more in per-slice allocation than the kernel saves. Bulk ingest
+    // still parallelizes through `Aggregator::push_slice_sharded`.
+
     fn merge_state(&self, state: &mut HaarState, other: &HaarState) -> Result<(), CoreError> {
         if state.levels.len() != other.levels.len() {
             return Err(CoreError::ShardMismatch(format!(

@@ -53,6 +53,15 @@ impl MeanState {
         self.n += 1;
     }
 
+    /// Bulk absorb through [`ExactSum::add_slice`] — bit-identical to
+    /// per-element [`MeanState::absorb`] in order, including the internal
+    /// expansion representation (so snapshots of bulk-absorbed state match
+    /// snapshots of streamed state).
+    fn absorb_slice(&mut self, debiased: &[f64]) {
+        self.sum.add_slice(debiased);
+        self.n += debiased.len() as u64;
+    }
+
     fn merge(&mut self, other: &MeanState) {
         self.sum.merge(&other.sum);
         self.n += other.n;
@@ -128,6 +137,26 @@ impl Mechanism for Sr {
         Ok(())
     }
 
+    fn absorb_slice(&self, state: &mut MeanState, reports: &[f64]) -> Result<(), CoreError> {
+        if let Some(bad) = reports.iter().position(|r| *r != 1.0 && *r != -1.0) {
+            return Err(CoreError::InvalidReport(format!(
+                "SR reports are ±1, got {} (index {bad})",
+                reports[bad]
+            )));
+        }
+        // Debias into a fixed stack buffer, then bulk-add each block; the
+        // per-element add order is unchanged, so the state is bit-identical
+        // to serial absorption.
+        let mut debiased = [0.0f64; DEBIAS_BLOCK];
+        for block in reports.chunks(DEBIAS_BLOCK) {
+            for (d, r) in debiased.iter_mut().zip(block) {
+                *d = self.debias(*r);
+            }
+            state.absorb_slice(&debiased[..block.len()]);
+        }
+        Ok(())
+    }
+
     fn merge_state(&self, state: &mut MeanState, other: &MeanState) -> Result<(), CoreError> {
         state.merge(other);
         Ok(())
@@ -137,6 +166,9 @@ impl Mechanism for Sr {
         Ok(state.mean())
     }
 }
+
+/// Block size for the stack debias buffers of the bulk SR/Hybrid paths.
+const DEBIAS_BLOCK: usize = 512;
 
 impl Mechanism for Pm {
     type Input = f64;
@@ -169,6 +201,22 @@ impl Mechanism for Pm {
         }
         // PM reports are already unbiased.
         state.absorb(*report);
+        Ok(())
+    }
+
+    fn absorb_slice(&self, state: &mut MeanState, reports: &[f64]) -> Result<(), CoreError> {
+        let bound = self.output_bound() + 1e-9;
+        if let Some(bad) = reports
+            .iter()
+            .position(|r| !r.is_finite() || r.abs() > bound)
+        {
+            return Err(CoreError::InvalidReport(format!(
+                "PM report {} (index {bad}) outside the output domain [±{}]",
+                reports[bad],
+                self.output_bound()
+            )));
+        }
+        state.absorb_slice(reports);
         Ok(())
     }
 
@@ -234,6 +282,34 @@ impl Mechanism for Hybrid {
             }
         }
         state.absorb(self.debias(*report));
+        Ok(())
+    }
+
+    fn absorb_slice(
+        &self,
+        state: &mut MeanState,
+        reports: &[HybridReport],
+    ) -> Result<(), CoreError> {
+        let pm_bound = self.pm().output_bound() + 1e-9;
+        let pm_enabled = self.beta() != 0.0;
+        let bad = reports.iter().position(|r| match r {
+            HybridReport::Pm(v) => !v.is_finite() || v.abs() > pm_bound || !pm_enabled,
+            HybridReport::Sr(v) => *v != 1.0 && *v != -1.0,
+        });
+        if let Some(bad) = bad {
+            // Re-run the serial validator for the exact error message.
+            let mut scratch = self.empty_state();
+            return Err(self
+                .absorb(&mut scratch, &reports[bad])
+                .expect_err("report failed bulk validation"));
+        }
+        let mut debiased = [0.0f64; DEBIAS_BLOCK];
+        for block in reports.chunks(DEBIAS_BLOCK) {
+            for (d, r) in debiased.iter_mut().zip(block) {
+                *d = self.debias(*r);
+            }
+            state.absorb_slice(&debiased[..block.len()]);
+        }
         Ok(())
     }
 

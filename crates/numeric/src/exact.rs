@@ -85,6 +85,65 @@ impl ExactSum {
         }
     }
 
+    /// Adds every value in `xs` exactly, **bit-identical** to calling
+    /// [`ExactSum::add`] per element in order — same final expansion
+    /// representation, not just the same rendered total — as pinned by
+    /// the workspace kernel-equivalence suite. The bulk path keeps the
+    /// expansion in a fixed stack buffer across the whole slice, so the
+    /// per-element `Vec` truncate/push bookkeeping of the scalar path
+    /// disappears; should the expansion ever outgrow the buffer (the
+    /// theoretical bound is ≈ 40 components), it spills back and
+    /// finishes serially with the identical per-element op sequence.
+    pub fn add_slice(&mut self, xs: &[f64]) {
+        const CAP: usize = 64;
+        if self.parts.len() >= CAP {
+            for &x in xs {
+                self.add(x);
+            }
+            return;
+        }
+        let mut buf = [0.0f64; CAP];
+        let mut len = self.parts.len();
+        buf[..len].copy_from_slice(&self.parts);
+        for (i, &x) in xs.iter().enumerate() {
+            debug_assert!(x.is_finite(), "ExactSum::add_slice requires finite input");
+            if x == 0.0 {
+                continue;
+            }
+            // GROW-EXPANSION in the stack buffer: the exact op sequence of
+            // `add`, with `buf[..len]` standing in for `self.parts`.
+            let mut q = x;
+            let mut write = 0;
+            for read in 0..len {
+                let (s, e) = two_sum(q, buf[read]);
+                if e != 0.0 {
+                    buf[write] = e;
+                    write += 1;
+                }
+                q = s;
+            }
+            len = write;
+            if q != 0.0 {
+                if len == CAP {
+                    // Buffer exhausted: materialize the exact current
+                    // expansion (components then top term, preserving the
+                    // serial representation) and finish element-at-a-time.
+                    self.parts.clear();
+                    self.parts.extend_from_slice(&buf[..len]);
+                    self.parts.push(q);
+                    for &rest in &xs[i + 1..] {
+                        self.add(rest);
+                    }
+                    return;
+                }
+                buf[len] = q;
+                len += 1;
+            }
+        }
+        self.parts.clear();
+        self.parts.extend_from_slice(&buf[..len]);
+    }
+
     /// Folds another accumulator in exactly. Equivalent to having added the
     /// other accumulator's entire stream to this one, in any order.
     pub fn merge(&mut self, other: &ExactSum) {
@@ -299,6 +358,54 @@ mod tests {
         }
         let expect = reference as f64 / 1048576.0;
         assert_eq!(s.value().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn add_slice_is_bit_identical_to_serial_adds() {
+        // Same final *representation*, not just the same rendered value:
+        // the expansion components must match bit for bit so snapshots of
+        // bulk-absorbed state equal snapshots of streamed state.
+        for seed in [31u64, 32, 33] {
+            let values = random_values(777, seed);
+            let mut serial = ExactSum::new();
+            for &v in &values {
+                serial.add(v);
+            }
+            let mut bulk = ExactSum::new();
+            bulk.add_slice(&values);
+            assert_eq!(bulk.parts(), serial.parts(), "seed {seed}");
+            // Split bulk adds across uneven chunks, starting non-empty.
+            let mut chunked = ExactSum::new();
+            chunked.add(values[0]);
+            chunked.add_slice(&values[1..300]);
+            chunked.add_slice(&values[300..301]);
+            chunked.add_slice(&[]);
+            chunked.add_slice(&values[301..]);
+            assert_eq!(chunked.parts(), serial.parts(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn add_slice_handles_hostile_payloads() {
+        // ±0.0, subnormals, and catastrophic cancellation.
+        let values = [
+            1e16,
+            1.0,
+            -0.0,
+            f64::MIN_POSITIVE / 8.0,
+            -1e16,
+            0.0,
+            -f64::MIN_POSITIVE / 8.0,
+            -1.0,
+        ];
+        let mut serial = ExactSum::new();
+        for &v in &values {
+            serial.add(v);
+        }
+        let mut bulk = ExactSum::new();
+        bulk.add_slice(&values);
+        assert_eq!(bulk.parts(), serial.parts());
+        assert_eq!(bulk.value(), 0.0);
     }
 
     #[test]

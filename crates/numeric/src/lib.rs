@@ -22,8 +22,14 @@
 //! - [`stats`]: streaming and batch summary statistics.
 //! - [`exact`]: [`exact::ExactSum`], exact order-independent float
 //!   accumulation so sharded aggregation merges bit-identically.
+//! - [`kernels`]: runtime-dispatched SIMD/unrolled absorb kernels
+//!   (bit-identical to their scalar references; `LDP_NO_SIMD=1` forces
+//!   the scalar path).
 
-#![forbid(unsafe_code)]
+// The only unsafe code in this crate is the runtime-dispatched AVX2
+// intrinsic routines in `kernels`, which carries its own module-level
+// allowance; everything else stays denied.
+#![deny(unsafe_code)]
 // `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
 // also true for NaN, which is exactly what the validators need to reject.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -33,6 +39,7 @@ pub mod dist;
 pub mod error;
 pub mod exact;
 pub mod histogram;
+pub mod kernels;
 pub mod matrix;
 pub mod operator;
 pub mod quad;

@@ -55,10 +55,12 @@
 //!
 //! # Reading the unsafe internals
 //!
-//! This crate is the workspace's only `unsafe` code (the scoped-lifetime
+//! This crate holds one of the workspace's two pockets of `unsafe` code —
+//! the other being the runtime-dispatched AVX2 intrinsic kernels in
+//! `ldp_numeric::kernels`. Here it is the scoped-lifetime
 //! erasure that lets borrowed closures cross worker threads, documented
 //! as a `SAFETY:` comment at the single `unsafe` block it lives in, in
-//! [`Scope::spawn`]). The supporting invariants are written on the
+//! [`Scope::spawn`]. The supporting invariants are written on the
 //! *private* items that uphold them — `Batch` and the erased `Job` type —
 //! so they don't appear in the public docs. To audit them, build with
 //!

@@ -95,17 +95,23 @@ impl ShardAggregator {
     /// which is what the batched randomization path and the experiment
     /// runner feed through. All-or-nothing: on error the aggregator is
     /// unchanged and the message names the first offending index.
+    ///
+    /// Both passes run through the `ldp_numeric::kernels` AVX2 kernels
+    /// when available (`LDP_NO_SIMD=1` forces scalar): ordered compares
+    /// reject NaN/out-of-range lanes exactly like [`ShardAggregator::push`]'s
+    /// `in_domain` (a finite `r` inside the tolerated bounds passes both
+    /// formulations; NaN and infinities fail both), and the bucket pass
+    /// performs the identical `sub/div/mul/trunc/clamp` sequence per lane
+    /// — bit-identical counts, pinned by the kernel-equivalence suite.
     pub fn push_slice(&mut self, reports: &[f64]) -> Result<(), SwError> {
-        if let Some(bad) = reports.iter().position(|&r| !self.in_domain(r)) {
+        let (lo_tol, hi_tol) = (self.lo - 1e-12, self.hi + 1e-12);
+        if let Some(bad) = ldp_numeric::kernels::first_out_of_range(reports, lo_tol, hi_tol) {
             return Err(SwError::InvalidParameter(format!(
                 "report {} (index {bad}) outside the output domain [{}, {}]",
                 reports[bad], self.lo, self.hi
             )));
         }
-        for &r in reports {
-            let idx = self.bucket(r);
-            self.counts[idx] += 1;
-        }
+        ldp_numeric::kernels::bucket_histogram(&mut self.counts, reports, self.lo, self.hi);
         Ok(())
     }
 

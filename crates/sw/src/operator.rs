@@ -58,32 +58,15 @@ struct BandLine {
 const EDGE_UNROLL_THRESHOLD: usize = 8;
 
 /// Dot product of a long explicit-edge run against the matching window of
-/// `x`, split over four independent accumulators. Breaking the serial
-/// add chain lets the compiler keep partial sums in separate registers
-/// (or SIMD lanes) — the unrolled inner loop the band's explicit entries
-/// run through on every matvec. Only reached through operators whose
-/// lines cleared [`EDGE_UNROLL_THRESHOLD`] at construction.
+/// `x`, through the shared 4-accumulator kernel
+/// [`ldp_numeric::kernels::dot4`] (AVX2 when available, with each vector
+/// lane standing in for one scalar accumulator — bit-identical either
+/// way). Only reached through operators whose lines cleared
+/// [`EDGE_UNROLL_THRESHOLD`] at construction.
 #[inline]
 fn dot_edges(entries: &[f64], window: &[f64]) -> f64 {
     debug_assert_eq!(entries.len(), window.len());
-    let mut acc = [0.0f64; 4];
-    let mut entry_blocks = entries.chunks_exact(4);
-    let mut window_blocks = window.chunks_exact(4);
-    for (e, w) in (&mut entry_blocks).zip(&mut window_blocks) {
-        acc[0] += e[0] * w[0];
-        acc[1] += e[1] * w[1];
-        acc[2] += e[2] * w[2];
-        acc[3] += e[3] * w[3];
-    }
-    let mut rest = 0.0;
-    for (e, w) in entry_blocks
-        .remainder()
-        .iter()
-        .zip(window_blocks.remainder())
-    {
-        rest += e * w;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
+    ldp_numeric::kernels::dot4(entries, window)
 }
 
 impl BandLine {

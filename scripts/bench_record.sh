@@ -39,6 +39,7 @@ GATED = [
     ("grid_ns_per_trial", "ns/grid-trial"),
     ("bootstrap_ns_per_replicate", "ns/bootstrap-replicate"),
     ("streaming_agg_ns_per_report", "ns/report"),
+    ("absorb_ns_per_report", "ns/report"),
 ]
 failed = False
 for section, unit in GATED:
@@ -108,6 +109,10 @@ snapshot = {
     "grid_ns_per_trial": {},
     "bootstrap_ns_per_replicate": {},
     "streaming_agg_ns_per_report": {},
+    "absorb_ns_per_report": {},
+    "absorb_push_ns_per_report": {},
+    "absorb_pooled_ns_per_report": {},
+    "absorb_speedup_slice_vs_push": {},
     "sustained_ingest_ns_per_report": {},
     "sustained_ingest_reports_per_sec": {},
 }
@@ -133,11 +138,30 @@ for name, v in sorted(ns.items()):
     if m:
         path, n, d = m.group(1), int(m.group(2)), m.group(3)
         snapshot["streaming_agg_ns_per_report"][f"{path}_d{d}"] = round(v / n, 2)
+    m = re.fullmatch(r"absorb/(\w+?)_n(\d+)", name)
+    if m:
+        fam, n = m.group(1), int(m.group(2))
+        snapshot["absorb_ns_per_report"][fam] = round(v / n, 2)
+    m = re.fullmatch(r"absorb_push/(\w+?)_n(\d+)", name)
+    if m:
+        fam, n = m.group(1), int(m.group(2))
+        snapshot["absorb_push_ns_per_report"][fam] = round(v / n, 2)
+    m = re.fullmatch(r"absorb_pooled/(\w+?)_n(\d+)_w(\d+)", name)
+    if m:
+        fam, n, w = m.group(1), int(m.group(2)), m.group(3)
+        snapshot["absorb_pooled_ns_per_report"][f"{fam}_w{w}"] = round(v / n, 2)
     m = re.fullmatch(r"sustained/ingest_c(\d+)_n(\d+)", name)
     if m:
         conns, n = m.group(1), int(m.group(2))
         snapshot["sustained_ingest_ns_per_report"][f"c{conns}"] = round(v / n, 1)
         snapshot["sustained_ingest_reports_per_sec"][f"c{conns}"] = round(n / (v * 1e-9))
+
+# Kernel-path speedup per family: the per-report push baseline over the
+# bulk absorb_slice path (the bit-count families are the headline).
+for fam, push_v in snapshot["absorb_push_ns_per_report"].items():
+    slice_v = snapshot["absorb_ns_per_report"].get(fam, 0)
+    if slice_v > 0:
+        snapshot["absorb_speedup_slice_vs_push"][fam] = round(push_v / slice_v, 2)
 
 per_iter = snapshot["em_iteration_ns"]
 for key, value in per_iter.items():

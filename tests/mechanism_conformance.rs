@@ -6,7 +6,11 @@
 //! (b) merging shard aggregators equals aggregating the concatenated
 //!     report stream, bit for bit, at every split point tried;
 //! (c) client randomization is deterministic under a fixed `SplitMix64`
-//!     seed.
+//!     seed;
+//! (d) the pool-sharded `Aggregator::push_slice_sharded` fan-out equals
+//!     serial absorption — same raw state, same count, same estimate —
+//!     for shard counts {1, 2, 7} (the CI matrix additionally varies the
+//!     global pool size via `LDP_POOL_THREADS`).
 
 use sw_ldp::cfo::{Grr, Hrr, Olh, Oue};
 use sw_ldp::core_api::{Aggregator, Client, Mechanism};
@@ -30,9 +34,10 @@ fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
 /// Runs the full (a)/(b)/(c) contract for one mechanism configuration.
 fn conformance<M, F>(label: &str, mechanism: M, inputs: &[M::Input], canon: F, seed: u64)
 where
-    M: Mechanism + Clone,
+    M: Mechanism + Clone + Sync,
     M::Input: Sized,
-    M::Report: Clone + PartialEq + std::fmt::Debug,
+    M::Report: Clone + PartialEq + std::fmt::Debug + Sync,
+    M::State: Send,
     F: Fn(&M::Output) -> Vec<f64>,
 {
     let client = Client::new(&mechanism);
@@ -79,6 +84,22 @@ where
             &canon(&left.finalize().unwrap()),
             &one_shot,
             &format!("{label}: merge at split {split}"),
+        );
+    }
+
+    // (d) the pooled fan-out equals serial absorption: identical count,
+    // bit-identical estimate, for every shard count. (ExactSum-backed
+    // states guarantee a bit-identical *rendered* total across shardings,
+    // not an identical internal expansion layout — the same contract the
+    // merge legs above pin.)
+    for shards in [1usize, 2, 7] {
+        let mut pooled = Aggregator::new(mechanism.clone());
+        pooled.push_slice_sharded(&reports, shards).unwrap();
+        assert_eq!(pooled.count(), streaming.count(), "{label}: pooled count");
+        assert_bits_eq(
+            &canon(&pooled.finalize().unwrap()),
+            &one_shot,
+            &format!("{label}: pooled fan-out over {shards} shards"),
         );
     }
 

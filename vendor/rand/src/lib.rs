@@ -8,7 +8,10 @@
 //! `ldp-numeric` (`SplitMix64`); this crate only defines the trait surface.
 //!
 //! Swapping in the real `rand` crate requires only replacing the path
-//! dependency — the names and signatures match.
+//! dependency — the names and signatures match, except for the two bulk
+//! extensions [`RngCore::fill_u64_stream`] and [`Rng::fill_unit_f64s`]
+//! (draw-order-compatible batch fills that real `rand` has no analogue
+//! for), whose callers would need a port.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +44,21 @@ pub trait RngCore {
     fn fill_bytes(&mut self, dest: &mut [u8]);
     /// Fills `dest` with random bytes, reporting failure via `Err`.
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+
+    /// Fills `dest` with exactly the sequence `dest.len()` successive
+    /// [`next_u64`](Self::next_u64) calls would produce. Counter-based
+    /// generators (ldp-numeric's `SplitMix64`) override this with an
+    /// unrolled batched fill; the default loops.
+    ///
+    /// This is an extension beyond the real `rand` 0.8 API (whose bulk
+    /// `fill` paths go through `fill_bytes` and are *not* draw-order
+    /// compatible with per-element `gen` calls) — swapping in crates.io
+    /// `rand` requires porting callers of this method.
+    fn fill_u64_stream(&mut self, dest: &mut [u64]) {
+        for d in dest {
+            *d = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -58,6 +76,10 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
         (**self).try_fill_bytes(dest)
+    }
+
+    fn fill_u64_stream(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64_stream(dest);
     }
 }
 
@@ -192,6 +214,23 @@ pub trait Rng: RngCore {
     fn gen_bool(&mut self, p: f64) -> bool {
         self.gen::<f64>() < p
     }
+
+    /// Fills `dest` with uniform `f64` draws in `[0, 1)`, bit-identical to
+    /// calling `gen::<f64>()` per element: each output applies the same
+    /// 53-bit mantissa scaling to one raw draw, and the raw draws come from
+    /// [`RngCore::fill_u64_stream`] so batched generators accelerate the
+    /// loop without changing the stream. Like `fill_u64_stream`, this is an
+    /// extension beyond the real `rand` 0.8 API.
+    fn fill_unit_f64s(&mut self, dest: &mut [f64]) {
+        let mut raw = [0u64; 32];
+        for chunk in dest.chunks_mut(32) {
+            let raw = &mut raw[..chunk.len()];
+            self.fill_u64_stream(raw);
+            for (o, &u) in chunk.iter_mut().zip(raw.iter()) {
+                *o = (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            }
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -247,6 +286,28 @@ mod tests {
             assert!((1..=4).contains(&w));
             let x = rng.gen_range(-1.0f64..1.0);
             assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bulk_fills_replay_the_serial_draw_order() {
+        for n in [0usize, 1, 31, 32, 33, 64, 100] {
+            let mut serial = Counter(11);
+            let expect_raw: Vec<u64> = (0..n).map(|_| serial.next_u64()).collect();
+            let mut bulk = Counter(11);
+            let mut raw = vec![0u64; n];
+            bulk.fill_u64_stream(&mut raw);
+            assert_eq!(raw, expect_raw, "n = {n}");
+            assert_eq!(bulk.0, serial.0, "state after fill, n = {n}");
+
+            let mut serial = Counter(12);
+            let expect_f: Vec<f64> = (0..n).map(|_| serial.gen::<f64>()).collect();
+            let mut bulk = Counter(12);
+            let mut out = vec![0.0f64; n];
+            bulk.fill_unit_f64s(&mut out);
+            for (i, (g, e)) in out.iter().zip(&expect_f).enumerate() {
+                assert_eq!(g.to_bits(), e.to_bits(), "n = {n}, draw {i}");
+            }
         }
     }
 
